@@ -1,0 +1,80 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! execution semantics (ASAP vs pairwise steps vs sendrecv vs barrier),
+//! max vs min matching, and the §6.1 interleaving/buffer model variants.
+
+use adaptcomm_core::algorithms::{Baseline, MatchingKind, MatchingScheduler, Scheduler};
+use adaptcomm_core::execution::{execute_listed, execute_steps, execute_steps_sendrecv};
+use adaptcomm_core::schedule::SendOrder;
+use adaptcomm_model::cost::{BufferedModel, InterleavedModel};
+use adaptcomm_model::units::{Bandwidth, Bytes};
+use adaptcomm_sim::buffered::run_buffered;
+use adaptcomm_sim::interleaved::run_interleaved;
+use adaptcomm_sim::run_static;
+use adaptcomm_workloads::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let inst = Scenario::Mixed.instance(25, 11);
+    let steps = Baseline::steps(25);
+    let order = SendOrder::from_steps(25, &steps);
+
+    // Execution-semantics ablation on the identical caterpillar order.
+    group.bench_function("exec/asap", |b| {
+        b.iter(|| black_box(execute_listed(&order, &inst.matrix).completion_time()))
+    });
+    group.bench_function("exec/sendrecv", |b| {
+        b.iter(|| black_box(execute_steps_sendrecv(&steps, &inst.matrix).completion_time()))
+    });
+    group.bench_function("exec/barrier", |b| {
+        b.iter(|| black_box(execute_steps(&steps, &inst.matrix).completion_time()))
+    });
+
+    // Max vs min matching.
+    for kind in [MatchingKind::Max, MatchingKind::Min] {
+        group.bench_with_input(
+            BenchmarkId::new("matching", format!("{kind:?}")),
+            &inst.matrix,
+            |b, m| {
+                let s = MatchingScheduler::new(kind);
+                b.iter(|| black_box(s.schedule(black_box(m)).completion_time()))
+            },
+        );
+    }
+
+    // §6.1 model variants on the same order.
+    let sizes = inst.sizes.to_rows();
+    group.bench_function("model/base", |b| {
+        b.iter(|| black_box(run_static(&order, &inst.network, &sizes).makespan))
+    });
+    for alpha in [0.0f64, 0.25, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("model/interleaved_alpha", format!("{alpha}")),
+            &alpha,
+            |b, &alpha| {
+                let model = InterleavedModel::new(inst.network.clone(), alpha, 4);
+                b.iter(|| black_box(run_interleaved(&order, &model, &sizes).makespan))
+            },
+        );
+    }
+    for buf_mb in [2u64, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("model/buffered_mb", buf_mb),
+            &buf_mb,
+            |b, &buf_mb| {
+                let model = BufferedModel::new(
+                    inst.network.clone(),
+                    Bytes::from_mb(buf_mb),
+                    Bandwidth::from_kbps(10_000.0),
+                );
+                b.iter(|| black_box(run_buffered(&order, &model, &sizes).app_makespan))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Scheduling-algorithm wall time vs `P` — the §6.2 motivation: "the
+//! overhead for repeatedly calculating the communication schedule at
+//! run-time can be expensive, especially when the number of processors
+//! is large". Exposes the `O(P³)` (greedy, open shop) vs `O(P⁴)`
+//! (matching) separation, plus the §6.2 incremental repair which cuts the
+//! recurring cost to `O(P² log P)`.
+
+use adaptcomm_core::algorithms::{all_schedulers, OpenShop};
+use adaptcomm_core::incremental::{IncrementalConfig, IncrementalScheduler};
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_workloads::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algo_runtime");
+    group.sample_size(10);
+    for p in [10usize, 20, 40, 80] {
+        let inst = Scenario::Mixed.instance(p, 3);
+        for s in all_schedulers() {
+            group.bench_with_input(BenchmarkId::new(s.name(), p), &inst.matrix, |b, m| {
+                b.iter(|| black_box(s.send_order(black_box(m))))
+            });
+        }
+        // Incremental repair (the recurring-cost alternative).
+        group.bench_with_input(
+            BenchmarkId::new("incremental-repair", p),
+            &inst.matrix,
+            |b, m| {
+                let drifted = CommMatrix::from_fn(m.len(), |s, d| {
+                    m.cost(s, d).as_ms() * if (s + d) % 3 == 0 { 1.4 } else { 1.0 }
+                });
+                b.iter(|| {
+                    let mut inc = IncrementalScheduler::new(
+                        OpenShop,
+                        IncrementalConfig::default(),
+                        m.clone(),
+                    );
+                    black_box(inc.update(drifted.clone()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

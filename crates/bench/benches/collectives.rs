@@ -1,0 +1,49 @@
+//! Collective-pattern scheduling cost at scale: the broadcast tree
+//! construction is `O(P²)` per event (`O(P³)` total for fastest-first),
+//! the all-to-some open shop rule `O(|demand|·P)`.
+
+use adaptcomm_collectives::all_to_some::{schedule_demand, Demand};
+use adaptcomm_collectives::broadcast;
+use adaptcomm_collectives::reduce::{reduce, ReduceTree};
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_workloads::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(20);
+    for p in [16usize, 64] {
+        let matrix: CommMatrix = Scenario::Mixed.instance(p, 2).matrix;
+        group.bench_with_input(BenchmarkId::new("broadcast/flat", p), &matrix, |b, m| {
+            b.iter(|| black_box(broadcast::flat(black_box(m), 0).completion_time()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("broadcast/binomial", p),
+            &matrix,
+            |b, m| b.iter(|| black_box(broadcast::binomial(black_box(m), 0).completion_time())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("broadcast/fastest_first", p),
+            &matrix,
+            |b, m| {
+                b.iter(|| black_box(broadcast::fastest_first(black_box(m), 0).completion_time()))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reduce/tree", p), &matrix, |b, m| {
+            b.iter(|| {
+                black_box(reduce(black_box(m), 0, ReduceTree::FastestFirst).completion_time())
+            })
+        });
+        let demand = Demand::all_to(p, &(0..p / 4).collect::<Vec<_>>());
+        group.bench_with_input(
+            BenchmarkId::new("all_to_some", p),
+            &(matrix, demand),
+            |b, (m, d)| b.iter(|| black_box(schedule_demand(black_box(m), d).completion_time())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

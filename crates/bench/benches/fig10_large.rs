@@ -1,0 +1,30 @@
+//! Figure 10 workload: scheduling cost of each algorithm on the
+//! 1 MB-message workload, and one end-to-end figure regeneration at
+//! reduced scale. The full data series is produced by
+//! `cargo run -p adaptcomm-bench --bin figures -- --fig10`.
+
+use adaptcomm_bench::experiments::run_figure;
+use adaptcomm_core::algorithms::all_schedulers;
+use adaptcomm_workloads::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_large_1MB");
+    group.sample_size(10);
+    let inst = Scenario::Large.instance(25, 9);
+    for s in all_schedulers() {
+        group.bench_with_input(
+            BenchmarkId::new("schedule", s.name()),
+            &inst.matrix,
+            |b, m| b.iter(|| black_box(s.schedule(black_box(m)).completion_time())),
+        );
+    }
+    group.bench_function("regenerate_figure_reduced", |b| {
+        b.iter(|| black_box(run_figure(Scenario::Large, &[5, 15], 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

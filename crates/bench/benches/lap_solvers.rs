@@ -1,0 +1,37 @@
+//! LAP solver throughput: the matching scheduler's inner loop solves `P`
+//! assignment problems of size `P`, so the solver dominates the `O(P⁴)`
+//! cost. Compares the production Jonker–Volgenant implementation against
+//! the Hungarian cross-check.
+
+use adaptcomm_lap::{hungarian, jv, DenseCost};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn instance(n: usize, seed: u64) -> DenseCost {
+    DenseCost::from_fn(n, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(j as u64)
+            .wrapping_mul(1442695040888963407)
+            .wrapping_add(seed);
+        (h % 100_000) as f64 / 100.0
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lap_solvers");
+    group.sample_size(20);
+    for n in [16usize, 50, 128] {
+        let m = instance(n, 42);
+        group.bench_with_input(BenchmarkId::new("jonker-volgenant", n), &m, |b, m| {
+            b.iter(|| black_box(jv::solve(black_box(m)).cost))
+        });
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &m, |b, m| {
+            b.iter(|| black_box(hungarian::solve(black_box(m)).cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Simulator throughput: static message-level execution and the §6.3
+//! adaptive engine under each checkpoint policy.
+
+use adaptcomm_core::algorithms::{OpenShop, Scheduler};
+use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
+use adaptcomm_model::units::Millis;
+use adaptcomm_model::variation::{VariationConfig, VariationTrace};
+use adaptcomm_sim::dynamic::{run_adaptive, AdaptiveConfig};
+use adaptcomm_sim::run_static;
+use adaptcomm_workloads::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let inst = Scenario::Mixed.instance(30, 5);
+    let order = OpenShop.send_order(&inst.matrix);
+    let sizes = inst.sizes.to_rows();
+
+    group.bench_function("static_p30", |b| {
+        b.iter(|| black_box(run_static(&order, &inst.network, &sizes).makespan))
+    });
+
+    let drift = VariationConfig {
+        step: Millis::new(1_000.0),
+        volatility: 0.25,
+        floor: 0.1,
+        ceil: 1.0,
+    };
+    for (name, policy) in [
+        ("never", CheckpointPolicy::Never),
+        ("halving", CheckpointPolicy::Halving),
+        ("every-event", CheckpointPolicy::EveryEvent),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_p30", name),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut trace = VariationTrace::new(inst.network.clone(), drift, 9);
+                    black_box(
+                        run_adaptive(
+                            &order,
+                            &sizes,
+                            &mut trace,
+                            &AdaptiveConfig {
+                                policy,
+                                rule: RescheduleRule {
+                                    deviation_threshold: 0.1,
+                                },
+                            },
+                        )
+                        .makespan,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! figures [--quick] [--table1] [--table2] [--fig9] [--fig10] [--fig11]
+//!         [--fig12] [--fig12wide] [--thm2] [--thm3] [--summary]
+//!         [--adaptivity] [--refine] [--incremental] [--staging]
+//!         [--fluid] [--barrier] [--csv] [--all]
+//! ```
+//!
+//! With no selection flags, `--all` is assumed. `--quick` shrinks the
+//! sweeps (fewer processor counts and trials) for CI-speed runs; `--csv`
+//! emits machine-readable output after each rendered table.
+
+use adaptcomm_bench::experiments::{
+    adaptivity_study, barrier_ablation, check_figure_shape, render_gusto_tables, run_figure,
+    summary, theorem2_series, theorem3_worst_ratio, DEFAULT_TRIALS, FIGURE_P_VALUES,
+};
+use adaptcomm_workloads::Scenario;
+
+struct Options {
+    quick: bool,
+    csv: bool,
+    selected: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        csv: false,
+        selected: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--csv" => opts.csv = true,
+            "--all" => {}
+            other if other.starts_with("--") => opts.selected.push(other[2..].to_string()),
+            other => {
+                eprintln!("unrecognized argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let want = |name: &str| opts.selected.is_empty() || opts.selected.iter().any(|s| s == name);
+    let p_values: Vec<usize> = if opts.quick {
+        vec![5, 10, 20, 30]
+    } else {
+        FIGURE_P_VALUES.to_vec()
+    };
+    let trials = if opts.quick { 2 } else { DEFAULT_TRIALS };
+
+    if want("table1") || want("table2") {
+        print!("{}", render_gusto_tables());
+    }
+
+    let figures = [
+        ("fig9", Scenario::Small),
+        ("fig10", Scenario::Large),
+        ("fig11", Scenario::Mixed),
+        ("fig12", Scenario::Servers),
+    ];
+    for (flag, scenario) in figures {
+        if !want(flag) {
+            continue;
+        }
+        let table = run_figure(scenario, &p_values, trials);
+        print!("{}", table.render());
+        if let Err(e) = check_figure_shape(&table) {
+            println!("!! shape check failed: {e}");
+        } else {
+            println!("   shape check: OK (adaptive ≥ baseline, openshop near lb)");
+        }
+        if opts.csv {
+            print!("{}", table.to_csv());
+        }
+        println!();
+    }
+
+    if want("fig12wide") {
+        use adaptcomm_bench::experiments::{improvement_factor, run_figure_with};
+        use adaptcomm_model::generator::GeneratorConfig;
+        let table = run_figure_with(
+            Scenario::Servers,
+            &p_values,
+            trials,
+            GeneratorConfig::wide_area(),
+        );
+        println!("# fig12 under the §3.2 wide heterogeneity range (56 kbit/s – 155 Mbit/s)");
+        print!("{}", table.render());
+        println!(
+            "   aggregate baseline/openshop improvement: {:.2}x (paper: 2-5x)",
+            improvement_factor(&table)
+        );
+        if opts.csv {
+            print!("{}", table.to_csv());
+        }
+        println!();
+    }
+
+    if want("thm2") {
+        println!("# Theorem 2 tightness: baseline ratio on the ε-instance (P=4, bound P/2 = 2)");
+        println!("{:>12} {:>10}", "epsilon", "ratio");
+        for (eps, ratio) in theorem2_series() {
+            println!("{eps:>12.0e} {ratio:>10.5}");
+        }
+        println!();
+    }
+
+    if want("thm3") {
+        let n = if opts.quick { 50 } else { 200 };
+        let worst = theorem3_worst_ratio(n);
+        println!("# Theorem 3: worst open shop completion / lower bound over {n} random instances");
+        println!("{worst:.4}  (guarantee: ≤ 2)\n");
+    }
+
+    if want("summary") {
+        let s = summary(&p_values, trials);
+        print!("{}", s.render());
+        println!();
+    }
+
+    if want("adaptivity") {
+        let trials = if opts.quick { 2 } else { 5 };
+        println!(
+            "# §6.3 checkpoint policies under a degrading network (P=12, mean over {trials} runs)"
+        );
+        println!("{:>12} {:>14} {:>12}", "policy", "makespan", "reschedules");
+        for (name, makespan, reschedules) in adaptivity_study(12, trials) {
+            println!(
+                "{name:>12} {:>12.1}ms {reschedules:>12.1}",
+                makespan.as_ms()
+            );
+        }
+        println!();
+    }
+
+    if want("refine") {
+        use adaptcomm_bench::experiments::refinement_study;
+        let trials = if opts.quick { 2 } else { 5 };
+        println!("# Refinement study: mean completion / lower bound (P=12, {trials} trials)");
+        for (label, ratio) in refinement_study(12, trials) {
+            println!("{label:>16} {ratio:>8.4}");
+        }
+        println!();
+    }
+
+    if want("incremental") {
+        use adaptcomm_bench::experiments::incremental_study;
+        let cycles = if opts.quick { 4 } else { 10 };
+        println!("# §6.2 incremental scheduling over {cycles} drifting cycles (P=12)");
+        println!(
+            "{:>12} {:>14} {:>12}",
+            "strategy", "mean ratio", "recomputes"
+        );
+        for (name, ratio, recomputes) in incremental_study(12, cycles, 5) {
+            println!("{name:>12} {ratio:>14.4} {recomputes:>12}");
+        }
+        println!();
+    }
+
+    if want("staging") {
+        use adaptcomm_bench::experiments::staging_study;
+        println!("# Data staging: satisfaction vs deadline tightness (10-node WAN)");
+        println!("{:>12} {:>12} {:>12}", "tightness", "satisfied", "weighted");
+        for (tight, frac, weighted) in staging_study(7) {
+            println!(
+                "{tight:>12.1} {:>11.0}% {:>11.0}%",
+                frac * 100.0,
+                weighted * 100.0
+            );
+        }
+        println!();
+    }
+
+    if want("fluid") {
+        use adaptcomm_bench::experiments::fluid_gap_study;
+        println!("# Flat cost model vs fluid topology ground truth (2 sites, shared WAN)");
+        println!("{:>4} {:>14} {:>14} {:>8}", "P", "flat", "fluid", "ratio");
+        for (p, flat, fluid) in fluid_gap_study(&[4, 8, 12, 16]) {
+            println!("{p:>4} {flat:>12.1}ms {fluid:>12.1}ms {:>8.3}", fluid / flat);
+        }
+        println!();
+    }
+
+    if want("barrier") {
+        println!("# Ablation: ASAP vs barrier-synchronized execution of the matching schedule");
+        println!("{:>4} {:>14} {:>14}", "P", "asap", "barrier");
+        for (p, asap, barrier) in barrier_ablation(&p_values, trials) {
+            println!(
+                "{p:>4} {:>12.1}ms {:>12.1}ms",
+                asap.as_ms(),
+                barrier.as_ms()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-CSV (de)serialization of communication matrices.
+
+use adaptcomm_core::matrix::CommMatrix;
+
+/// Serializes a matrix: one sender per line, comma-separated costs (ms).
+pub fn to_csv(matrix: &CommMatrix) -> String {
+    let p = matrix.len();
+    let mut out = String::new();
+    for src in 0..p {
+        let row: Vec<String> = (0..p)
+            .map(|dst| format!("{}", matrix.cost(src, dst).as_ms()))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a matrix from CSV text. Blank lines and `#` comments are
+/// skipped; rows must be square and entries finite and non-negative.
+pub fn from_csv(text: &str) -> Result<CommMatrix, String> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<f64>, String> = line
+            .split(',')
+            .map(|cell| {
+                cell.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {}: `{}` is not a number", lineno + 1, cell.trim()))
+            })
+            .collect();
+        rows.push(row?);
+    }
+    if rows.is_empty() {
+        return Err("matrix file contains no data rows".into());
+    }
+    let p = rows.len();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != p {
+            return Err(format!(
+                "row {} has {} entries but the matrix has {p} rows",
+                i + 1,
+                row.len()
+            ));
+        }
+        for (j, &v) in row.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "cost[{i}][{j}] = {v} must be finite and non-negative"
+                ));
+            }
+        }
+    }
+    Ok(CommMatrix::from_rows(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let m = CommMatrix::from_rows(&[
+            vec![0.0, 1.5, 2.0],
+            vec![3.0, 0.0, 4.25],
+            vec![5.0, 6.0, 0.0],
+        ]);
+        let text = to_csv(&m);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let m = from_csv("# a comment\n\n0, 1\n2, 0\n").unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.cost(1, 0).as_ms(), 2.0);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(from_csv("").unwrap_err().contains("no data rows"));
+        assert!(from_csv("0,x\n1,0\n").unwrap_err().contains("not a number"));
+        assert!(from_csv("0,1,2\n1,0\n").unwrap_err().contains("entries"));
+        assert!(from_csv("0,-1\n1,0\n")
+            .unwrap_err()
+            .contains("non-negative"));
+    }
+}

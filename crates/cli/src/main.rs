@@ -1,0 +1,218 @@
+//! `adaptcomm` — command-line front end.
+//!
+//! ```text
+//! adaptcomm gusto
+//! adaptcomm generate --scenario fig11 --p 20 --seed 1 > matrix.csv
+//! adaptcomm schedule --algorithm openshop --matrix matrix.csv --diagram
+//! adaptcomm schedule --algorithm matching-max --matrix matrix.csv --svg out.svg
+//! adaptcomm compare --matrix matrix.csv
+//! ```
+//!
+//! Matrices are plain CSV: `P` rows of `P` comma-separated costs in
+//! milliseconds (sender-major; zero diagonal).
+
+mod args;
+mod csv;
+
+use adaptcomm_core::algorithms::{all_schedulers, Scheduler};
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::timing::TimingDiagram;
+use adaptcomm_workloads::Scenario;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `adaptcomm help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const HELP: &str = "\
+adaptcomm — adaptive communication scheduling (HPDC 1998)
+
+USAGE:
+  adaptcomm gusto
+      Print the GUSTO latency/bandwidth tables (paper Tables 1-2).
+
+  adaptcomm generate --scenario <fig9|fig10|fig11|fig12|transpose> --p <N>
+                     [--seed <u64>] [--n <dim>]
+      Emit a communication-cost matrix (CSV, ms) for a paper scenario
+      over a random GUSTO-guided network.
+
+  adaptcomm schedule --matrix <file.csv> [--algorithm <name>]
+                     [--diagram] [--svg <out.svg>] [--json <out.json>] [--events]
+      Schedule a total exchange. Algorithms: baseline, matching-max,
+      matching-min, greedy, openshop (default).
+
+  adaptcomm compare --matrix <file.csv>
+      Run every algorithm and print the comparison table.
+
+  adaptcomm help
+      This text.
+";
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        print!("{HELP}");
+        return Ok(());
+    };
+    let opts = args::Options::parse(&argv[1..])?;
+
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "gusto" => {
+            print_gusto();
+            Ok(())
+        }
+        "generate" => generate(&opts),
+        "schedule" => schedule(&opts),
+        "compare" => compare(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn print_gusto() {
+    use adaptcomm_model::gusto::{bandwidth_kbps, latency_ms, Site};
+    println!("Table 1: latency (ms)");
+    for a in Site::ALL {
+        let row: Vec<String> = Site::ALL
+            .iter()
+            .map(|b| {
+                if a == *b {
+                    "-".into()
+                } else {
+                    format!("{}", latency_ms(a.index(), b.index()))
+                }
+            })
+            .collect();
+        println!("{:>8}: {}", a.name(), row.join(", "));
+    }
+    println!("Table 2: bandwidth (kbit/s)");
+    for a in Site::ALL {
+        let row: Vec<String> = Site::ALL
+            .iter()
+            .map(|b| {
+                if a == *b {
+                    "-".into()
+                } else {
+                    format!("{}", bandwidth_kbps(a.index(), b.index()))
+                }
+            })
+            .collect();
+        println!("{:>8}: {}", a.name(), row.join(", "));
+    }
+}
+
+fn scenario_by_name(name: &str, n: usize) -> Result<Scenario, String> {
+    Ok(match name {
+        "fig9" | "small" => Scenario::Small,
+        "fig10" | "large" => Scenario::Large,
+        "fig11" | "mixed" => Scenario::Mixed,
+        "fig12" | "servers" => Scenario::Servers,
+        "transpose" => Scenario::Transpose { n },
+        other => return Err(format!("unknown scenario `{other}`")),
+    })
+}
+
+fn generate(opts: &args::Options) -> Result<(), String> {
+    let name = opts.require("scenario")?;
+    let p: usize = opts.require_parsed("p")?;
+    let seed: u64 = opts.parsed_or("seed", 0)?;
+    let n: usize = opts.parsed_or("n", p * 8)?;
+    let scenario = scenario_by_name(&name, n)?;
+    let inst = scenario.instance(p, seed);
+    print!("{}", csv::to_csv(&inst.matrix));
+    Ok(())
+}
+
+fn load_matrix(opts: &args::Options) -> Result<CommMatrix, String> {
+    let path = opts.require("matrix")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    csv::from_csv(&text)
+}
+
+fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    all_schedulers()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<_> = all_schedulers()
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect();
+            format!(
+                "unknown algorithm `{name}` (available: {})",
+                names.join(", ")
+            )
+        })
+}
+
+fn schedule(opts: &args::Options) -> Result<(), String> {
+    let matrix = load_matrix(opts)?;
+    let algorithm = opts.get("algorithm").unwrap_or_else(|| "openshop".into());
+    let scheduler = scheduler_by_name(&algorithm)?;
+    let schedule = scheduler.schedule(&matrix);
+    schedule
+        .validate()
+        .map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    println!(
+        "{}: completion {} | lower bound {} | ratio {:.4}",
+        scheduler.name(),
+        schedule.completion_time(),
+        matrix.lower_bound(),
+        schedule.lb_ratio()
+    );
+    if opts.flag("events") {
+        println!(
+            "{:>6} {:>6} {:>12} {:>12}",
+            "src", "dst", "start(ms)", "finish(ms)"
+        );
+        for e in schedule.events() {
+            println!(
+                "{:>6} {:>6} {:>12.2} {:>12.2}",
+                e.src,
+                e.dst,
+                e.start.as_ms(),
+                e.finish.as_ms()
+            );
+        }
+    }
+    if opts.flag("diagram") {
+        println!("{}", TimingDiagram::of_schedule(&schedule).render(24));
+    }
+    if let Some(path) = opts.get("json") {
+        let json = adaptcomm_core::export::schedule_to_json(&schedule);
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = opts.get("svg") {
+        let svg = TimingDiagram::of_schedule(&schedule).render_svg(900, 600);
+        std::fs::write(&path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn compare(opts: &args::Options) -> Result<(), String> {
+    let matrix = load_matrix(opts)?;
+    println!("P = {}, lower bound {}", matrix.len(), matrix.lower_bound());
+    println!("{:>14} {:>14} {:>8}", "algorithm", "completion", "ratio");
+    for scheduler in all_schedulers() {
+        let s = scheduler.schedule(&matrix);
+        println!(
+            "{:>14} {:>14} {:>8.4}",
+            scheduler.name(),
+            format!("{}", s.completion_time()),
+            s.lb_ratio()
+        );
+    }
+    Ok(())
+}

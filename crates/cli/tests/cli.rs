@@ -1,0 +1,128 @@
+//! End-to-end tests of the `adaptcomm` binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_adaptcomm"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("adaptcomm-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("generate"));
+    // No arguments behaves like help.
+    let out = bin().output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn gusto_prints_both_tables() {
+    let out = bin().arg("gusto").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("4976"));
+}
+
+#[test]
+fn generate_schedule_compare_round_trip() {
+    let out = bin()
+        .args(["generate", "--scenario", "fig11", "--p", "6", "--seed", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let csv = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(csv.lines().count(), 6);
+
+    let matrix_path = temp_path("matrix.csv");
+    std::fs::write(&matrix_path, &csv).unwrap();
+
+    let out = bin()
+        .args(["compare", "--matrix", matrix_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let table = String::from_utf8(out.stdout).unwrap();
+    assert!(table.contains("openshop"));
+    assert!(table.contains("baseline"));
+
+    let svg_path = temp_path("sched.svg");
+    let json_path = temp_path("sched.json");
+    let out = bin()
+        .args([
+            "schedule",
+            "--matrix",
+            matrix_path.to_str().unwrap(),
+            "--algorithm",
+            "matching-max",
+            "--events",
+            "--svg",
+            svg_path.to_str().unwrap(),
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains(r#""events""#));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("matching-max"));
+    // 6 processors → 30 event rows.
+    assert_eq!(
+        stdout
+            .lines()
+            .filter(|l| l
+                .trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit()))
+            .count(),
+        30
+    );
+
+    let _ = std::fs::remove_file(matrix_path);
+    let _ = std::fs::remove_file(svg_path);
+    let _ = std::fs::remove_file(json_path);
+}
+
+#[test]
+fn errors_exit_nonzero_with_message() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown command"));
+
+    let out = bin()
+        .args(["schedule", "--matrix", "/definitely/missing.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["generate", "--scenario", "nope", "--p", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown scenario"));
+
+    let out = bin().args(["generate", "--p", "4"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--scenario"));
+}

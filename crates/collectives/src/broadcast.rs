@@ -1,0 +1,246 @@
+//! Broadcast: one root's message to every other processor.
+//!
+//! Three schedules:
+//!
+//! * [`flat`] — the root sends to every receiver itself, sequentially.
+//!   Completion = the root's send total; fine for tiny `P`, terrible
+//!   otherwise.
+//! * [`binomial`] — the classic homogeneous recursion: in round `k`
+//!   every informed node forwards to the node `2^k` ranks away. Optimal
+//!   on uniform networks (`⌈log₂P⌉` rounds), oblivious to heterogeneity.
+//! * [`fastest_first`] — the heterogeneity-aware greedy: repeatedly
+//!   commit the `(informed sender, uninformed receiver)` pair that can
+//!   *complete* earliest under the current availability profile. This is
+//!   the natural instantiation of the paper's framework for broadcast:
+//!   the timing diagram is built event by event from directory costs.
+
+use crate::plan::CollectiveSchedule;
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::schedule::ScheduledEvent;
+use adaptcomm_model::units::Millis;
+
+/// Flat (sequential) broadcast from `root`.
+pub fn flat(matrix: &CommMatrix, root: usize) -> CollectiveSchedule {
+    let p = matrix.len();
+    assert!(root < p, "root {root} out of range");
+    let mut t = 0.0f64;
+    let mut events = Vec::with_capacity(p - 1);
+    for dst in (0..p).filter(|&d| d != root) {
+        let fin = t + matrix.cost(root, dst).as_ms();
+        events.push(ScheduledEvent {
+            src: root,
+            dst,
+            start: Millis::new(t),
+            finish: Millis::new(fin),
+        });
+        t = fin;
+    }
+    CollectiveSchedule::new(p, events).expect("flat broadcast is trivially valid")
+}
+
+/// Binomial-tree broadcast from `root` (rank-relative doubling), timed
+/// with the real heterogeneous costs.
+pub fn binomial(matrix: &CommMatrix, root: usize) -> CollectiveSchedule {
+    let p = matrix.len();
+    assert!(root < p, "root {root} out of range");
+    // ready[v] = when node v has the message and a free send port.
+    let mut ready = vec![f64::NAN; p];
+    ready[root] = 0.0;
+    let mut events = Vec::with_capacity(p - 1);
+    let mut stride = 1usize;
+    while stride < p {
+        // All nodes with relative rank < stride are informed; each sends
+        // to relative rank + stride.
+        for rel in 0..stride.min(p.saturating_sub(stride)) {
+            let target_rel = rel + stride;
+            if target_rel >= p {
+                continue;
+            }
+            let src = (root + rel) % p;
+            let dst = (root + target_rel) % p;
+            let start = ready[src];
+            debug_assert!(!start.is_nan(), "sender must be informed");
+            let fin = start + matrix.cost(src, dst).as_ms();
+            events.push(ScheduledEvent {
+                src,
+                dst,
+                start: Millis::new(start),
+                finish: Millis::new(fin),
+            });
+            ready[src] = fin;
+            ready[dst] = fin;
+        }
+        stride *= 2;
+    }
+    CollectiveSchedule::new(p, events).expect("binomial tree respects ports by construction")
+}
+
+/// Heterogeneity-aware broadcast: earliest-completion-first greedy.
+pub fn fastest_first(matrix: &CommMatrix, root: usize) -> CollectiveSchedule {
+    let p = matrix.len();
+    assert!(root < p, "root {root} out of range");
+    let mut informed = vec![false; p];
+    let mut avail = vec![0.0f64; p];
+    informed[root] = true;
+    let mut events = Vec::with_capacity(p - 1);
+    for _ in 1..p {
+        // Choose the (sender, receiver) pair with the earliest completion.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for s in 0..p {
+            if !informed[s] {
+                continue;
+            }
+            for r in 0..p {
+                if informed[r] {
+                    continue;
+                }
+                let fin = avail[s] + matrix.cost(s, r).as_ms();
+                let cand = (fin, r, s);
+                best = Some(match best {
+                    None => cand,
+                    Some(b) => {
+                        if (cand.0, cand.1, cand.2) < (b.0, b.1, b.2) {
+                            cand
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        let (fin, r, s) = best.expect("an uninformed node remains");
+        events.push(ScheduledEvent {
+            src: s,
+            dst: r,
+            start: Millis::new(avail[s]),
+            finish: Millis::new(fin),
+        });
+        avail[s] = fin;
+        avail[r] = fin;
+        informed[r] = true;
+    }
+    CollectiveSchedule::new(p, events).expect("greedy broadcast respects ports")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(p: usize, c: f64) -> CommMatrix {
+        CommMatrix::from_fn(p, |s, d| if s == d { 0.0 } else { c })
+    }
+
+    /// Verify every node actually receives the message exactly once and
+    /// only after its sender was informed.
+    fn assert_is_broadcast(plan: &CollectiveSchedule, root: usize) {
+        let p = plan.processors();
+        let mut informed_at = vec![f64::INFINITY; p];
+        informed_at[root] = 0.0;
+        let mut received = vec![0usize; p];
+        for e in plan.events() {
+            assert!(
+                e.start.as_ms() >= informed_at[e.src] - 1e-9,
+                "node {} forwarded before being informed",
+                e.src
+            );
+            informed_at[e.dst] = informed_at[e.dst].min(e.finish.as_ms());
+            received[e.dst] += 1;
+        }
+        for v in 0..p {
+            if v != root {
+                assert_eq!(received[v], 1, "node {v} must receive exactly once");
+            }
+        }
+        assert_eq!(received[root], 0, "the root receives nothing");
+    }
+
+    #[test]
+    fn flat_broadcast_shape() {
+        let m = uniform(5, 3.0);
+        let plan = flat(&m, 2);
+        assert_is_broadcast(&plan, 2);
+        assert_eq!(plan.completion_time().as_ms(), 12.0); // 4 sequential sends
+    }
+
+    #[test]
+    fn binomial_is_logarithmic_on_uniform_networks() {
+        for p in [2, 4, 8, 16] {
+            let m = uniform(p, 1.0);
+            let plan = binomial(&m, 0);
+            assert_is_broadcast(&plan, 0);
+            let rounds = (p as f64).log2().ceil();
+            assert!(
+                (plan.completion_time().as_ms() - rounds).abs() < 1e-9,
+                "P={p}: got {}, want {rounds}",
+                plan.completion_time()
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_handles_non_power_of_two_and_nonzero_root() {
+        for p in [3, 5, 6, 7, 11] {
+            for root in [0, 1, p - 1] {
+                let m = uniform(p, 2.0);
+                let plan = binomial(&m, root);
+                assert_is_broadcast(&plan, root);
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_first_matches_binomial_on_uniform_networks() {
+        let m = uniform(8, 1.0);
+        let greedy = fastest_first(&m, 0);
+        assert_is_broadcast(&greedy, 0);
+        assert_eq!(greedy.completion_time().as_ms(), 3.0); // log2(8)
+    }
+
+    #[test]
+    fn fastest_first_beats_binomial_on_heterogeneous_networks() {
+        // One fast hub (node 1) everyone should relay through; the
+        // binomial tree is stuck with its fixed rank pattern.
+        let m = CommMatrix::from_fn(8, |s, d| {
+            if s == d {
+                0.0
+            } else if s == 1 || d == 1 {
+                1.0
+            } else {
+                20.0
+            }
+        });
+        let greedy = fastest_first(&m, 0);
+        let tree = binomial(&m, 0);
+        assert_is_broadcast(&greedy, 0);
+        assert!(
+            greedy.completion_time().as_ms() <= tree.completion_time().as_ms() + 1e-9,
+            "greedy {} vs binomial {}",
+            greedy.completion_time(),
+            tree.completion_time()
+        );
+    }
+
+    #[test]
+    fn fastest_first_never_loses_to_flat() {
+        let m = CommMatrix::from_fn(7, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((s * 13 + d * 7) % 17 + 1) as f64
+            }
+        });
+        let greedy = fastest_first(&m, 3);
+        let naive = flat(&m, 3);
+        assert_is_broadcast(&greedy, 3);
+        assert!(greedy.completion_time().as_ms() <= naive.completion_time().as_ms() + 1e-9);
+    }
+
+    #[test]
+    fn two_processor_broadcast() {
+        let m = CommMatrix::from_rows(&[vec![0.0, 4.0], vec![5.0, 0.0]]);
+        for f in [flat, binomial, fastest_first] {
+            let plan = f(&m, 0);
+            assert_eq!(plan.completion_time().as_ms(), 4.0);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Gather: every processor sends its distinct message to the root.
+//!
+//! The mirror of scatter: all bytes funnel into the root's single receive
+//! port, so completion equals the root's receive total for any order.
+//! Because the *senders* are distinct here, order does free them up at
+//! different times — longest-first releases the busiest sender last,
+//! shortest-first lets most senders resume computation soonest.
+
+use crate::plan::CollectiveSchedule;
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::schedule::ScheduledEvent;
+use adaptcomm_model::units::Millis;
+
+/// Sender admission order at the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherOrder {
+    /// Increasing source index.
+    ByIndex,
+    /// Shortest transfer first.
+    ShortestFirst,
+}
+
+/// Builds the gather schedule into `root`.
+pub fn gather(matrix: &CommMatrix, root: usize, order: GatherOrder) -> CollectiveSchedule {
+    let p = matrix.len();
+    assert!(root < p, "root {root} out of range");
+    let mut srcs: Vec<usize> = (0..p).filter(|&s| s != root).collect();
+    if order == GatherOrder::ShortestFirst {
+        srcs.sort_by(|&a, &b| {
+            matrix
+                .cost(a, root)
+                .as_ms()
+                .total_cmp(&matrix.cost(b, root).as_ms())
+                .then(a.cmp(&b))
+        });
+    }
+    let mut t = 0.0f64;
+    let mut events = Vec::with_capacity(p - 1);
+    for src in srcs {
+        let fin = t + matrix.cost(src, root).as_ms();
+        events.push(ScheduledEvent {
+            src,
+            dst: root,
+            start: Millis::new(t),
+            finish: Millis::new(fin),
+        });
+        t = fin;
+    }
+    CollectiveSchedule::new(p, events).expect("gather is trivially valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CommMatrix {
+        CommMatrix::from_fn(5, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((2 * s + d) % 9 + 1) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn completion_equals_root_receive_total() {
+        let m = matrix();
+        for order in [GatherOrder::ByIndex, GatherOrder::ShortestFirst] {
+            let plan = gather(&m, 3, order);
+            assert!((plan.completion_time().as_ms() - m.recv_total(3).as_ms()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_sender_sends_exactly_once() {
+        let plan = gather(&matrix(), 0, GatherOrder::ByIndex);
+        let mut sent = vec![0; 5];
+        for e in plan.events() {
+            assert_eq!(e.dst, 0);
+            sent[e.src] += 1;
+        }
+        assert_eq!(sent, vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn shortest_first_is_sorted() {
+        let plan = gather(&matrix(), 2, GatherOrder::ShortestFirst);
+        let durs: Vec<f64> = plan.events().iter().map(|e| e.duration().as_ms()).collect();
+        for w in durs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Reduce: combine a value from every processor at the root.
+//!
+//! Reduction is the one collective where combining at intermediate nodes
+//! is intrinsic (the operator is associative), so tree schedules apply.
+//! We reuse the broadcast machinery: build a heterogeneity-aware
+//! broadcast tree from the root, then run it *backwards* — each node
+//! sends its combined partial value to its tree parent once all of its
+//! children have reported. Combine cost is taken as zero (the paper's
+//! model prices communication only).
+
+use crate::broadcast;
+use crate::plan::CollectiveSchedule;
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::schedule::ScheduledEvent;
+use adaptcomm_model::units::Millis;
+
+/// Which tree the reduction runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceTree {
+    /// Flat star: every node sends straight to the root.
+    Flat,
+    /// The heterogeneity-aware fastest-first broadcast tree, reversed.
+    FastestFirst,
+}
+
+/// Builds a reduction schedule into `root`.
+pub fn reduce(matrix: &CommMatrix, root: usize, tree: ReduceTree) -> CollectiveSchedule {
+    let p = matrix.len();
+    assert!(root < p, "root {root} out of range");
+
+    // parent[v] for the chosen tree.
+    let mut parent = vec![usize::MAX; p];
+    match tree {
+        ReduceTree::Flat => {
+            for v in 0..p {
+                if v != root {
+                    parent[v] = root;
+                }
+            }
+        }
+        ReduceTree::FastestFirst => {
+            let bcast = broadcast::fastest_first(matrix, root);
+            for e in bcast.events() {
+                parent[e.dst] = e.src;
+            }
+        }
+    }
+
+    // children lists.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); p];
+    for v in 0..p {
+        if v != root {
+            children[parent[v]].push(v);
+        }
+    }
+
+    // Schedule bottom-up: a node may send once all children reported.
+    // Receive ports serialize; we greedily admit ready children in
+    // earliest-ready order at each parent.
+    let mut ready: Vec<Option<f64>> = (0..p)
+        .map(|v| {
+            if children[v].is_empty() && v != root {
+                Some(0.0)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut reported = vec![0usize; p];
+    let mut recv_avail = vec![0.0f64; p];
+    let mut events: Vec<ScheduledEvent> = Vec::with_capacity(p - 1);
+    let mut sent = vec![false; p];
+    let mut remaining = p - 1;
+    while remaining > 0 {
+        // Pick the ready, unsent node whose transfer can finish earliest.
+        let mut best: Option<(f64, f64, usize)> = None; // (finish, start, node)
+        for v in 0..p {
+            if v == root || sent[v] {
+                continue;
+            }
+            let Some(r) = ready[v] else { continue };
+            let start = r.max(recv_avail[parent[v]]);
+            let fin = start + matrix.cost(v, parent[v]).as_ms();
+            let cand = (fin, start, v);
+            best = Some(match best {
+                None => cand,
+                Some(b) => {
+                    if (cand.0, cand.2) < (b.0, b.2) {
+                        cand
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let (fin, start, v) = best.expect("a ready node always exists in a tree");
+        let par = parent[v];
+        events.push(ScheduledEvent {
+            src: v,
+            dst: par,
+            start: Millis::new(start),
+            finish: Millis::new(fin),
+        });
+        sent[v] = true;
+        remaining -= 1;
+        recv_avail[par] = fin;
+        reported[par] += 1;
+        if par != root && reported[par] == children[par].len() {
+            ready[par] = Some(fin);
+        }
+    }
+    CollectiveSchedule::new(p, events).expect("reduction respects ports by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hetero(p: usize) -> CommMatrix {
+        CommMatrix::from_fn(p, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((s * 5 + d * 3) % 11 + 1) as f64
+            }
+        })
+    }
+
+    /// Checks the reduction semantics: every non-root node sends exactly
+    /// once, after all its subtree inputs arrived.
+    fn assert_is_reduction(plan: &CollectiveSchedule, root: usize) {
+        let p = plan.processors();
+        let mut sent = vec![0usize; p];
+        let mut last_recv_finish = vec![0.0f64; p];
+        for e in plan.events() {
+            sent[e.src] += 1;
+        }
+        for v in 0..p {
+            if v != root {
+                assert_eq!(sent[v], 1, "node {v} must report exactly once");
+            }
+        }
+        assert_eq!(sent[root], 0);
+        // Causality: a node's send starts after every message *to* it.
+        for e in plan.events() {
+            last_recv_finish[e.dst] = last_recv_finish[e.dst].max(e.finish.as_ms());
+        }
+        for e in plan.events() {
+            let upstream: f64 = plan
+                .events()
+                .iter()
+                .filter(|u| u.dst == e.src)
+                .map(|u| u.finish.as_ms())
+                .fold(0.0, f64::max);
+            assert!(
+                e.start.as_ms() >= upstream - 1e-9,
+                "node {} sent before its children reported",
+                e.src
+            );
+        }
+    }
+
+    #[test]
+    fn flat_reduce_equals_gather_completion() {
+        let m = hetero(6);
+        let plan = reduce(&m, 0, ReduceTree::Flat);
+        assert_is_reduction(&plan, 0);
+        assert!((plan.completion_time().as_ms() - m.recv_total(0).as_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_reduce_is_valid_and_never_worse_than_flat_on_hub_networks() {
+        // A cheap hub makes the tree clearly better than the star.
+        let m = CommMatrix::from_fn(8, |s, d| {
+            if s == d {
+                0.0
+            } else if s == 1 || d == 1 {
+                1.0
+            } else {
+                15.0
+            }
+        });
+        let tree = reduce(&m, 0, ReduceTree::FastestFirst);
+        let flat = reduce(&m, 0, ReduceTree::Flat);
+        assert_is_reduction(&tree, 0);
+        assert!(
+            tree.completion_time().as_ms() <= flat.completion_time().as_ms() + 1e-9,
+            "tree {} vs flat {}",
+            tree.completion_time(),
+            flat.completion_time()
+        );
+    }
+
+    #[test]
+    fn reduce_valid_for_all_roots() {
+        let m = hetero(7);
+        for root in 0..7 {
+            for tree in [ReduceTree::Flat, ReduceTree::FastestFirst] {
+                let plan = reduce(&m, root, tree);
+                assert_is_reduction(&plan, root);
+            }
+        }
+    }
+
+    #[test]
+    fn two_processor_reduce() {
+        let m = CommMatrix::from_rows(&[vec![0.0, 3.0], vec![7.0, 0.0]]);
+        let plan = reduce(&m, 0, ReduceTree::FastestFirst);
+        assert_eq!(plan.completion_time().as_ms(), 7.0);
+    }
+}

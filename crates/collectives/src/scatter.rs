@@ -1,0 +1,142 @@
+//! Scatter: the root sends a *distinct* message to every other processor.
+//!
+//! Without combine-and-forward (the paper rules it out for voluminous
+//! data), every byte leaves through the root's single send port, so the
+//! completion time is the root's send total *regardless of order*. Order
+//! still matters for the *average* receiver completion: shortest
+//! processing time (SPT) first minimizes the mean, a classic single
+//! machine scheduling fact. Both orders are provided; tests pin the
+//! invariant and the SPT optimality.
+
+use crate::plan::CollectiveSchedule;
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::schedule::ScheduledEvent;
+use adaptcomm_model::units::Millis;
+
+/// How the root orders its sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterOrder {
+    /// Increasing destination index (oblivious).
+    ByIndex,
+    /// Shortest message time first — minimizes mean receiver completion.
+    ShortestFirst,
+    /// Longest message time first.
+    LongestFirst,
+}
+
+/// Builds the scatter schedule from `root` with the given ordering.
+pub fn scatter(matrix: &CommMatrix, root: usize, order: ScatterOrder) -> CollectiveSchedule {
+    let p = matrix.len();
+    assert!(root < p, "root {root} out of range");
+    let mut dsts: Vec<usize> = (0..p).filter(|&d| d != root).collect();
+    match order {
+        ScatterOrder::ByIndex => {}
+        ScatterOrder::ShortestFirst => dsts.sort_by(|&a, &b| {
+            matrix
+                .cost(root, a)
+                .as_ms()
+                .total_cmp(&matrix.cost(root, b).as_ms())
+                .then(a.cmp(&b))
+        }),
+        ScatterOrder::LongestFirst => dsts.sort_by(|&a, &b| {
+            matrix
+                .cost(root, b)
+                .as_ms()
+                .total_cmp(&matrix.cost(root, a).as_ms())
+                .then(a.cmp(&b))
+        }),
+    }
+    let mut t = 0.0f64;
+    let mut events = Vec::with_capacity(p - 1);
+    for dst in dsts {
+        let fin = t + matrix.cost(root, dst).as_ms();
+        events.push(ScheduledEvent {
+            src: root,
+            dst,
+            start: Millis::new(t),
+            finish: Millis::new(fin),
+        });
+        t = fin;
+    }
+    CollectiveSchedule::new(p, events).expect("scatter is trivially valid")
+}
+
+/// Mean completion time over receivers — the latency metric SPT optimizes.
+pub fn mean_receiver_completion(plan: &CollectiveSchedule, root: usize) -> Millis {
+    let others: Vec<f64> = plan
+        .events()
+        .iter()
+        .filter(|e| e.src == root)
+        .map(|e| e.finish.as_ms())
+        .collect();
+    if others.is_empty() {
+        Millis::ZERO
+    } else {
+        Millis::new(others.iter().sum::<f64>() / others.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CommMatrix {
+        CommMatrix::from_fn(5, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((s + 3 * d) % 7 + 1) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn completion_is_order_invariant() {
+        let m = matrix();
+        let total = m.send_total(0).as_ms();
+        for order in [
+            ScatterOrder::ByIndex,
+            ScatterOrder::ShortestFirst,
+            ScatterOrder::LongestFirst,
+        ] {
+            let plan = scatter(&m, 0, order);
+            assert!(
+                (plan.completion_time().as_ms() - total).abs() < 1e-9,
+                "{order:?}: completion must equal the root's send total"
+            );
+            assert_eq!(plan.events().len(), 4);
+        }
+    }
+
+    #[test]
+    fn spt_minimizes_mean_completion() {
+        let m = matrix();
+        let spt = mean_receiver_completion(&scatter(&m, 0, ScatterOrder::ShortestFirst), 0);
+        let lpt = mean_receiver_completion(&scatter(&m, 0, ScatterOrder::LongestFirst), 0);
+        let idx = mean_receiver_completion(&scatter(&m, 0, ScatterOrder::ByIndex), 0);
+        assert!(spt.as_ms() <= idx.as_ms() + 1e-9);
+        assert!(spt.as_ms() <= lpt.as_ms() + 1e-9);
+    }
+
+    #[test]
+    fn spt_order_is_sorted() {
+        let m = matrix();
+        let plan = scatter(&m, 2, ScatterOrder::ShortestFirst);
+        let durs: Vec<f64> = plan.events().iter().map(|e| e.duration().as_ms()).collect();
+        for w in durs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_receiver_gets_exactly_one_message() {
+        let m = matrix();
+        let plan = scatter(&m, 1, ScatterOrder::ByIndex);
+        let mut got = vec![0; 5];
+        for e in plan.events() {
+            assert_eq!(e.src, 1);
+            got[e.dst] += 1;
+        }
+        assert_eq!(got, vec![1, 0, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: every collective plan is valid and semantically
+//! complete on arbitrary heterogeneous matrices.
+#![allow(clippy::needless_range_loop)] // index loops mirror the checked invariants
+
+use adaptcomm_collectives::all_to_some::{schedule_demand, Demand};
+use adaptcomm_collectives::broadcast;
+use adaptcomm_collectives::composed::{allreduce_at, dissemination_barrier};
+use adaptcomm_collectives::gather::{gather, GatherOrder};
+use adaptcomm_collectives::reduce::{reduce, ReduceTree};
+use adaptcomm_collectives::scatter::{scatter, ScatterOrder};
+use adaptcomm_core::matrix::CommMatrix;
+use proptest::prelude::*;
+
+fn comm_matrix(max_p: usize) -> impl Strategy<Value = CommMatrix> {
+    (2..=max_p).prop_flat_map(|p| {
+        proptest::collection::vec(0.1f64..60.0, p * p).prop_map(move |mut v| {
+            for i in 0..p {
+                v[i * p + i] = 0.0;
+            }
+            let rows: Vec<Vec<f64>> = v.chunks(p).map(|r| r.to_vec()).collect();
+            CommMatrix::from_rows(&rows)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every broadcast variant informs every node exactly once, never
+    /// forwards before being informed, and the greedy variant never
+    /// loses to the flat one.
+    #[test]
+    fn broadcasts_are_complete(m in comm_matrix(10), pick in 0usize..100) {
+        let root = pick % m.len();
+        let flat = broadcast::flat(&m, root);
+        let greedy = broadcast::fastest_first(&m, root);
+        for plan in [&flat, &greedy] {
+            let p = plan.processors();
+            let mut informed_at = vec![f64::INFINITY; p];
+            informed_at[root] = 0.0;
+            let mut received = vec![0usize; p];
+            for e in plan.events() {
+                prop_assert!(e.start.as_ms() >= informed_at[e.src] - 1e-9);
+                informed_at[e.dst] = informed_at[e.dst].min(e.finish.as_ms());
+                received[e.dst] += 1;
+            }
+            for v in 0..p {
+                prop_assert_eq!(received[v], usize::from(v != root));
+            }
+        }
+        prop_assert!(greedy.completion_time().as_ms() <= flat.completion_time().as_ms() + 1e-9);
+    }
+
+    /// Reduce trees deliver exactly one report per non-root node, after
+    /// all of that node's inputs.
+    #[test]
+    fn reduces_are_causal(m in comm_matrix(9), pick in 0usize..100) {
+        let root = pick % m.len();
+        for tree in [ReduceTree::Flat, ReduceTree::FastestFirst] {
+            let plan = reduce(&m, root, tree);
+            let mut sent = vec![0usize; m.len()];
+            for e in plan.events() {
+                sent[e.src] += 1;
+                let upstream = plan
+                    .events()
+                    .iter()
+                    .filter(|u| u.dst == e.src)
+                    .map(|u| u.finish.as_ms())
+                    .fold(0.0f64, f64::max);
+                prop_assert!(e.start.as_ms() >= upstream - 1e-9);
+            }
+            for v in 0..m.len() {
+                prop_assert_eq!(sent[v], usize::from(v != root));
+            }
+        }
+    }
+
+    /// Scatter and gather completions are order-invariant (root port is
+    /// the bottleneck).
+    #[test]
+    fn scatter_gather_invariants(m in comm_matrix(9), pick in 0usize..100) {
+        let root = pick % m.len();
+        let by_index = scatter(&m, root, ScatterOrder::ByIndex).completion_time().as_ms();
+        let spt = scatter(&m, root, ScatterOrder::ShortestFirst).completion_time().as_ms();
+        let lpt = scatter(&m, root, ScatterOrder::LongestFirst).completion_time().as_ms();
+        prop_assert!((by_index - spt).abs() < 1e-9);
+        prop_assert!((by_index - lpt).abs() < 1e-9);
+        prop_assert!((by_index - m.send_total(root).as_ms()).abs() < 1e-9);
+        let g1 = gather(&m, root, GatherOrder::ByIndex).completion_time().as_ms();
+        let g2 = gather(&m, root, GatherOrder::ShortestFirst).completion_time().as_ms();
+        prop_assert!((g1 - g2).abs() < 1e-9);
+        prop_assert!((g1 - m.recv_total(root).as_ms()).abs() < 1e-9);
+    }
+
+    /// All-to-some stays within twice its demand-specific lower bound
+    /// (the Theorem-3 argument carries over).
+    #[test]
+    fn all_to_some_within_twice_lb(m in comm_matrix(9), mask in 1u32..127) {
+        let receivers: Vec<usize> =
+            (0..m.len()).filter(|&r| mask & (1 << (r % 7)) != 0).collect();
+        if receivers.is_empty() {
+            return Ok(());
+        }
+        let demand = Demand::all_to(m.len(), &receivers);
+        if demand.is_empty() {
+            return Ok(());
+        }
+        let plan = schedule_demand(&m, &demand);
+        prop_assert_eq!(plan.events().len(), demand.len());
+        prop_assert!(
+            plan.completion_time().as_ms() <= 2.0 * demand.lower_bound(&m).as_ms() + 1e-6
+        );
+    }
+
+    /// The all-reduce composition is causally staged and the barrier
+    /// sends exactly ⌈log₂P⌉ signals per node.
+    #[test]
+    fn composed_collectives_hold(m in comm_matrix(9)) {
+        let ar = allreduce_at(&m, 0);
+        let reduce_end = ar.reduce.completion_time().as_ms();
+        for e in ar.broadcast.events() {
+            prop_assert!(e.start.as_ms() >= reduce_end - 1e-9);
+        }
+        let barrier = dissemination_barrier(&m);
+        let rounds = (m.len() as f64).log2().ceil() as usize;
+        prop_assert_eq!(barrier.events().len(), rounds * m.len());
+    }
+}

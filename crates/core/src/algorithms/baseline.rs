@@ -1,0 +1,177 @@
+//! The baseline "caterpillar" algorithm (§4.2).
+//!
+//! The classic schedule for total exchange on *homogeneous* systems: in
+//! step `j` (`1 ≤ j < P`), every processor `P_i` sends to
+//! `P_(i+j) mod P`. Each step is a permutation, so no node contention
+//! occurs when all events have equal length. The schedule is *fixed* —
+//! it ignores the communication matrix entirely, which is exactly why it
+//! degrades on heterogeneous networks: "the longer communication events
+//! in the earlier steps cause the later communication steps to be
+//! delayed". Theorem 2 bounds its completion time by `⌈P/2⌉·t_lb` and
+//! shows the bound is tight (see [`crate::bounds`]).
+
+use super::Scheduler;
+use crate::matrix::CommMatrix;
+use crate::schedule::{Schedule, SendOrder};
+
+/// The static caterpillar schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline;
+
+impl Baseline {
+    /// The step structure (useful for the barrier-execution ablation and
+    /// the dependence-graph analysis): step `j` maps `i → (i+j) mod P`.
+    /// Step 0 (the self-send) is omitted.
+    pub fn steps(p: usize) -> Vec<Vec<Option<usize>>> {
+        (1..p)
+            .map(|j| (0..p).map(|i| Some((i + j) % p)).collect())
+            .collect()
+    }
+}
+
+impl Scheduler for Baseline {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn send_order(&self, matrix: &CommMatrix) -> SendOrder {
+        let p = matrix.len();
+        SendOrder::from_steps(p, &Self::steps(p))
+    }
+
+    /// The baseline executes the way homogeneous libraries implement it:
+    /// one blocking send-recv per step
+    /// ([`crate::execution::execute_steps_sendrecv`]), so a node enters
+    /// step `j+1` only when both its step-`j` send and receive are done.
+    ///
+    /// Two progressively looser semantics are available as ablations:
+    /// [`Baseline::schedule_pairwise`] (independent port ordering — the
+    /// dependence-graph model of Theorem 2) and executing
+    /// [`Scheduler::send_order`] under
+    /// [`crate::execution::execute_listed`] (handshake-granted receives,
+    /// i.e. the freedom the adaptive algorithms enjoy).
+    fn schedule(&self, matrix: &CommMatrix) -> Schedule {
+        crate::execution::execute_steps_sendrecv(&Self::steps(matrix.len()), matrix)
+    }
+}
+
+impl Baseline {
+    /// The baseline under the Theorem-2 dependence-graph semantics: send
+    /// and receive orders are per-port, not coupled within a node.
+    pub fn schedule_pairwise(matrix: &CommMatrix) -> Schedule {
+        crate::execution::execute_steps_pairwise(&Self::steps(matrix.len()), matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::execute_listed;
+
+    #[test]
+    fn caterpillar_order_shape() {
+        let m = CommMatrix::from_fn(5, |_, _| 1.0);
+        let o = Baseline.send_order(&m);
+        assert_eq!(o.order[0], vec![1, 2, 3, 4]);
+        assert_eq!(o.order[3], vec![4, 0, 1, 2]);
+        // Every step is a permutation: in step j, destinations of all
+        // senders are distinct.
+        for step in Baseline::steps(5) {
+            let mut dsts: Vec<_> = step.into_iter().flatten().collect();
+            dsts.sort();
+            dsts.dedup();
+            assert_eq!(dsts.len(), 5);
+        }
+    }
+
+    #[test]
+    fn homogeneous_network_completes_at_lower_bound() {
+        // With uniform costs the caterpillar is contention-free and
+        // optimal: completion = (P-1) · t.
+        let m = CommMatrix::from_fn(6, |s, d| if s == d { 0.0 } else { 3.0 });
+        let s = Baseline.schedule(&m);
+        s.validate().unwrap();
+        assert_eq!(s.completion_time().as_ms(), 15.0);
+        assert_eq!(s.completion_time(), m.lower_bound());
+        assert!((s.lb_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_network_delays_later_steps() {
+        // One slow event in step 1 (P0→P1 takes 100) stalls P0's later
+        // steps and every receiver waiting on them.
+        let m = CommMatrix::from_fn(4, |s, d| {
+            if s == d {
+                0.0
+            } else if s == 0 && d == 1 {
+                100.0
+            } else {
+                1.0
+            }
+        });
+        let s = Baseline.schedule(&m);
+        s.validate().unwrap();
+        // P0's remaining sends serialize after the 100ms transfer.
+        assert!(s.completion_time().as_ms() >= 102.0);
+        // An adaptive scheduler can do far better: lb = 103? No: send
+        // total of P0 = 102, recv total of P1 = 102; lb = 102.
+        assert_eq!(m.lower_bound().as_ms(), 102.0);
+    }
+
+    #[test]
+    fn two_processor_case() {
+        let m = CommMatrix::from_rows(&[vec![0.0, 5.0], vec![7.0, 0.0]]);
+        let s = Baseline.schedule(&m);
+        s.validate().unwrap();
+        // Both events run concurrently from t=0.
+        assert_eq!(s.completion_time().as_ms(), 7.0);
+    }
+
+    #[test]
+    fn pairwise_schedule_matches_the_dependence_graph_recursion() {
+        // Baseline::schedule_pairwise and the Theorem-2 recursion are two
+        // implementations of the same semantics (for zero diagonals).
+        let m = CommMatrix::from_fn(8, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((s * 17 + d * 5) % 13 + 1) as f64
+            }
+        });
+        let sched = Baseline::schedule_pairwise(&m);
+        let recursion = crate::depgraph::baseline_step_ordered_completion(&m);
+        assert!((sched.completion_time().as_ms() - recursion.as_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semantics_are_ordered_pairwise_then_sendrecv_then_barrier() {
+        // Each semantics adds constraints, so completion times are
+        // monotone: pairwise ≤ sendrecv ≤ global barrier.
+        let m = CommMatrix::from_fn(9, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((s * 23 + d * 31) % 40 + 1) as f64
+            }
+        });
+        let steps = Baseline::steps(9);
+        let pairwise = Baseline::schedule_pairwise(&m).completion_time().as_ms();
+        let sendrecv = Baseline.schedule(&m).completion_time().as_ms();
+        let barrier = crate::execution::execute_steps(&steps, &m)
+            .completion_time()
+            .as_ms();
+        assert!(pairwise <= sendrecv + 1e-9);
+        assert!(sendrecv <= barrier + 1e-9);
+        for sched in [Baseline::schedule_pairwise(&m), Baseline.schedule(&m)] {
+            sched.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn asap_execution_matches_step_execution_on_homogeneous_costs() {
+        let m = CommMatrix::from_fn(7, |s, d| if s == d { 0.0 } else { 2.0 });
+        let asap = execute_listed(&Baseline.send_order(&m), &m);
+        let stepped = crate::execution::execute_steps(&Baseline::steps(7), &m);
+        assert_eq!(asap.completion_time(), stepped.completion_time());
+    }
+}

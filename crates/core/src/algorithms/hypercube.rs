@@ -1,0 +1,121 @@
+//! The XOR (hypercube) exchange — the other classic static schedule.
+//!
+//! On hypercubes and multistage networks, total exchange is commonly
+//! scheduled as `P−1` pairwise-exchange steps: in step `j`, `P_i`
+//! exchanges with `P_(i XOR j)`. Each step pairs the processors up, so a
+//! node's send and receive in a step go to the *same* partner — which is
+//! why the pattern maps perfectly onto blocking `sendrecv` loops. Like
+//! the caterpillar it is oblivious to the cost matrix, and it requires
+//! `P` to be a power of two; we include it as a second homogeneous
+//! baseline to show the paper's conclusions do not hinge on the specific
+//! static schedule chosen.
+
+use super::Scheduler;
+use crate::matrix::CommMatrix;
+use crate::schedule::{Schedule, SendOrder};
+
+/// The static XOR-exchange schedule (power-of-two `P` only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hypercube;
+
+impl Hypercube {
+    /// True if the pattern is defined for `p` processors.
+    pub fn supports(p: usize) -> bool {
+        p >= 2 && p.is_power_of_two()
+    }
+
+    /// The step structure: step `j ∈ 1..P` maps `i → i ^ j`.
+    pub fn steps(p: usize) -> Vec<Vec<Option<usize>>> {
+        assert!(
+            Self::supports(p),
+            "hypercube exchange needs a power-of-two P, got {p}"
+        );
+        (1..p)
+            .map(|j| (0..p).map(|i| Some(i ^ j)).collect())
+            .collect()
+    }
+}
+
+impl Scheduler for Hypercube {
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+
+    fn send_order(&self, matrix: &CommMatrix) -> SendOrder {
+        let p = matrix.len();
+        SendOrder::from_steps(p, &Self::steps(p))
+    }
+
+    /// Executes with blocking sendrecv steps, like the caterpillar — the
+    /// natural implementation since each step is a pairwise exchange.
+    fn schedule(&self, matrix: &CommMatrix) -> Schedule {
+        crate::execution::execute_steps_sendrecv(&Self::steps(matrix.len()), matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::OpenShop;
+
+    #[test]
+    fn steps_are_pairwise_exchanges() {
+        for p in [2usize, 4, 8, 16] {
+            for (jm1, step) in Hypercube::steps(p).iter().enumerate() {
+                let j = jm1 + 1;
+                for (i, dst) in step.iter().enumerate() {
+                    let d = dst.unwrap();
+                    assert_eq!(d, i ^ j);
+                    // Pairwise: my partner's partner is me.
+                    assert_eq!(step[d], Some(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_valid_and_optimal_on_homogeneous_networks() {
+        let m = CommMatrix::from_fn(8, |s, d| if s == d { 0.0 } else { 3.0 });
+        let s = Hypercube.schedule(&m);
+        s.validate().unwrap();
+        // Pairwise steps, equal costs: 7 steps × 3ms = lower bound.
+        assert_eq!(s.completion_time(), m.lower_bound());
+    }
+
+    #[test]
+    fn adaptive_algorithms_beat_it_on_heterogeneous_networks() {
+        let mut hyper_total = 0.0;
+        let mut open_total = 0.0;
+        for seed in 0..10u64 {
+            let m = CommMatrix::from_fn(16, |s, d| {
+                if s == d {
+                    0.0
+                } else {
+                    ((s as u64 * 13 + d as u64 * 7 + seed * 53) % 90 + 1) as f64
+                }
+            });
+            hyper_total += Hypercube.schedule(&m).completion_time().as_ms();
+            open_total += OpenShop.schedule(&m).completion_time().as_ms();
+        }
+        assert!(
+            open_total < hyper_total,
+            "open shop ({open_total}) must beat the static hypercube ({hyper_total})"
+        );
+    }
+
+    #[test]
+    fn supports_only_powers_of_two() {
+        assert!(Hypercube::supports(2));
+        assert!(Hypercube::supports(64));
+        assert!(!Hypercube::supports(1));
+        assert!(!Hypercube::supports(6));
+        assert!(!Hypercube::supports(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let m = CommMatrix::from_fn(6, |_, _| 1.0);
+        let _ = Hypercube.schedule(&m);
+    }
+}

@@ -1,0 +1,230 @@
+//! Matching-based scheduling (§4.3).
+//!
+//! Construct a bipartite graph with `P` senders on the left, `P`
+//! receivers on the right, and edge weights equal to the communication
+//! costs. A complete matching is a permutation — a valid contention-free
+//! communication step. The algorithm repeatedly extracts a maximum-weight
+//! (or minimum-weight) complete matching and deletes its edges, producing
+//! `P` steps that partition all `P²` events. Each matching is a linear
+//! assignment problem solved in `O(P³)` by [`adaptcomm_lap`], for an
+//! overall `O(P⁴)`.
+//!
+//! The intuition for *maximum* matchings: grouping the long events
+//! together in the same step keeps them from serializing behind each
+//! other later, reducing idle cycles. The paper finds minimum matchings
+//! perform comparably.
+
+use super::Scheduler;
+use crate::matrix::CommMatrix;
+use crate::schedule::SendOrder;
+use adaptcomm_lap::{solve_max, solve_min, DenseCost};
+
+/// Whether each round extracts the maximum- or minimum-weight matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchingKind {
+    /// Maximum-weight complete matchings (the paper's primary variant).
+    Max,
+    /// Minimum-weight complete matchings.
+    Min,
+}
+
+/// The matching-based scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchingScheduler {
+    kind: MatchingKind,
+}
+
+impl MatchingScheduler {
+    /// Creates a scheduler extracting matchings of the given kind.
+    pub fn new(kind: MatchingKind) -> Self {
+        MatchingScheduler { kind }
+    }
+
+    /// The sequence of permutation steps (including self-send slots),
+    /// exposed for the barrier-execution ablation.
+    ///
+    /// Exactly `P` steps are produced; together they partition all `P²`
+    /// sender/receiver pairs. After `k` deletions every vertex has degree
+    /// `P−k`, and a `(P−k)`-regular bipartite graph always contains a
+    /// perfect matching (König), so a matching avoiding deleted edges
+    /// always exists; deleted edges carry a sentinel weight that makes
+    /// them strictly worse than any valid matching.
+    pub fn steps(&self, matrix: &CommMatrix) -> Vec<Vec<Option<usize>>> {
+        let p = matrix.len();
+        // Sentinel strictly dominating any complete matching built from
+        // real edges.
+        let big = (p as f64 + 1.0) * (matrix.max_cost().as_ms() + 1.0);
+        let deleted_weight = match self.kind {
+            MatchingKind::Max => -big,
+            MatchingKind::Min => big,
+        };
+        let mut weights = DenseCost::from_fn(p, |src, dst| matrix.cost(src, dst).as_ms());
+        let mut steps = Vec::with_capacity(p);
+        for _round in 0..p {
+            let assignment = match self.kind {
+                MatchingKind::Max => solve_max(&weights),
+                MatchingKind::Min => solve_min(&weights),
+            };
+            let mut step = Vec::with_capacity(p);
+            for (src, &dst) in assignment.row_to_col.iter().enumerate() {
+                debug_assert!(
+                    (weights.at(src, dst) - deleted_weight).abs() > 1e-9,
+                    "matching reused a deleted edge"
+                );
+                step.push(Some(dst));
+                weights.set(src, dst, deleted_weight);
+            }
+            steps.push(step);
+        }
+        steps
+    }
+}
+
+impl Scheduler for MatchingScheduler {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            MatchingKind::Max => "matching-max",
+            MatchingKind::Min => "matching-min",
+        }
+    }
+
+    fn send_order(&self, matrix: &CommMatrix) -> SendOrder {
+        SendOrder::from_steps(matrix.len(), &self.steps(matrix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heterogeneous(p: usize) -> CommMatrix {
+        CommMatrix::from_fn(p, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((s * 31 + d * 17) % 23 + 1) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn steps_partition_all_pairs() {
+        for kind in [MatchingKind::Max, MatchingKind::Min] {
+            let m = heterogeneous(6);
+            let steps = MatchingScheduler::new(kind).steps(&m);
+            assert_eq!(steps.len(), 6);
+            let mut seen = [false; 36];
+            for step in &steps {
+                // Each step is a permutation.
+                let mut dsts: Vec<_> = step.iter().copied().flatten().collect();
+                dsts.sort();
+                assert_eq!(dsts, (0..6).collect::<Vec<_>>());
+                for (src, dst) in step.iter().enumerate() {
+                    let dst = dst.unwrap();
+                    assert!(!seen[src * 6 + dst], "pair used twice");
+                    seen[src * 6 + dst] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "all pairs covered");
+        }
+    }
+
+    #[test]
+    fn first_max_matching_is_heaviest() {
+        let m = heterogeneous(5);
+        let steps = MatchingScheduler::new(MatchingKind::Max).steps(&m);
+        let step_weight = |step: &Vec<Option<usize>>| -> f64 {
+            step.iter()
+                .enumerate()
+                .map(|(s, d)| m.cost(s, d.unwrap()).as_ms())
+                .sum()
+        };
+        let w0 = step_weight(&steps[0]);
+        for s in &steps[1..] {
+            assert!(
+                w0 >= step_weight(s) - 1e-9,
+                "first matching must be the heaviest"
+            );
+        }
+    }
+
+    #[test]
+    fn first_min_matching_is_lightest() {
+        let m = heterogeneous(5);
+        let steps = MatchingScheduler::new(MatchingKind::Min).steps(&m);
+        let step_weight = |step: &Vec<Option<usize>>| -> f64 {
+            step.iter()
+                .enumerate()
+                .map(|(s, d)| m.cost(s, d.unwrap()).as_ms())
+                .sum()
+        };
+        let w0 = step_weight(&steps[0]);
+        for s in &steps[1..] {
+            assert!(
+                w0 <= step_weight(s) + 1e-9,
+                "first matching must be the lightest"
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_are_valid_and_adaptive() {
+        let m = heterogeneous(8);
+        for kind in [MatchingKind::Max, MatchingKind::Min] {
+            let sched = MatchingScheduler::new(kind).schedule(&m);
+            sched.validate().unwrap();
+            assert!(sched.lb_ratio() >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn adapts_when_costs_change() {
+        // Unlike the baseline, the matching order changes with the matrix.
+        let a = heterogeneous(6);
+        let mut b = a.clone();
+        // Make one link catastrophically slow.
+        b.set_cost(0, 1, adaptcomm_model::units::Millis::new(500.0));
+        let s = MatchingScheduler::new(MatchingKind::Max);
+        assert_ne!(
+            s.send_order(&a),
+            s.send_order(&b),
+            "matching schedule must react to cost changes"
+        );
+    }
+
+    #[test]
+    fn grouping_similar_lengths_beats_baseline_on_server_pattern() {
+        // 2 of 6 processors send big messages (the Figure-12 pattern);
+        // matching should clearly beat the oblivious baseline.
+        let m = CommMatrix::from_fn(6, |s, d| {
+            if s == d {
+                0.0
+            } else if s < 2 {
+                50.0
+            } else {
+                1.0
+            }
+        });
+        let matching = MatchingScheduler::new(MatchingKind::Max).schedule(&m);
+        let baseline = crate::algorithms::Baseline.schedule(&m);
+        matching.validate().unwrap();
+        // The paper's improvement claim is statistical (over random
+        // networks); on a single instance we assert matching is at least
+        // competitive: never more than 5 % slower, and close to the bound.
+        assert!(
+            matching.completion_time().as_ms() <= baseline.completion_time().as_ms() * 1.05,
+            "matching {} vs baseline {}",
+            matching.completion_time(),
+            baseline.completion_time()
+        );
+        assert!(matching.lb_ratio() <= 2.0);
+    }
+
+    #[test]
+    fn two_processors_trivial() {
+        let m = CommMatrix::from_rows(&[vec![0.0, 3.0], vec![4.0, 0.0]]);
+        let sched = MatchingScheduler::new(MatchingKind::Max).schedule(&m);
+        sched.validate().unwrap();
+        assert_eq!(sched.completion_time().as_ms(), 4.0);
+    }
+}

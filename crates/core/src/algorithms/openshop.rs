@@ -1,0 +1,231 @@
+//! The open shop heuristic (§4.5) — the paper's best performer.
+//!
+//! Each processor is split into two independent entities, a *sender* and
+//! a *receiver*. The algorithm keeps, per sender, the set of receivers it
+//! still owes a message, plus global `sendavail` / `recvavail`
+//! availability times. It repeatedly takes the earliest-available sender
+//! and pairs it with the earliest-available receiver remaining in its
+//! set, scheduling that event at
+//! `t = max(sendavail[i], recvavail[j])`.
+//!
+//! This is a list-scheduling heuristic in the spirit of the open shop
+//! approximations of Shmoys, Stein & Wein; **Theorem 3** guarantees the
+//! completion time is within **twice** the lower bound `t_lb`: any idle
+//! time in the last-finishing sender's schedule is covered by busy time
+//! of its final receiver, so `t_max ≤ (column sum) + (row sum) ≤ 2·t_lb`.
+//! Complexity: `O(P²)` events, `O(P)` scan each → `O(P³)`.
+
+use super::Scheduler;
+use crate::matrix::CommMatrix;
+use crate::schedule::{Schedule, ScheduledEvent, SendOrder};
+use adaptcomm_model::units::Millis;
+
+/// The open shop list scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenShop;
+
+impl OpenShop {
+    /// Runs the heuristic, producing explicit event start times.
+    pub fn build(matrix: &CommMatrix) -> Schedule {
+        let p = matrix.len();
+        let mut send_avail = vec![0.0f64; p];
+        let mut recv_avail = vec![0.0f64; p];
+        // Receiver sets: receivers[i] = destinations i still owes.
+        let mut receivers: Vec<Vec<usize>> = (0..p)
+            .map(|i| (0..p).filter(|&j| j != i).collect())
+            .collect();
+        let mut remaining: Vec<usize> = if p > 1 { (0..p).collect() } else { Vec::new() };
+        let mut events = Vec::with_capacity(p * (p - 1));
+
+        while !remaining.is_empty() {
+            // Earliest-available sender; ties to the lowest id ("senders
+            // that become available at time t are processed before any
+            // senders that become available at a later time").
+            let (pos, &i) = remaining
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| send_avail[a].total_cmp(&send_avail[b]).then(a.cmp(&b)))
+                .expect("remaining is non-empty");
+
+            // Earliest-available receiver in i's set; ties to lowest id.
+            let (rpos, &j) = receivers[i]
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| recv_avail[a].total_cmp(&recv_avail[b]).then(a.cmp(&b)))
+                .expect("sender with no receivers should have been removed");
+
+            let t = send_avail[i].max(recv_avail[j]);
+            let finish = t + matrix.cost(i, j).as_ms();
+            events.push(ScheduledEvent {
+                src: i,
+                dst: j,
+                start: Millis::new(t),
+                finish: Millis::new(finish),
+            });
+            send_avail[i] = finish;
+            recv_avail[j] = finish;
+            receivers[i].swap_remove(rpos);
+            if receivers[i].is_empty() {
+                remaining.swap_remove(pos);
+            }
+        }
+        Schedule::new(matrix.clone(), events)
+    }
+}
+
+impl Scheduler for OpenShop {
+    fn name(&self) -> &'static str {
+        "openshop"
+    }
+
+    fn send_order(&self, matrix: &CommMatrix) -> SendOrder {
+        // Derive per-sender order from the constructed schedule.
+        let schedule = Self::build(matrix);
+        let p = matrix.len();
+        let mut order = vec![Vec::with_capacity(p - 1); p];
+        for e in schedule.events() {
+            order[e.src].push(e.dst);
+        }
+        SendOrder::new(order)
+    }
+
+    /// Returns the heuristic's own constructed schedule (its start times
+    /// are part of the algorithm, not derived by re-execution).
+    fn schedule(&self, matrix: &CommMatrix) -> Schedule {
+        Self::build(matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::execute_listed;
+
+    fn heterogeneous(p: usize) -> CommMatrix {
+        CommMatrix::from_fn(p, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((s * 37 + d * 11) % 17 + 1) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn schedule_is_valid() {
+        for p in [2, 3, 5, 8, 12] {
+            let m = heterogeneous(p);
+            let s = OpenShop.schedule(&m);
+            s.validate().unwrap_or_else(|e| panic!("P={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn theorem_3_two_approximation() {
+        for seed in 0..20 {
+            let m = CommMatrix::from_fn(10, |s, d| {
+                if s == d {
+                    0.0
+                } else {
+                    ((s * 7 + d * 31 + seed * 101) % 40 + 1) as f64
+                }
+            });
+            let s = OpenShop.schedule(&m);
+            let ratio = s.lb_ratio();
+            assert!(
+                ratio <= 2.0 + 1e-9,
+                "open shop ratio {ratio} exceeds the Theorem-3 bound (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn no_sender_idles_while_a_receiver_in_its_set_is_free() {
+        // The defining property of the heuristic: "Idle cycles are
+        // inserted in a sender's schedule only if none of its potential
+        // receivers are available." Spot-check via the schedule: between
+        // consecutive sends of any processor there is no gap, unless all
+        // receivers it still owed were busy for the whole gap.
+        let m = heterogeneous(6);
+        let s = OpenShop.schedule(&m);
+        for src in 0..6 {
+            let mut sends: Vec<_> = s.events_from(src).copied().collect();
+            sends.sort_by(|a, b| a.start.as_ms().total_cmp(&b.start.as_ms()));
+            for w in sends.windows(2) {
+                let gap = (w[0].finish, w[1].start);
+                if w[1].start.as_ms() > w[0].finish.as_ms() + 1e-9 {
+                    // The destination receivers of the remaining sends
+                    // must all be busy during the gap. Check the receiver
+                    // of the very next send was busy at gap start.
+                    let dst = w[1].dst;
+                    let busy = s.events_to(dst).any(|e| {
+                        e.start.as_ms() <= gap.0.as_ms() + 1e-9
+                            && e.finish.as_ms() >= w[1].start.as_ms() - 1e-9
+                    });
+                    assert!(
+                        busy,
+                        "sender {src} idled {}..{} while receiver {dst} was free",
+                        gap.0, gap.1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_costs_stay_within_theorem_3() {
+        // A fully uniform matrix is adversarial for the tie-breaking
+        // (every receiver looks equally good, and the id-ordered choices
+        // collide in later rounds), so the heuristic does NOT reach the
+        // lower bound here — but Theorem 3 still holds.
+        let m = CommMatrix::from_fn(6, |s, d| if s == d { 0.0 } else { 4.0 });
+        let s = OpenShop.schedule(&m);
+        let lb = m.lower_bound().as_ms();
+        let t = s.completion_time().as_ms();
+        assert!(t >= lb);
+        assert!(t <= 2.0 * lb + 1e-9, "Theorem 3 violated: {t} > 2·{lb}");
+    }
+
+    #[test]
+    fn send_order_reexecution_matches_construction() {
+        // Executing the derived order under ASAP/FCFS semantics must not
+        // be slower than the construction (it can only start events at
+        // the same time or earlier).
+        let m = heterogeneous(7);
+        let constructed = OpenShop.schedule(&m);
+        let reexecuted = execute_listed(&OpenShop.send_order(&m), &m);
+        reexecuted.validate().unwrap();
+        assert!(
+            reexecuted.completion_time().as_ms() <= constructed.completion_time().as_ms() + 1e-9
+        );
+    }
+
+    #[test]
+    fn two_processors_is_optimal() {
+        let m = CommMatrix::from_rows(&[vec![0.0, 3.0], vec![4.0, 0.0]]);
+        let s = OpenShop.schedule(&m);
+        assert_eq!(s.completion_time().as_ms(), 4.0);
+        assert_eq!(s.completion_time(), m.lower_bound());
+    }
+
+    #[test]
+    fn server_pattern_stays_close_to_lower_bound() {
+        // Figure-12 style: 20% servers with large messages.
+        let m = CommMatrix::from_fn(10, |s, d| {
+            if s == d {
+                0.0
+            } else if s < 2 {
+                100.0
+            } else {
+                2.0
+            }
+        });
+        let s = OpenShop.schedule(&m);
+        // Paper: open shop is "often within 2%, always within 10%" of lb.
+        assert!(
+            s.lb_ratio() < 1.25,
+            "open shop should stay near the lower bound, got {}",
+            s.lb_ratio()
+        );
+    }
+}

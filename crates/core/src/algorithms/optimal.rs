@@ -1,0 +1,170 @@
+//! Exhaustive search over list schedules — the small-instance oracle.
+//!
+//! `TOT_EXCH` is NP-complete, so no polynomial exact solver exists; for
+//! testing we enumerate every combination of per-sender transmission
+//! orders (`((P−1)!)^P` of them) and execute each under the ASAP/FCFS
+//! semantics, keeping the best. This is the true optimum **over list
+//! schedules** — the class every algorithm in this crate produces. (A
+//! globally optimal open shop schedule may in rare cases require
+//! deliberately inserted idle time; such schedules are outside this
+//! search space, so the value returned here is an upper bound on the
+//! global optimum and a lower bound for any list scheduler.)
+
+use super::Scheduler;
+use crate::execution::execute_listed;
+use crate::matrix::CommMatrix;
+use crate::schedule::{Schedule, SendOrder};
+
+/// Hard cap on `P`: `(3!)^4 = 1296` executions at `P = 4` is instant,
+/// `(4!)^5 ≈ 8·10⁶` at `P = 5` is already minutes.
+pub const MAX_P: usize = 4;
+
+/// Exhaustive best-list-schedule search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestOrderSearch;
+
+/// All permutations of `items` (Heap's algorithm, allocation per result).
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    let n = work.len();
+    let mut c = vec![0usize; n];
+    out.push(work.clone());
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                work.swap(0, i);
+            } else {
+                work.swap(c[i], i);
+            }
+            out.push(work.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+impl BestOrderSearch {
+    /// Finds the best list schedule, returning it with its send order.
+    pub fn best(matrix: &CommMatrix) -> (SendOrder, Schedule) {
+        let p = matrix.len();
+        assert!(
+            (2..=MAX_P).contains(&p),
+            "exhaustive search supports 2 ≤ P ≤ {MAX_P}, got {p}"
+        );
+        let per_sender: Vec<Vec<Vec<usize>>> = (0..p)
+            .map(|src| {
+                let dsts: Vec<usize> = (0..p).filter(|&d| d != src).collect();
+                permutations(&dsts)
+            })
+            .collect();
+
+        let mut best: Option<(SendOrder, Schedule)> = None;
+        let mut choice = vec![0usize; p];
+        loop {
+            let order = SendOrder::new(
+                (0..p)
+                    .map(|src| per_sender[src][choice[src]].clone())
+                    .collect(),
+            );
+            let sched = execute_listed(&order, matrix);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => {
+                    sched.completion_time().as_ms() < b.completion_time().as_ms() - 1e-12
+                }
+            };
+            if better {
+                best = Some((order, sched));
+            }
+            // Odometer increment over the choice vector.
+            let mut k = 0;
+            loop {
+                if k == p {
+                    return best.expect("at least one order was evaluated");
+                }
+                choice[k] += 1;
+                if choice[k] < per_sender[k].len() {
+                    break;
+                }
+                choice[k] = 0;
+                k += 1;
+            }
+        }
+    }
+}
+
+impl Scheduler for BestOrderSearch {
+    fn name(&self) -> &'static str {
+        "optimal-order"
+    }
+
+    fn send_order(&self, matrix: &CommMatrix) -> SendOrder {
+        Self::best(matrix).0
+    }
+
+    fn schedule(&self, matrix: &CommMatrix) -> Schedule {
+        Self::best(matrix).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::all_schedulers;
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations(&[1]).len(), 1);
+        let mut perms = permutations(&[1, 2, 3]);
+        perms.sort();
+        perms.dedup();
+        assert_eq!(perms.len(), 6, "permutations must be distinct");
+    }
+
+    #[test]
+    fn optimum_is_never_worse_than_any_heuristic() {
+        for seed in 0..8u64 {
+            let m = CommMatrix::from_fn(4, |s, d| {
+                if s == d {
+                    0.0
+                } else {
+                    ((s as u64 * 7 + d as u64 * 13 + seed * 29) % 10 + 1) as f64
+                }
+            });
+            let (_, best) = BestOrderSearch::best(&m);
+            best.validate().unwrap();
+            for h in all_schedulers() {
+                let s = h.schedule(&m);
+                assert!(
+                    best.completion_time().as_ms() <= s.completion_time().as_ms() + 1e-9,
+                    "exhaustive {} beat by {} ({}) on seed {seed}",
+                    best.completion_time(),
+                    h.name(),
+                    s.completion_time()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_reaches_lower_bound_when_achievable() {
+        // Homogeneous case: lower bound is achievable.
+        let m = CommMatrix::from_fn(3, |s, d| if s == d { 0.0 } else { 5.0 });
+        let (_, best) = BestOrderSearch::best(&m);
+        assert_eq!(best.completion_time(), m.lower_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive search supports")]
+    fn oversized_instance_rejected() {
+        let m = CommMatrix::from_fn(5, |_, _| 1.0);
+        let _ = BestOrderSearch::best(&m);
+    }
+}

@@ -1,0 +1,172 @@
+//! Randomized scheduling — the control every heuristic must beat.
+//!
+//! Shuffles each sender's destination list with a seeded xorshift
+//! generator (self-contained: the core crate takes no RNG dependency).
+//! Useful experimentally: the gap between `random` and `openshop`
+//! separates "any list schedule is fine" instances from ones where the
+//! scheduling decision genuinely matters.
+
+use super::Scheduler;
+use crate::matrix::CommMatrix;
+use crate::schedule::SendOrder;
+
+/// Uniformly random per-sender destination orders (seeded, reproducible).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomOrder {
+    /// RNG seed; two schedulers with equal seeds produce equal orders.
+    pub seed: u64,
+}
+
+impl RandomOrder {
+    /// Creates a randomized scheduler with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomOrder { seed }
+    }
+}
+
+/// xorshift64*: tiny, fast, good enough for shuffling.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        XorShift64 {
+            state: seed.wrapping_mul(2685821657736338717).max(1),
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform index in `0..n` (n ≥ 1) via rejection-free Lemire-style
+    /// reduction (slight bias below 2⁻³² for our n ≤ thousands: fine for
+    /// shuffling experiments, not for cryptography).
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    pub(crate) fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl Scheduler for RandomOrder {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn send_order(&self, matrix: &CommMatrix) -> SendOrder {
+        let p = matrix.len();
+        let mut rng = XorShift64::new(self.seed);
+        let order = (0..p)
+            .map(|src| {
+                let mut dsts: Vec<usize> = (0..p).filter(|&d| d != src).collect();
+                rng.shuffle(&mut dsts);
+                dsts
+            })
+            .collect();
+        SendOrder::new(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::OpenShop;
+
+    fn matrix(p: usize) -> CommMatrix {
+        CommMatrix::from_fn(p, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                ((s * 7 + d * 13) % 21 + 1) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        for seed in 0..5 {
+            let m = matrix(8);
+            let s = RandomOrder::new(seed).schedule(&m);
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let m = matrix(6);
+        assert_eq!(
+            RandomOrder::new(9).send_order(&m),
+            RandomOrder::new(9).send_order(&m)
+        );
+        assert_ne!(
+            RandomOrder::new(9).send_order(&m),
+            RandomOrder::new(10).send_order(&m)
+        );
+    }
+
+    #[test]
+    fn openshop_beats_random_on_average() {
+        let mut random_total = 0.0;
+        let mut openshop_total = 0.0;
+        for seed in 0..20u64 {
+            let m = CommMatrix::from_fn(10, |s, d| {
+                if s == d {
+                    0.0
+                } else {
+                    ((s as u64 * 11 + d as u64 * 3 + seed * 41) % 60 + 1) as f64
+                }
+            });
+            random_total += RandomOrder::new(seed)
+                .schedule(&m)
+                .completion_time()
+                .as_ms();
+            openshop_total += OpenShop.schedule(&m).completion_time().as_ms();
+        }
+        assert!(
+            openshop_total < random_total,
+            "open shop ({openshop_total}) must beat random ({random_total}) on average"
+        );
+    }
+
+    #[test]
+    fn xorshift_is_not_constant_and_stays_in_range() {
+        let mut rng = XorShift64::new(0); // the degenerate seed is handled
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        for n in [1usize, 2, 7, 1000] {
+            for _ in 0..50 {
+                assert!(rng.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = XorShift64::new(123);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 items should not shuffle to identity"
+        );
+    }
+}

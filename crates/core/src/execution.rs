@@ -1,0 +1,425 @@
+//! Execution semantics: from an abstract [`SendOrder`] to a concrete
+//! [`Schedule`].
+//!
+//! The paper's model (§3.2) implies the following run-time behaviour:
+//! each sender transmits its messages strictly in list order; a message
+//! transfer begins when sender and receiver are both ready ("A
+//! communication event will begin whenever the sending and receiving
+//! processors are both ready", §4.3). When several senders contend for
+//! one receiver, the control-message handshake serializes them — the
+//! receiver acknowledges requests in arrival order (FCFS, ties broken by
+//! sender id for determinism).
+//!
+//! [`execute_listed`] implements exactly that semantics as a
+//! deterministic discrete-event computation. [`execute_steps`] implements
+//! the *synchronized* variant that inserts a barrier between steps — the
+//! paper points out schedules do **not** need this; we keep it as an
+//! ablation to quantify what the barrier would cost.
+
+use crate::matrix::CommMatrix;
+use crate::schedule::{Schedule, ScheduledEvent, SendOrder};
+use adaptcomm_model::units::Millis;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which execution semantics to apply to an abstract send order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPolicy {
+    /// As-soon-as-possible execution with FCFS receiver grants
+    /// (the paper's semantics).
+    Asap,
+}
+
+impl ExecutionPolicy {
+    /// Executes a send order under this policy.
+    pub fn execute(self, order: &SendOrder, matrix: &CommMatrix) -> Schedule {
+        match self {
+            ExecutionPolicy::Asap => execute_listed(order, matrix),
+        }
+    }
+}
+
+/// Totally ordered event-queue key: `(time, kind, processor)`.
+///
+/// Kind 0 = a sender becomes ready to request its next transfer; kind 1 =
+/// a receiver finishes a transfer and may grant the next request. Arrival
+/// events sort before receiver-free events at the same timestamp, so a
+/// grant at time `t` considers every request that arrived at or before
+/// `t`; the processor id breaks remaining ties deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64, u8, usize);
+
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&o.0)
+            .then(self.1.cmp(&o.1))
+            .then(self.2.cmp(&o.2))
+    }
+}
+
+const SENDER_READY: u8 = 0;
+const RECEIVER_FREE: u8 = 1;
+
+/// Executes an abstract send order against a communication matrix under
+/// ASAP / FCFS semantics, producing a concrete schedule.
+///
+/// The result is deterministic: simultaneous requests are granted to the
+/// lower-numbered sender, matching the paper's "processed in an arbitrary
+/// (but fixed) order" provision for ties.
+pub fn execute_listed(order: &SendOrder, matrix: &CommMatrix) -> Schedule {
+    let p = matrix.len();
+    assert_eq!(order.processors(), p, "order and matrix disagree on P");
+
+    let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
+    // Requests pending per receiver: (request_time, src), granted FCFS.
+    let mut pending: Vec<Vec<(f64, usize)>> = vec![Vec::new(); p];
+    let mut receiver_busy = vec![false; p];
+    let mut next_index = vec![0usize; p];
+    let mut events_out: Vec<ScheduledEvent> = Vec::with_capacity(p * (p - 1));
+
+    // Starts the transfer src→dst at `now`, booking the receiver and
+    // scheduling both follow-up events at the finish time.
+    macro_rules! start_transfer {
+        ($src:expr, $dst:expr, $now:expr) => {{
+            let (src, dst, now) = ($src, $dst, $now);
+            let finish = now + matrix.cost(src, dst).as_ms();
+            events_out.push(ScheduledEvent {
+                src,
+                dst,
+                start: Millis::new(now),
+                finish: Millis::new(finish),
+            });
+            receiver_busy[dst] = true;
+            next_index[src] += 1;
+            heap.push(Reverse(Key(finish, SENDER_READY, src)));
+            heap.push(Reverse(Key(finish, RECEIVER_FREE, dst)));
+        }};
+    }
+
+    for src in 0..p {
+        heap.push(Reverse(Key(0.0, SENDER_READY, src)));
+    }
+
+    while let Some(Reverse(Key(now, kind, who))) = heap.pop() {
+        match kind {
+            SENDER_READY => {
+                let src = who;
+                let idx = next_index[src];
+                if idx >= order.order[src].len() {
+                    continue; // sender finished all its messages
+                }
+                let dst = order.order[src][idx];
+                if receiver_busy[dst] {
+                    pending[dst].push((now, src));
+                } else {
+                    start_transfer!(src, dst, now);
+                }
+            }
+            _ => {
+                let dst = who;
+                receiver_busy[dst] = false;
+                if pending[dst].is_empty() {
+                    continue;
+                }
+                // Grant the earliest request (FCFS; ties to lower src id).
+                let best = pending[dst]
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                    .map(|(k, _)| k)
+                    .expect("non-empty");
+                let (_, src) = pending[dst].swap_remove(best);
+                start_transfer!(src, dst, now);
+            }
+        }
+    }
+
+    debug_assert_eq!(events_out.len(), p * (p - 1), "all transfers executed");
+    Schedule::new(matrix.clone(), events_out)
+}
+
+/// Executes a step-structured schedule with *pairwise* step ordering and
+/// no global barrier: each event waits for the same sender's previous
+/// step and for the same receiver's previous step, exactly the
+/// dependence-graph semantics of Theorem 2.
+///
+/// This is how the caterpillar baseline actually executes in homogeneous
+/// collective libraries — every node posts its step-`j` send **and**
+/// its step-`j` receive before moving to step `j+1`, so a receiver does
+/// not accept step `j+1` traffic while its step-`j` receive is
+/// outstanding. The adaptive algorithms are free of this constraint
+/// (their receivers grant by handshake order), which is part of why they
+/// win on heterogeneous networks.
+pub fn execute_steps_pairwise(steps: &[Vec<Option<usize>>], matrix: &CommMatrix) -> Schedule {
+    let p = matrix.len();
+    let mut sender_finish = vec![0.0f64; p];
+    let mut receiver_finish = vec![0.0f64; p];
+    let mut events = Vec::with_capacity(p * (p - 1));
+    for step in steps {
+        assert_eq!(step.len(), p, "step width must equal P");
+        let mut new_sender = sender_finish.clone();
+        let mut new_receiver = receiver_finish.clone();
+        for (src, dst) in step.iter().enumerate() {
+            let Some(dst) = *dst else { continue };
+            if dst == src {
+                continue;
+            }
+            let start = sender_finish[src].max(receiver_finish[dst]);
+            let finish = start + matrix.cost(src, dst).as_ms();
+            events.push(ScheduledEvent {
+                src,
+                dst,
+                start: Millis::new(start),
+                finish: Millis::new(finish),
+            });
+            new_sender[src] = finish;
+            new_receiver[dst] = finish;
+        }
+        sender_finish = new_sender;
+        receiver_finish = new_receiver;
+    }
+    Schedule::new(matrix.clone(), events)
+}
+
+/// Executes a step-structured schedule with blocking *send-recv* step
+/// semantics: a node enters step `j+1` only after **both** its step-`j`
+/// send and its step-`j` receive have completed — how the caterpillar is
+/// actually coded in homogeneous collective libraries (one blocking
+/// `sendrecv` per step). An event starts when its sender and its
+/// receiver have both entered the step.
+///
+/// This couples ports *within* a node on top of the pairwise ordering of
+/// [`execute_steps_pairwise`], so delays propagate along both matrix
+/// dimensions at once: one slow transfer stalls its sender's next send
+/// *and* its receiver's next receive. On strongly heterogeneous networks
+/// this is what makes the oblivious baseline collapse.
+///
+/// Each step must be a (partial) permutation: at most one send and one
+/// receive per node per step.
+pub fn execute_steps_sendrecv(steps: &[Vec<Option<usize>>], matrix: &CommMatrix) -> Schedule {
+    let p = matrix.len();
+    let mut node_ready = vec![0.0f64; p];
+    let mut events = Vec::with_capacity(p * (p - 1));
+    for step in steps {
+        assert_eq!(step.len(), p, "step width must equal P");
+        let mut next_ready = node_ready.clone();
+        let mut seen_recv = vec![false; p];
+        for (src, dst) in step.iter().enumerate() {
+            let Some(dst) = *dst else { continue };
+            if dst == src {
+                continue;
+            }
+            assert!(!seen_recv[dst], "two receives for node {dst} in one step");
+            seen_recv[dst] = true;
+            let start = node_ready[src].max(node_ready[dst]);
+            let finish = start + matrix.cost(src, dst).as_ms();
+            events.push(ScheduledEvent {
+                src,
+                dst,
+                start: Millis::new(start),
+                finish: Millis::new(finish),
+            });
+            next_ready[src] = next_ready[src].max(finish);
+            next_ready[dst] = next_ready[dst].max(finish);
+        }
+        node_ready = next_ready;
+    }
+    Schedule::new(matrix.clone(), events)
+}
+
+/// Executes a step-structured schedule with a barrier after each step:
+/// step `k+1` begins only when every event of step `k` has finished.
+///
+/// The paper explicitly avoids this synchronization; this function exists
+/// to measure how much the barrier would cost (ablation).
+pub fn execute_steps(steps: &[Vec<Option<usize>>], matrix: &CommMatrix) -> Schedule {
+    let p = matrix.len();
+    let mut t = 0.0f64;
+    let mut events = Vec::with_capacity(p * (p - 1));
+    for step in steps {
+        assert_eq!(step.len(), p, "step width must equal P");
+        let mut step_end = t;
+        for (src, dst) in step.iter().enumerate() {
+            if let Some(dst) = dst {
+                if *dst == src {
+                    continue;
+                }
+                let dur = matrix.cost(src, *dst).as_ms();
+                events.push(ScheduledEvent {
+                    src,
+                    dst: *dst,
+                    start: Millis::new(t),
+                    finish: Millis::new(t + dur),
+                });
+                step_end = step_end.max(t + dur);
+            }
+        }
+        t = step_end;
+    }
+    Schedule::new(matrix.clone(), events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CommMatrix {
+        CommMatrix::from_rows(&[
+            vec![0.0, 2.0, 3.0],
+            vec![4.0, 0.0, 5.0],
+            vec![6.0, 7.0, 0.0],
+        ])
+    }
+
+    fn caterpillar_order(p: usize) -> SendOrder {
+        let order = (0..p)
+            .map(|src| (1..p).map(|j| (src + j) % p).collect())
+            .collect();
+        SendOrder::new(order)
+    }
+
+    #[test]
+    fn asap_execution_is_valid_and_complete() {
+        let m = matrix();
+        let s = execute_listed(&caterpillar_order(3), &m);
+        s.validate().expect("ASAP execution must be valid");
+        assert_eq!(s.events().len(), 6);
+    }
+
+    #[test]
+    fn asap_execution_hand_computed() {
+        let m = matrix();
+        // Order: P0: [1, 2], P1: [2, 0], P2: [0, 1].
+        let s = execute_listed(&caterpillar_order(3), &m);
+        let find = |src, dst| {
+            *s.events()
+                .iter()
+                .find(|e| e.src == src && e.dst == dst)
+                .unwrap()
+        };
+        // t=0: all senders request; receivers all free: (0→1) starts 0–2,
+        // (1→2) starts 0–5, (2→0) starts 0–6.
+        assert_eq!(find(0, 1).start.as_ms(), 0.0);
+        assert_eq!(find(1, 2).start.as_ms(), 0.0);
+        assert_eq!(find(2, 0).start.as_ms(), 0.0);
+        // P0 ready at 2 wanting P2; P2's receive port is busy until 5
+        // (receiving from P1). (0→2) starts at 5, runs 3 → 5–8.
+        assert_eq!(find(0, 2).start.as_ms(), 5.0);
+        assert_eq!(find(0, 2).finish.as_ms(), 8.0);
+        // P1 ready at 5 wanting P0; P0 busy receiving from P2 until 6.
+        // (1→0) starts 6, runs 4 → 6–10.
+        assert_eq!(find(1, 0).start.as_ms(), 6.0);
+        // P2 ready at 6 wanting P1; P1 free (its receive from P0 ended
+        // at 2). (2→1) starts 6, runs 7 → 6–13.
+        assert_eq!(find(2, 1).start.as_ms(), 6.0);
+        assert_eq!(s.completion_time().as_ms(), 13.0);
+    }
+
+    #[test]
+    fn fcfs_grant_prefers_earlier_request() {
+        // Receiver 0 contended: P1's request arrives at t=1 (after its
+        // 1ms send to P2), P2's at t=0... build costs to force ordering.
+        let m = CommMatrix::from_rows(&[
+            vec![0.0, 1.0, 1.0],
+            vec![10.0, 0.0, 1.0],
+            vec![10.0, 1.0, 0.0],
+        ]);
+        // P1 sends to 0 first; P2 sends to 0 first: both request at t=0;
+        // tie goes to lower id (P1). P2 waits until 10.
+        let order = SendOrder::new(vec![vec![1, 2], vec![0, 2], vec![0, 1]]);
+        let s = execute_listed(&order, &m);
+        let find = |src, dst| {
+            *s.events()
+                .iter()
+                .find(|e| e.src == src && e.dst == dst)
+                .unwrap()
+        };
+        assert_eq!(find(1, 0).start.as_ms(), 0.0);
+        assert_eq!(find(2, 0).start.as_ms(), 10.0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn sender_respects_list_order_even_when_blocked() {
+        // P0's first destination is busy for a long time; P0 must wait,
+        // not skip to its second destination.
+        let m = CommMatrix::from_rows(&[
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 20.0],
+            vec![1.0, 1.0, 0.0],
+        ]);
+        // P1 immediately occupies receiver 2 for 20ms; P0 wants 2 then 1.
+        let order = SendOrder::new(vec![vec![2, 1], vec![2, 0], vec![0, 1]]);
+        let s = execute_listed(&order, &m);
+        let find = |src, dst| {
+            *s.events()
+                .iter()
+                .find(|e| e.src == src && e.dst == dst)
+                .unwrap()
+        };
+        // Both P0 and P1 request receiver 2 at t=0; the tie goes to the
+        // lower sender id, so P0 transmits first (0–1).
+        assert_eq!(find(0, 2).start.as_ms(), 0.0);
+        // P1 then waits for receiver 2 until t=1, sends 20ms.
+        assert_eq!(find(1, 2).start.as_ms(), 1.0);
+        // P0's second message (to 1) goes right after its first.
+        assert_eq!(find(0, 1).start.as_ms(), 1.0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn barrier_execution_inserts_synchronization() {
+        let m = matrix();
+        // Two steps: {0→1, 1→2, 2→0} then {0→2, 1→0, 2→1}.
+        let steps = vec![
+            vec![Some(1), Some(2), Some(0)],
+            vec![Some(2), Some(0), Some(1)],
+        ];
+        let s = execute_steps(&steps, &m);
+        s.validate().unwrap();
+        // Step 1 ends at max(2, 5, 6) = 6; step 2 lasts max(3,4,7) = 7.
+        assert_eq!(s.completion_time().as_ms(), 13.0);
+        // Every step-2 event starts exactly at the barrier.
+        for e in s.events().iter().filter(|e| e.start.as_ms() >= 6.0) {
+            assert_eq!(e.start.as_ms(), 6.0);
+        }
+    }
+
+    #[test]
+    fn barrier_never_beats_asap_on_same_order() {
+        let m = matrix();
+        let steps = vec![
+            vec![Some(1), Some(2), Some(0)],
+            vec![Some(2), Some(0), Some(1)],
+        ];
+        let order = SendOrder::from_steps(3, &steps);
+        let asap = execute_listed(&order, &m);
+        let barrier = execute_steps(&steps, &m);
+        assert!(asap.completion_time().as_ms() <= barrier.completion_time().as_ms() + 1e-9);
+    }
+
+    #[test]
+    fn zero_cost_events_execute_without_hanging() {
+        let m = CommMatrix::from_fn(4, |_, _| 0.0);
+        let s = execute_listed(&caterpillar_order(4), &m);
+        s.validate().unwrap();
+        assert_eq!(s.completion_time().as_ms(), 0.0);
+    }
+
+    #[test]
+    fn policy_enum_delegates() {
+        let m = matrix();
+        let o = caterpillar_order(3);
+        assert_eq!(
+            ExecutionPolicy::Asap.execute(&o, &m).completion_time(),
+            execute_listed(&o, &m).completion_time()
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Background-load injection.
+//!
+//! "Computational and communication resources are typically shared among
+//! different applications" (§1) — the directory's published bandwidth
+//! already folds in competing traffic. [`LoadInjector`] models that
+//! traffic: a set of long-running competing flows, each stealing a share
+//! of the bandwidth on its directed pair, per the §3.1 rule that a shared
+//! link's bandwidth "is divided among these communicating pairs".
+
+use adaptcomm_model::params::NetParams;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One competing flow on a directed pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompetingFlow {
+    /// Source of the competing traffic.
+    pub src: usize,
+    /// Destination of the competing traffic.
+    pub dst: usize,
+    /// How many application-equivalent flows this represents (≥ 1).
+    pub intensity: usize,
+}
+
+/// Applies competing flows to a clean parameter table.
+#[derive(Debug, Clone, Default)]
+pub struct LoadInjector {
+    flows: Vec<CompetingFlow>,
+}
+
+impl LoadInjector {
+    /// An injector with no load.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a competing flow.
+    pub fn add_flow(&mut self, flow: CompetingFlow) -> &mut Self {
+        assert!(flow.intensity >= 1, "intensity must be at least 1");
+        self.flows.push(flow);
+        self
+    }
+
+    /// Generates `n` random competing flows over a `p`-processor system.
+    pub fn random(p: usize, n: usize, seed: u64) -> Self {
+        assert!(p >= 2, "need at least two processors for flows");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let src = rng.random_range(0..p);
+            let mut dst = rng.random_range(0..p - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            flows.push(CompetingFlow {
+                src,
+                dst,
+                intensity: rng.random_range(1..=3),
+            });
+        }
+        LoadInjector { flows }
+    }
+
+    /// The configured flows.
+    pub fn flows(&self) -> &[CompetingFlow] {
+        &self.flows
+    }
+
+    /// Returns `clean` with each loaded pair's bandwidth divided by
+    /// `1 + intensity` (the application shares the link with `intensity`
+    /// competitors). Start-up costs are unchanged — load affects
+    /// throughput, not propagation.
+    pub fn apply(&self, clean: &NetParams) -> NetParams {
+        let mut out = clean.clone();
+        for f in &self.flows {
+            assert!(
+                f.src < clean.len() && f.dst < clean.len(),
+                "flow {f:?} out of range for P = {}",
+                clean.len()
+            );
+            out.scale_bandwidth(f.src, f.dst, 1.0 / (1.0 + f.intensity as f64));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptcomm_model::units::{Bandwidth, Millis};
+
+    fn clean() -> NetParams {
+        NetParams::uniform(4, Millis::new(10.0), Bandwidth::from_kbps(1_200.0))
+    }
+
+    #[test]
+    fn no_flows_no_change() {
+        let inj = LoadInjector::new();
+        assert_eq!(inj.apply(&clean()), clean());
+    }
+
+    #[test]
+    fn single_flow_halves_with_intensity_one() {
+        let mut inj = LoadInjector::new();
+        inj.add_flow(CompetingFlow {
+            src: 0,
+            dst: 2,
+            intensity: 1,
+        });
+        let loaded = inj.apply(&clean());
+        assert_eq!(loaded.estimate(0, 2).bandwidth.as_kbps(), 600.0);
+        assert_eq!(loaded.estimate(2, 0).bandwidth.as_kbps(), 1_200.0);
+        assert_eq!(
+            loaded.estimate(0, 2).startup.as_ms(),
+            10.0,
+            "latency unchanged"
+        );
+    }
+
+    #[test]
+    fn flows_compound() {
+        let mut inj = LoadInjector::new();
+        inj.add_flow(CompetingFlow {
+            src: 1,
+            dst: 3,
+            intensity: 1,
+        })
+        .add_flow(CompetingFlow {
+            src: 1,
+            dst: 3,
+            intensity: 2,
+        });
+        let loaded = inj.apply(&clean());
+        // 1200 / 2 / 3 = 200.
+        assert_eq!(loaded.estimate(1, 3).bandwidth.as_kbps(), 200.0);
+    }
+
+    #[test]
+    fn random_flows_are_valid_and_reproducible() {
+        let a = LoadInjector::random(6, 10, 42);
+        let b = LoadInjector::random(6, 10, 42);
+        assert_eq!(a.flows(), b.flows());
+        for f in a.flows() {
+            assert!(f.src < 6 && f.dst < 6 && f.src != f.dst);
+            assert!((1..=3).contains(&f.intensity));
+        }
+        let clean6 = NetParams::uniform(6, Millis::new(1.0), Bandwidth::from_kbps(100.0));
+        let loaded = a.apply(&clean6);
+        // Loaded pairs are strictly slower; others untouched.
+        let mut changed = 0;
+        for (s, d, e) in loaded.pairs() {
+            if e.bandwidth.as_kbps() < 100.0 {
+                changed += 1;
+            } else {
+                assert_eq!(clean6.estimate(s, d), e);
+            }
+        }
+        assert!(changed > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity")]
+    fn zero_intensity_rejected() {
+        LoadInjector::new().add_flow(CompetingFlow {
+            src: 0,
+            dst: 1,
+            intensity: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_flow_rejected() {
+        let mut inj = LoadInjector::new();
+        inj.add_flow(CompetingFlow {
+            src: 0,
+            dst: 9,
+            intensity: 1,
+        });
+        let _ = inj.apply(&clean());
+    }
+}

@@ -1,0 +1,306 @@
+//! The directory service: publish, query, subscribe.
+//!
+//! Mirrors the role of Globus MDS in the paper's framework: applications
+//! query it at run time for "current information on start-up costs and
+//! end-to-end bandwidths between every pair of processors", then hand the
+//! result to a scheduling algorithm. The service is thread-safe
+//! (schedulers on worker threads, a load injector elsewhere) and can be
+//! driven either by explicit [`DirectoryService::publish`] calls or by an
+//! attached [`VariationTrace`] that evolves the network whenever the
+//! simulated clock advances.
+
+use crate::snapshot::DirectorySnapshot;
+use adaptcomm_model::cost::LinkEstimate;
+use adaptcomm_model::params::NetParams;
+use adaptcomm_model::units::Millis;
+use adaptcomm_model::variation::VariationTrace;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Errors a directory query can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The requested processor index exceeds the system size.
+    UnknownProcessor {
+        /// The offending index.
+        index: usize,
+        /// The number of processors the directory covers.
+        size: usize,
+    },
+    /// The freshest available snapshot is older than the caller's
+    /// staleness budget.
+    Stale {
+        /// Age of the best snapshot.
+        age: Millis,
+        /// The caller's budget.
+        budget: Millis,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownProcessor { index, size } => {
+                write!(
+                    f,
+                    "processor {index} out of range (directory covers {size})"
+                )
+            }
+            QueryError::Stale { age, budget } => {
+                write!(f, "snapshot is {age} old, budget was {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+struct Inner {
+    current: DirectorySnapshot,
+    clock: Millis,
+    trace: Option<VariationTrace>,
+    subscribers: Vec<Sender<DirectorySnapshot>>,
+    publishes: u64,
+    queries: u64,
+}
+
+/// A thread-safe, time-aware directory of network performance.
+pub struct DirectoryService {
+    inner: Mutex<Inner>,
+}
+
+impl DirectoryService {
+    /// Creates a directory holding a static initial table at time zero.
+    pub fn new(initial: NetParams) -> Self {
+        let snapshot = DirectorySnapshot::new(initial, Millis::ZERO, 0);
+        DirectoryService {
+            inner: Mutex::new(Inner {
+                current: snapshot,
+                clock: Millis::ZERO,
+                trace: None,
+                subscribers: Vec::new(),
+                publishes: 0,
+                queries: 0,
+            }),
+        }
+    }
+
+    /// Creates a directory whose contents drift according to `trace`
+    /// whenever the clock advances.
+    pub fn with_trace(trace: VariationTrace) -> Self {
+        let svc = Self::new(trace.base().clone());
+        svc.inner.lock().trace = Some(trace);
+        svc
+    }
+
+    /// Number of processors covered.
+    pub fn processors(&self) -> usize {
+        self.inner.lock().current.params().len()
+    }
+
+    /// Advances the simulated clock. With an attached trace, a new
+    /// snapshot is generated and published to subscribers.
+    pub fn advance_clock(&self, now: Millis) {
+        let mut inner = self.inner.lock();
+        if now.as_ms() <= inner.clock.as_ms() {
+            return; // the clock never goes backwards
+        }
+        inner.clock = now;
+        if let Some(trace) = inner.trace.as_mut() {
+            let params = trace.snapshot_at(now);
+            let seq = inner.current.sequence() + 1;
+            let snap = DirectorySnapshot::new(params, now, seq);
+            inner.current = snap.clone();
+            inner.publishes += 1;
+            inner.subscribers.retain(|tx| tx.send(snap.clone()).is_ok());
+        }
+    }
+
+    /// Publishes an externally measured table at the current clock.
+    pub fn publish(&self, params: NetParams) {
+        let mut inner = self.inner.lock();
+        let seq = inner.current.sequence() + 1;
+        let snap = DirectorySnapshot::new(params, inner.clock, seq);
+        inner.current = snap.clone();
+        inner.publishes += 1;
+        inner.subscribers.retain(|tx| tx.send(snap.clone()).is_ok());
+    }
+
+    /// The freshest snapshot.
+    pub fn snapshot(&self) -> DirectorySnapshot {
+        let mut inner = self.inner.lock();
+        inner.queries += 1;
+        inner.current.clone()
+    }
+
+    /// The freshest snapshot, but only if no older than `budget`.
+    pub fn snapshot_fresh(&self, budget: Millis) -> Result<DirectorySnapshot, QueryError> {
+        let mut inner = self.inner.lock();
+        inner.queries += 1;
+        let age = inner.current.age_at(inner.clock);
+        if age.as_ms() > budget.as_ms() {
+            return Err(QueryError::Stale { age, budget });
+        }
+        Ok(inner.current.clone())
+    }
+
+    /// Point query for one directed pair (the MDS-style API).
+    pub fn query_pair(&self, src: usize, dst: usize) -> Result<LinkEstimate, QueryError> {
+        let mut inner = self.inner.lock();
+        inner.queries += 1;
+        let size = inner.current.params().len();
+        if src >= size {
+            return Err(QueryError::UnknownProcessor { index: src, size });
+        }
+        if dst >= size {
+            return Err(QueryError::UnknownProcessor { index: dst, size });
+        }
+        Ok(inner.current.estimate(src, dst))
+    }
+
+    /// Subscribes to future publishes. The receiver sees every snapshot
+    /// published after this call.
+    pub fn subscribe(&self) -> Receiver<DirectorySnapshot> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().subscribers.push(tx);
+        rx
+    }
+
+    /// `(publishes, queries)` counters — useful for asserting how often a
+    /// scheduling strategy consults the directory.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.publishes, inner.queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptcomm_model::units::Bandwidth;
+    use adaptcomm_model::variation::VariationConfig;
+
+    fn params() -> NetParams {
+        NetParams::uniform(4, Millis::new(10.0), Bandwidth::from_kbps(500.0))
+    }
+
+    #[test]
+    fn static_directory_answers_queries() {
+        let d = DirectoryService::new(params());
+        assert_eq!(d.processors(), 4);
+        let e = d.query_pair(1, 3).unwrap();
+        assert_eq!(e.startup.as_ms(), 10.0);
+        assert_eq!(
+            d.query_pair(9, 0),
+            Err(QueryError::UnknownProcessor { index: 9, size: 4 })
+        );
+        let (p, q) = d.stats();
+        assert_eq!(p, 0);
+        assert_eq!(q, 2);
+    }
+
+    #[test]
+    fn publish_bumps_sequence_and_notifies_subscribers() {
+        let d = DirectoryService::new(params());
+        let rx = d.subscribe();
+        let mut updated = params();
+        updated.scale_bandwidth(0, 1, 0.5);
+        d.publish(updated.clone());
+        let got = rx.try_recv().expect("subscriber must see the publish");
+        assert_eq!(got.sequence(), 1);
+        assert_eq!(got.params(), &updated);
+        assert_eq!(d.snapshot().sequence(), 1);
+    }
+
+    #[test]
+    fn trace_driven_directory_drifts_with_clock() {
+        let trace = VariationTrace::new(params(), VariationConfig::default(), 7);
+        let d = DirectoryService::with_trace(trace);
+        let before = d.snapshot();
+        d.advance_clock(Millis::new(10_000.0));
+        let after = d.snapshot();
+        assert!(after.sequence() > before.sequence());
+        assert_ne!(
+            after.params(),
+            before.params(),
+            "10s of drift must move something"
+        );
+        assert_eq!(after.taken_at().as_ms(), 10_000.0);
+    }
+
+    #[test]
+    fn clock_never_rewinds() {
+        let trace = VariationTrace::new(params(), VariationConfig::default(), 3);
+        let d = DirectoryService::with_trace(trace);
+        d.advance_clock(Millis::new(5_000.0));
+        let at5 = d.snapshot();
+        d.advance_clock(Millis::new(1_000.0)); // ignored
+        assert_eq!(d.snapshot().sequence(), at5.sequence());
+    }
+
+    #[test]
+    fn staleness_budget_enforced() {
+        let d = DirectoryService::new(params());
+        // Advance the clock without a trace: the snapshot ages.
+        d.advance_clock(Millis::new(2_000.0));
+        assert!(d.snapshot_fresh(Millis::new(5_000.0)).is_ok());
+        match d.snapshot_fresh(Millis::new(500.0)) {
+            Err(QueryError::Stale { age, budget }) => {
+                assert_eq!(age.as_ms(), 2_000.0);
+                assert_eq!(budget.as_ms(), 500.0);
+            }
+            other => panic!("expected staleness error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let d = DirectoryService::new(params());
+        let rx = d.subscribe();
+        drop(rx);
+        d.publish(params()); // must not panic, subscriber is gone
+        d.publish(params());
+        assert_eq!(d.snapshot().sequence(), 2);
+    }
+
+    #[test]
+    fn concurrent_queries_are_safe() {
+        use std::sync::Arc;
+        let d = Arc::new(DirectoryService::new(params()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let _ = d.query_pair(0, 1).unwrap();
+                    let _ = d.snapshot();
+                }
+            }));
+        }
+        let publisher = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    d.publish(params());
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        publisher.join().unwrap();
+        let (p, q) = d.stats();
+        assert_eq!(p, 50);
+        assert_eq!(q, 800);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = QueryError::Stale {
+            age: Millis::new(9.0),
+            budget: Millis::new(1.0),
+        };
+        assert!(format!("{e}").contains("old"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Bertsekas' auction algorithm for the assignment problem.
+//!
+//! A third, structurally different solver (after Jonker–Volgenant and
+//! Kuhn–Munkres): unassigned "bidder" rows repeatedly bid for their most
+//! valuable column, raising its price by the bid increment
+//! `value₁ − value₂ + ε`. With ε-scaling the algorithm terminates with an
+//! assignment within `n·ε_final` of optimal; for *integral* costs and
+//! `ε_final < 1/n` the result is exactly optimal.
+//!
+//! This solver maximizes *value*; [`solve_min`] negates costs. We run it
+//! on scaled-to-integer costs so the exactness guarantee applies to the
+//! f64 API within a documented tolerance (1e-6 of the value range).
+
+use crate::matrix::DenseCost;
+use crate::Assignment;
+
+const NONE: usize = usize::MAX;
+
+/// Solves the *maximum-value* assignment problem by ε-scaling auction.
+pub fn solve_max(values: &DenseCost) -> Assignment {
+    let n = values.dim();
+    if n == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0.0,
+        };
+    }
+    if n == 1 {
+        return Assignment::from_permutation(values, vec![0]);
+    }
+
+    // Scale values to integers so ε < 1/n yields exact optimality.
+    // Resolution: 1e-6 of the value range (ample for scheduling costs).
+    let lo = values.entries().fold(f64::INFINITY, f64::min);
+    let hi = values.entries().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    let scale = 1e6 / range;
+    let v = |i: usize, j: usize| ((values.at(i, j) - lo) * scale).round();
+
+    let mut price = vec![0.0f64; n];
+    let mut row_of = vec![NONE; n]; // column -> row
+    let mut col_of = vec![NONE; n]; // row -> column
+
+    // ε-scaling: start coarse, finish below 1/n.
+    let mut eps = 1e6 / 2.0_f64.max(n as f64);
+    let eps_final = 1.0 / (n as f64 + 1.0);
+    loop {
+        // Reset the assignment for this scaling phase (prices persist —
+        // that is what makes scaling fast).
+        row_of.iter_mut().for_each(|r| *r = NONE);
+        col_of.iter_mut().for_each(|c| *c = NONE);
+        let mut unassigned: Vec<usize> = (0..n).collect();
+
+        while let Some(i) = unassigned.pop() {
+            // Find best and second-best net value for bidder i.
+            let mut best_j = 0;
+            let mut best = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            for j in 0..n {
+                let net = v(i, j) - price[j];
+                if net > best {
+                    second = best;
+                    best = net;
+                    best_j = j;
+                } else if net > second {
+                    second = net;
+                }
+            }
+            // Bid: raise the price by the value margin plus ε.
+            let increment = best - second + eps;
+            price[best_j] += increment;
+            // Assign i to best_j, evicting any previous owner.
+            let evicted = row_of[best_j];
+            row_of[best_j] = i;
+            col_of[i] = best_j;
+            if evicted != NONE {
+                col_of[evicted] = NONE;
+                unassigned.push(evicted);
+            }
+        }
+
+        if eps <= eps_final {
+            break;
+        }
+        eps = (eps / 4.0).max(eps_final);
+    }
+
+    Assignment::from_permutation(values, col_of)
+}
+
+/// Solves the *minimum-cost* assignment problem.
+pub fn solve_min(costs: &DenseCost) -> Assignment {
+    if costs.dim() == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0.0,
+        };
+    }
+    let negated = DenseCost::from_fn(costs.dim(), |i, j| -costs.at(i, j));
+    let a = solve_max(&negated);
+    Assignment::from_permutation(costs, a.row_to_col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute, jv};
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(solve_min(&DenseCost::from_rows(&[])).cost, 0.0);
+        let one = solve_min(&DenseCost::from_rows(&[vec![9.0]]));
+        assert_eq!(one.row_to_col, vec![0]);
+        assert_eq!(one.cost, 9.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        for seed in 0..12u64 {
+            let c = DenseCost::from_fn(6, |i, j| {
+                ((i as u64 * 31 + j as u64 * 17 + seed * 101) % 97) as f64
+            });
+            let fast = solve_min(&c);
+            let exact = brute::solve_min(&c);
+            assert!(fast.is_permutation());
+            assert!(
+                (fast.cost - exact.cost).abs() < 1e-6,
+                "auction={} brute={} seed={seed}",
+                fast.cost,
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn matches_jv_on_larger_instances() {
+        let c = DenseCost::from_fn(40, |i, j| {
+            let h = (i.wrapping_mul(2654435761) ^ j.wrapping_mul(97)) % 5_000;
+            h as f64 / 7.0
+        });
+        let a = solve_min(&c);
+        let b = jv::solve(&c);
+        assert!(a.is_permutation());
+        assert!(
+            (a.cost - b.cost).abs() < 1e-3 * b.cost.abs().max(1.0),
+            "auction={} jv={}",
+            a.cost,
+            b.cost
+        );
+    }
+
+    #[test]
+    fn max_variant_agrees_with_brute_force() {
+        let c = DenseCost::from_fn(5, |i, j| ((i * 13 + j * 7) % 23) as f64);
+        let fast = solve_max(&c);
+        let exact = brute::solve_max(&c);
+        assert!((fast.cost - exact.cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_uniform_matrix() {
+        let c = DenseCost::from_fn(8, |_, _| 5.0);
+        let a = solve_min(&c);
+        assert!(a.is_permutation());
+        assert_eq!(a.cost, 40.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Exhaustive assignment search — the test oracle.
+//!
+//! Enumerates all `n!` permutations with Heap's algorithm. Only sensible
+//! for `n ≤ 9`; the constructor enforces a hard cap so a property test
+//! cannot accidentally request a week of CPU time.
+
+use crate::matrix::DenseCost;
+use crate::Assignment;
+
+/// Largest dimension the brute-force solver accepts (9! = 362 880).
+pub const MAX_DIM: usize = 9;
+
+/// Finds the minimum-cost assignment by exhaustive search.
+pub fn solve_min(costs: &DenseCost) -> Assignment {
+    solve_by(costs, |cand, best| cand < best)
+}
+
+/// Finds the maximum-cost assignment by exhaustive search.
+pub fn solve_max(costs: &DenseCost) -> Assignment {
+    solve_by(costs, |cand, best| cand > best)
+}
+
+fn solve_by(costs: &DenseCost, better: impl Fn(f64, f64) -> bool) -> Assignment {
+    let n = costs.dim();
+    assert!(
+        n <= MAX_DIM,
+        "brute force is capped at n ≤ {MAX_DIM}, got {n}"
+    );
+    if n == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0.0,
+        };
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = perm.clone();
+    let mut best_cost = permutation_cost(costs, &perm);
+
+    // Heap's algorithm, iterative form.
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            let cost = permutation_cost(costs, &perm);
+            if better(cost, best_cost) {
+                best_cost = cost;
+                best.copy_from_slice(&perm);
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    Assignment {
+        row_to_col: best,
+        cost: best_cost,
+    }
+}
+
+fn permutation_cost(costs: &DenseCost, perm: &[usize]) -> f64 {
+    perm.iter().enumerate().map(|(i, &j)| costs.at(i, j)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_all_permutations() {
+        // Identity is uniquely optimal here.
+        let c = DenseCost::from_fn(4, |i, j| if i == j { 0.0 } else { 10.0 });
+        let a = solve_min(&c);
+        assert_eq!(a.row_to_col, vec![0, 1, 2, 3]);
+        assert_eq!(a.cost, 0.0);
+        // And uniquely worst for max with the same matrix reversed.
+        let b = solve_max(&c);
+        assert!(b.is_permutation());
+        assert_eq!(b.cost, 40.0);
+    }
+
+    #[test]
+    fn min_le_max_always() {
+        let c = DenseCost::from_fn(5, |i, j| ((i * 7 + j * 3) % 11) as f64);
+        let mn = solve_min(&c);
+        let mx = solve_max(&c);
+        assert!(mn.cost <= mx.cost);
+        assert!(mn.is_permutation() && mx.is_permutation());
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn oversized_instance_rejected() {
+        let c = DenseCost::from_fn(10, |_, _| 0.0);
+        let _ = solve_min(&c);
+    }
+}

@@ -1,0 +1,316 @@
+//! The Jonker–Volgenant algorithm for the dense linear assignment problem.
+//!
+//! This is a faithful Rust port of the published algorithm (R. Jonker and
+//! A. Volgenant, "A shortest augmenting path algorithm for dense and
+//! sparse linear assignment problems", Computing 38, 1987) — the same
+//! algorithm behind the public-domain code the paper's authors credit to
+//! Roy Jonker. Phases:
+//!
+//! 1. **Column reduction** — scan columns in reverse, set `v[j]` to the
+//!    column minimum and tentatively assign its row.
+//! 2. **Reduction transfer** — for singly-assigned rows, transfer slack
+//!    to the column potential.
+//! 3. **Augmenting row reduction** — two passes of alternating-row
+//!    reassignment for unassigned rows (fast in practice).
+//! 4. **Augmentation** — a Dijkstra-style shortest augmenting path for
+//!    each remaining unassigned row, updating the duals so reduced costs
+//!    stay non-negative.
+//!
+//! Floating-point note: phase 3 contains a retry loop whose progress
+//! argument relies on strictly positive dual updates; to stay robust to
+//! degenerate float cases we cap retries per pass and defer any row still
+//! unassigned to phase 4, which handles arbitrary starting duals.
+
+use crate::matrix::DenseCost;
+use crate::Assignment;
+
+const NONE: usize = usize::MAX;
+
+/// Solves the minimum-cost assignment problem.
+pub fn solve(costs: &DenseCost) -> Assignment {
+    let n = costs.dim();
+    if n == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0.0,
+        };
+    }
+
+    let mut x = vec![NONE; n]; // row -> col
+    let mut y = vec![NONE; n]; // col -> row
+    let mut v = vec![0.0f64; n];
+
+    // Phase 1: column reduction.
+    let mut matches = vec![0usize; n];
+    for j in (0..n).rev() {
+        let mut min = costs.at(0, j);
+        let mut imin = 0usize;
+        for i in 1..n {
+            let c = costs.at(i, j);
+            if c < min {
+                min = c;
+                imin = i;
+            }
+        }
+        v[j] = min;
+        matches[imin] += 1;
+        if matches[imin] == 1 {
+            x[imin] = j;
+            y[j] = imin;
+        }
+    }
+
+    // Phase 2: reduction transfer.
+    let mut free: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if matches[i] == 0 {
+            free.push(i);
+        } else if matches[i] == 1 {
+            let j1 = x[i];
+            let mut min = f64::INFINITY;
+            for j in 0..n {
+                if j != j1 {
+                    let h = costs.at(i, j) - v[j];
+                    if h < min {
+                        min = h;
+                    }
+                }
+            }
+            if min.is_finite() {
+                v[j1] -= min;
+            }
+        }
+    }
+
+    // Phase 3: augmenting row reduction, two passes.
+    for _pass in 0..2 {
+        let nfree = free.len();
+        let mut k = 0usize;
+        let mut next_free: Vec<usize> = Vec::new();
+        let mut retries = 0usize;
+        let retry_cap = 10 * n * n + 10;
+        while k < nfree {
+            let i = free[k];
+            k += 1;
+            // First and second minima of the reduced row.
+            let mut umin = f64::INFINITY;
+            let mut usubmin = f64::INFINITY;
+            let mut j1 = 0usize;
+            let mut j2 = 0usize;
+            for j in 0..n {
+                let h = costs.at(i, j) - v[j];
+                if h < usubmin {
+                    if h >= umin {
+                        usubmin = h;
+                        j2 = j;
+                    } else {
+                        usubmin = umin;
+                        j2 = j1;
+                        umin = h;
+                        j1 = j;
+                    }
+                }
+            }
+            let mut i0 = y[j1];
+            if umin < usubmin {
+                v[j1] -= usubmin - umin;
+            } else if i0 != NONE {
+                j1 = j2;
+                i0 = y[j1];
+            }
+            x[i] = j1;
+            y[j1] = i;
+            if i0 != NONE {
+                x[i0] = NONE;
+                if umin < usubmin && retries < retry_cap {
+                    // Re-process the displaced row immediately.
+                    retries += 1;
+                    k -= 1;
+                    free[k] = i0;
+                } else {
+                    next_free.push(i0);
+                }
+            }
+        }
+        free = next_free;
+        if free.is_empty() {
+            break;
+        }
+    }
+
+    // Phase 4: shortest augmenting paths for the remaining free rows.
+    //
+    // Clippy note: inside the column scans below, `up` (a partition index
+    // into `collist`) is advanced while iterating `up..n` / `low..up`.
+    // Rust evaluates range bounds once at loop entry, which is exactly
+    // the semantics of the original C code (its loop conditions compare
+    // against `dim`, not `up`), so the mutation is intentional.
+    let mut d = vec![0.0f64; n];
+    let mut pred = vec![0usize; n];
+    let mut collist = vec![0usize; n];
+    #[allow(clippy::mut_range_bound)]
+    for &freerow in &free {
+        for j in 0..n {
+            d[j] = costs.at(freerow, j) - v[j];
+            pred[j] = freerow;
+            collist[j] = j;
+        }
+        let mut low = 0usize; // columns [0, low) are scanned
+        let mut up = 0usize; // columns [low, up) have minimal d (ready)
+        let mut scanned = 0usize; // value of `low` when the last minima batch formed
+        let mut min = 0.0f64;
+        let endofpath;
+        'search: loop {
+            if up == low {
+                scanned = low;
+                min = d[collist[up]];
+                up += 1;
+                for k in up..n {
+                    let j = collist[k];
+                    let h = d[j];
+                    if h <= min {
+                        if h < min {
+                            up = low;
+                            min = h;
+                        }
+                        collist[k] = collist[up];
+                        collist[up] = j;
+                        up += 1;
+                    }
+                }
+                for k in low..up {
+                    let j = collist[k];
+                    if y[j] == NONE {
+                        endofpath = j;
+                        break 'search;
+                    }
+                }
+            }
+            // Scan one ready column.
+            let j1 = collist[low];
+            low += 1;
+            let i = y[j1];
+            let h = costs.at(i, j1) - v[j1] - min;
+            let mut found = NONE;
+            for k in up..n {
+                let j = collist[k];
+                let v2 = costs.at(i, j) - v[j] - h;
+                if v2 < d[j] {
+                    pred[j] = i;
+                    if v2 == min {
+                        if y[j] == NONE {
+                            found = j;
+                            break;
+                        }
+                        collist[k] = collist[up];
+                        collist[up] = j;
+                        up += 1;
+                    }
+                    d[j] = v2;
+                }
+            }
+            if found != NONE {
+                endofpath = found;
+                break 'search;
+            }
+        }
+        // Update column potentials of scanned columns.
+        for &j in collist.iter().take(scanned) {
+            v[j] += d[j] - min;
+        }
+        // Augment along the predecessor chain.
+        let mut j = endofpath;
+        loop {
+            let i = pred[j];
+            y[j] = i;
+            std::mem::swap(&mut x[i], &mut j);
+            if i == freerow {
+                break;
+            }
+        }
+    }
+
+    debug_assert!(x.iter().all(|&j| j != NONE));
+    Assignment::from_permutation(costs, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(solve(&DenseCost::from_rows(&[])).cost, 0.0);
+        let one = solve(&DenseCost::from_rows(&[vec![5.0]]));
+        assert_eq!(one.row_to_col, vec![0]);
+        assert_eq!(one.cost, 5.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_instances() {
+        let instances: Vec<DenseCost> = vec![
+            DenseCost::from_rows(&[
+                vec![9.0, 2.0, 7.0, 8.0],
+                vec![6.0, 4.0, 3.0, 7.0],
+                vec![5.0, 8.0, 1.0, 8.0],
+                vec![7.0, 6.0, 9.0, 4.0],
+            ]),
+            DenseCost::from_fn(6, |i, j| ((i * 31 + j * 17) % 13) as f64),
+            DenseCost::from_fn(5, |i, j| if i == j { 0.0 } else { 1.0 }),
+            DenseCost::from_fn(7, |_, _| 3.0),
+        ];
+        for c in &instances {
+            let fast = solve(c);
+            let exact = brute::solve_min(c);
+            assert!(fast.is_permutation());
+            assert!(
+                (fast.cost - exact.cost).abs() < 1e-9,
+                "jv={} brute={} on\n{c}",
+                fast.cost,
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_duplicate_rows() {
+        // Every row identical: any permutation is optimal; must terminate.
+        let c = DenseCost::from_fn(8, |_, j| (j as f64) * 0.1);
+        let a = solve(&c);
+        assert!(a.is_permutation());
+        let exact = brute::solve_min(&c);
+        assert!((a.cost - exact.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_mixed_costs() {
+        let c = DenseCost::from_rows(&[
+            vec![-3.0, 0.5, 2.0],
+            vec![1.0, -1.0, 0.0],
+            vec![0.0, 2.0, -2.0],
+        ]);
+        let a = solve(&c);
+        assert_eq!(a.cost, -6.0);
+        assert_eq!(a.row_to_col, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn large_instance_terminates_and_is_consistent() {
+        // Pseudo-random 64x64 instance; verify against the independent
+        // Hungarian implementation.
+        let c = DenseCost::from_fn(64, |i, j| {
+            let h = (i.wrapping_mul(2654435761) ^ j.wrapping_mul(40503)) % 10_000;
+            h as f64 / 10.0
+        });
+        let a = solve(&c);
+        let b = crate::hungarian::solve(&c);
+        assert!(a.is_permutation());
+        assert!(
+            (a.cost - b.cost).abs() < 1e-6,
+            "jv={} hungarian={}",
+            a.cost,
+            b.cost
+        );
+    }
+}

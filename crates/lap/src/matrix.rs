@@ -1,0 +1,138 @@
+//! Dense square cost matrices for assignment problems.
+
+use std::fmt;
+
+/// A dense, row-major `n×n` cost matrix of finite `f64` entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseCost {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseCost {
+    /// Builds a matrix from a slice of rows. Every row must have the same
+    /// length as the number of rows, and every entry must be finite.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                n,
+                "row {i} has length {}, expected {n}",
+                row.len()
+            );
+            for (j, &v) in row.iter().enumerate() {
+                assert!(v.is_finite(), "cost[{i}][{j}] = {v} is not finite");
+                data.push(v);
+            }
+        }
+        DenseCost { n, data }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = f(i, j);
+                assert!(v.is_finite(), "cost[{i}][{j}] = {v} is not finite");
+                data.push(v);
+            }
+        }
+        DenseCost { n, data }
+    }
+
+    /// Builds a matrix from a flat row-major slice of length `n·n`.
+    pub fn from_flat(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "flat data length mismatch");
+        assert!(data.iter().all(|v| v.is_finite()), "non-finite entry");
+        DenseCost { n, data }
+    }
+
+    /// The dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The entry at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n + col]
+    }
+
+    /// Mutable access to the entry at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        assert!(v.is_finite(), "cost[{row}][{col}] = {v} is not finite");
+        self.data[row * self.n + col] = v;
+    }
+
+    /// One full row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.n..(row + 1) * self.n]
+    }
+
+    /// Iterator over all entries in row-major order.
+    pub fn entries(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().copied()
+    }
+}
+
+impl fmt::Display for DenseCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{:10.3} ", self.at(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        let a = DenseCost::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = DenseCost::from_fn(2, |i, j| (i * 2 + j + 1) as f64);
+        let c = DenseCost::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.dim(), 2);
+        assert_eq!(a.at(1, 0), 3.0);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.entries().sum::<f64>(), 10.0);
+    }
+
+    #[test]
+    fn set_updates_entry() {
+        let mut m = DenseCost::from_fn(3, |_, _| 0.0);
+        m.set(2, 1, 9.5);
+        assert_eq!(m.at(2, 1), 9.5);
+        assert_eq!(m.at(1, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn rejects_nan() {
+        let _ = DenseCost::from_rows(&[vec![f64::NAN]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn rejects_ragged_rows() {
+        let _ = DenseCost::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let m = DenseCost::from_fn(2, |i, j| (i + j) as f64);
+        assert!(format!("{m}").contains("1.000"));
+    }
+}

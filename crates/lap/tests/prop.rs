@@ -1,0 +1,81 @@
+//! Property tests: the three LAP solvers must agree.
+
+use adaptcomm_lap::{brute, hungarian, jv, solve_max, solve_min, DenseCost};
+use proptest::prelude::*;
+
+fn cost_matrix(max_n: usize) -> impl Strategy<Value = DenseCost> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..1_000.0, n * n)
+            .prop_map(move |data| DenseCost::from_flat(n, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn jv_matches_brute_force(c in cost_matrix(6)) {
+        let fast = jv::solve(&c);
+        let exact = brute::solve_min(&c);
+        prop_assert!(fast.is_permutation());
+        prop_assert!((fast.cost - exact.cost).abs() < 1e-6,
+            "jv={} brute={}", fast.cost, exact.cost);
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force(c in cost_matrix(6)) {
+        let fast = hungarian::solve(&c);
+        let exact = brute::solve_min(&c);
+        prop_assert!(fast.is_permutation());
+        prop_assert!((fast.cost - exact.cost).abs() < 1e-6,
+            "hungarian={} brute={}", fast.cost, exact.cost);
+    }
+
+    #[test]
+    fn jv_matches_hungarian_on_larger_instances(c in cost_matrix(24)) {
+        let a = jv::solve(&c);
+        let b = hungarian::solve(&c);
+        prop_assert!(a.is_permutation());
+        prop_assert!(b.is_permutation());
+        prop_assert!((a.cost - b.cost).abs() < 1e-6,
+            "jv={} hungarian={}", a.cost, b.cost);
+    }
+
+    #[test]
+    fn max_matches_brute_force(c in cost_matrix(6)) {
+        let fast = solve_max(&c);
+        let exact = brute::solve_max(&c);
+        prop_assert!(fast.is_permutation());
+        prop_assert!((fast.cost - exact.cost).abs() < 1e-6,
+            "max={} brute={}", fast.cost, exact.cost);
+    }
+
+    #[test]
+    fn min_never_exceeds_max(c in cost_matrix(10)) {
+        let mn = solve_min(&c);
+        let mx = solve_max(&c);
+        prop_assert!(mn.cost <= mx.cost + 1e-9);
+    }
+
+    #[test]
+    fn integer_costs_solved_exactly(n in 1usize..=6, seed in 0u64..1000) {
+        // Integral costs: optimal value must be integral and exact.
+        let c = DenseCost::from_fn(n, |i, j| {
+            let h = (i as u64 * 31 + j as u64 * 17 + seed * 1009) % 100;
+            h as f64
+        });
+        let fast = jv::solve(&c);
+        let exact = brute::solve_min(&c);
+        prop_assert_eq!(fast.cost, exact.cost);
+        prop_assert_eq!(fast.cost.fract(), 0.0);
+    }
+}
+
+proptest! {
+    #[test]
+    fn auction_matches_brute_force(c in cost_matrix(6)) {
+        let fast = adaptcomm_lap::auction::solve_min(&c);
+        let exact = brute::solve_min(&c);
+        prop_assert!(fast.is_permutation());
+        prop_assert!((fast.cost - exact.cost).abs() < 1e-3,
+            "auction={} brute={}", fast.cost, exact.cost);
+    }
+}

@@ -1,0 +1,323 @@
+//! Task-graph (DAG) scheduling onto heterogeneous machines.
+//!
+//! The paper's §2 describes VDCE, where "a GUI allows library routines or
+//! user developed routines to be combined into an application task
+//! graph. The task graph is then interpreted and configured to execute on
+//! currently available resources." This module implements that
+//! configuration step: list scheduling of a precedence DAG onto
+//! heterogeneous machines with inter-machine communication costs — the
+//! classic heterogeneous list-scheduling recipe (upward-rank priorities +
+//! earliest-finish-time placement, as in DLS/HEFT).
+//!
+//! Communication: if task `u` (on machine `a`) feeds task `v` (on
+//! machine `b`), the edge's data must cross the network — priced with
+//! the paper's `T_ab + bytes/B_ab` model via any
+//! [`adaptcomm_model::cost::CostModel`]. Same-machine edges are free.
+
+use crate::etc::EtcMatrix;
+use adaptcomm_model::cost::CostModel;
+use adaptcomm_model::units::Bytes;
+
+/// A directed acyclic task graph with data volumes on edges.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    /// `edges[v]` = (predecessor, bytes shipped from it to `v`).
+    preds: Vec<Vec<(usize, Bytes)>>,
+    succs: Vec<Vec<(usize, Bytes)>>,
+}
+
+impl TaskGraph {
+    /// An edgeless graph over `n` tasks.
+    pub fn new(n: usize) -> Self {
+        TaskGraph {
+            preds: vec![Vec::new(); n],
+            succs: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Adds a dependency `u → v` shipping `bytes`.
+    pub fn add_edge(&mut self, u: usize, v: usize, bytes: Bytes) -> &mut Self {
+        let n = self.tasks();
+        assert!(u < n && v < n, "edge ({u},{v}) out of range");
+        assert_ne!(u, v, "self-dependency");
+        self.preds[v].push((u, bytes));
+        self.succs[u].push((v, bytes));
+        self
+    }
+
+    /// The predecessors of `v`.
+    pub fn preds(&self, v: usize) -> &[(usize, Bytes)] {
+        &self.preds[v]
+    }
+
+    /// A topological order; panics if the graph has a cycle.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.tasks();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.preds[v].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &(w, _) in &self.succs[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "task graph contains a cycle");
+        order
+    }
+
+    /// Upward ranks: `rank(v) = w̄(v) + max over successors of
+    /// (c̄(v,w) + rank(w))` with mean execution and communication costs —
+    /// the standard heterogeneous list-scheduling priority.
+    pub fn upward_ranks<M: CostModel>(&self, etc: &EtcMatrix, net: &M) -> Vec<f64> {
+        let n = self.tasks();
+        assert_eq!(etc.tasks(), n, "ETC does not match the graph");
+        let machines = etc.machines();
+        let mean_exec = |v: usize| -> f64 {
+            (0..machines).map(|m| etc.time(v, m)).sum::<f64>() / machines as f64
+        };
+        // Mean communication cost per byte volume: average over distinct
+        // machine pairs.
+        let mean_comm = |bytes: Bytes| -> f64 {
+            if machines < 2 {
+                return 0.0;
+            }
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for a in 0..machines {
+                for b in 0..machines {
+                    if a != b {
+                        total += net.message_time(a, b, bytes).as_ms();
+                        count += 1;
+                    }
+                }
+            }
+            total / count as f64
+        };
+        let order = self.topological_order();
+        let mut rank = vec![0.0f64; n];
+        for &v in order.iter().rev() {
+            let tail = self.succs[v]
+                .iter()
+                .map(|&(w, bytes)| mean_comm(bytes) + rank[w])
+                .fold(0.0f64, f64::max);
+            rank[v] = mean_exec(v) + tail;
+        }
+        rank
+    }
+}
+
+/// One placed task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacedTask {
+    /// The machine it runs on.
+    pub machine: usize,
+    /// Execution start.
+    pub start: f64,
+    /// Execution finish.
+    pub finish: f64,
+}
+
+/// A complete DAG schedule.
+#[derive(Debug, Clone)]
+pub struct DagSchedule {
+    /// Placement per task.
+    pub placement: Vec<PlacedTask>,
+    /// Overall makespan.
+    pub makespan: f64,
+}
+
+/// List-schedules the DAG: tasks in decreasing upward rank, each placed
+/// on the machine minimizing its earliest finish time, accounting for
+/// machine availability and cross-machine data arrival.
+///
+/// (Insertion-free variant: each machine runs its tasks back to back in
+/// assignment order; simpler than gap insertion and within the same
+/// approximation family.)
+pub fn schedule_dag<M: CostModel>(graph: &TaskGraph, etc: &EtcMatrix, net: &M) -> DagSchedule {
+    let n = graph.tasks();
+    let machines = etc.machines();
+    assert_eq!(net.len(), machines, "network does not match machine count");
+    let ranks = graph.upward_ranks(etc, net);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]).then(a.cmp(&b)));
+
+    let mut machine_avail = vec![0.0f64; machines];
+    let mut placement: Vec<Option<PlacedTask>> = vec![None; n];
+    for &v in &order {
+        // All predecessors are placed first: upward rank strictly
+        // decreases along edges (rank(u) ≥ exec(u) + comm + rank(v)).
+        let mut best: Option<(f64, f64, usize)> = None; // (finish, start, machine)
+        for m in 0..machines {
+            let mut ready = machine_avail[m];
+            for &(u, bytes) in graph.preds(v) {
+                let pu = placement[u].expect("predecessors are ranked higher");
+                let arrival = if pu.machine == m {
+                    pu.finish
+                } else {
+                    pu.finish + net.message_time(pu.machine, m, bytes).as_ms()
+                };
+                ready = ready.max(arrival);
+            }
+            let finish = ready + etc.time(v, m);
+            let cand = (finish, ready, m);
+            best = Some(match best {
+                None => cand,
+                Some(b) => {
+                    if (cand.0, cand.2) < (b.0, b.2) {
+                        cand
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let (finish, start, m) = best.expect("at least one machine");
+        machine_avail[m] = finish;
+        placement[v] = Some(PlacedTask {
+            machine: m,
+            start,
+            finish,
+        });
+    }
+
+    let placement: Vec<PlacedTask> = placement
+        .into_iter()
+        .map(|p| p.expect("all tasks placed"))
+        .collect();
+    let makespan = placement.iter().map(|p| p.finish).fold(0.0, f64::max);
+    DagSchedule {
+        placement,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptcomm_model::params::NetParams;
+    use adaptcomm_model::units::{Bandwidth, Millis};
+
+    fn net(machines: usize, startup_ms: f64) -> NetParams {
+        NetParams::uniform(
+            machines,
+            Millis::new(startup_ms),
+            Bandwidth::from_kbps(8_000.0),
+        )
+    }
+
+    /// Diamond: 0 → {1, 2} → 3.
+    fn diamond(bytes: u64) -> TaskGraph {
+        let mut g = TaskGraph::new(4);
+        g.add_edge(0, 1, Bytes::new(bytes))
+            .add_edge(0, 2, Bytes::new(bytes))
+            .add_edge(1, 3, Bytes::new(bytes))
+            .add_edge(2, 3, Bytes::new(bytes));
+        g
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let g = diamond(1_000);
+        let order = g.topological_order();
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_detected() {
+        let mut g = TaskGraph::new(2);
+        g.add_edge(0, 1, Bytes::ZERO).add_edge(1, 0, Bytes::ZERO);
+        let _ = g.topological_order();
+    }
+
+    #[test]
+    fn schedule_respects_dependencies_and_communication() {
+        let g = diamond(8_000); // 8 kB edges: 8ms transfer + startup
+        let etc = EtcMatrix::from_fn(4, 2, |_, _| 10.0);
+        let s = schedule_dag(&g, &etc, &net(2, 2.0));
+        // Dependencies: each task starts after its preds' data arrives.
+        for v in 0..4 {
+            for &(u, bytes) in g.preds(v) {
+                let (pu, pv) = (s.placement[u], s.placement[v]);
+                let arrival = if pu.machine == pv.machine {
+                    pu.finish
+                } else {
+                    pu.finish + net(2, 2.0).time(pu.machine, pv.machine, bytes).as_ms()
+                };
+                assert!(
+                    pv.start >= arrival - 1e-9,
+                    "task {v} started before its input"
+                );
+            }
+        }
+        // Machines never run two tasks at once.
+        for m in 0..2 {
+            let mut on_m: Vec<_> = s.placement.iter().filter(|p| p.machine == m).collect();
+            on_m.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for w in on_m.windows(2) {
+                assert!(w[0].finish <= w[1].start + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn expensive_communication_serializes_on_one_machine() {
+        // With brutal comm costs, the scheduler should keep the chain on
+        // one machine even though a second is idle.
+        let g = diamond(1_000_000); // 1MB edges over slow startup-heavy net
+        let etc = EtcMatrix::from_fn(4, 2, |_, _| 5.0);
+        let slow = NetParams::uniform(2, Millis::new(500.0), Bandwidth::from_kbps(100.0));
+        let s = schedule_dag(&g, &etc, &slow);
+        let m0 = s.placement[0].machine;
+        assert!(
+            s.placement.iter().all(|p| p.machine == m0),
+            "huge comm costs must keep the diamond on one machine"
+        );
+        assert_eq!(s.makespan, 20.0); // 4 × 5ms, zero comm
+    }
+
+    #[test]
+    fn free_communication_exploits_parallelism() {
+        let g = diamond(0); // zero-byte edges
+        let etc = EtcMatrix::from_fn(4, 2, |_, _| 10.0);
+        let free = NetParams::uniform(2, Millis::ZERO, Bandwidth::from_kbps(1e9));
+        let s = schedule_dag(&g, &etc, &free);
+        // 0, then 1 ∥ 2, then 3: makespan 30 (not 40).
+        assert_eq!(s.makespan, 30.0);
+        assert_ne!(s.placement[1].machine, s.placement[2].machine);
+    }
+
+    #[test]
+    fn heterogeneous_machines_attract_their_specialists() {
+        // Task 1 is 10× faster on machine 1; no dependencies.
+        let mut g = TaskGraph::new(2);
+        let _ = &mut g; // no edges
+        let etc = EtcMatrix::from_fn(2, 2, |t, m| if t == 1 && m == 1 { 2.0 } else { 20.0 });
+        let s = schedule_dag(&g, &etc, &net(2, 1.0));
+        assert_eq!(s.placement[1].machine, 1);
+        assert_eq!(s.makespan, 20.0);
+    }
+
+    #[test]
+    fn upward_ranks_decrease_along_edges() {
+        let g = diamond(10_000);
+        let etc = EtcMatrix::from_fn(4, 3, |t, m| ((t + m) % 5 + 1) as f64 * 3.0);
+        let ranks = g.upward_ranks(&etc, &net(3, 5.0));
+        for v in 0..4 {
+            for &(u, _) in g.preds(v) {
+                assert!(ranks[u] > ranks[v], "rank({u}) must exceed rank({v})");
+            }
+        }
+    }
+}

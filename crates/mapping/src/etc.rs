@@ -1,0 +1,212 @@
+//! Expected-time-to-compute (ETC) matrices and their generators.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A `tasks × machines` matrix of expected execution times (ms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EtcMatrix {
+    tasks: usize,
+    machines: usize,
+    /// Row-major: `etc[t * machines + m]`.
+    etc: Vec<f64>,
+}
+
+impl EtcMatrix {
+    /// Builds from a function of `(task, machine)`.
+    pub fn from_fn(tasks: usize, machines: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        assert!(
+            tasks >= 1 && machines >= 1,
+            "need at least one task and machine"
+        );
+        let mut etc = Vec::with_capacity(tasks * machines);
+        for t in 0..tasks {
+            for m in 0..machines {
+                let v = f(t, m);
+                assert!(
+                    v.is_finite() && v > 0.0,
+                    "etc[{t}][{m}] = {v} must be positive"
+                );
+                etc.push(v);
+            }
+        }
+        EtcMatrix {
+            tasks,
+            machines,
+            etc,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Execution time of `task` on `machine`.
+    #[inline]
+    pub fn time(&self, task: usize, machine: usize) -> f64 {
+        self.etc[task * self.machines + machine]
+    }
+
+    /// The machine with minimum execution time for `task` (ties to the
+    /// lower index).
+    pub fn best_machine(&self, task: usize) -> usize {
+        (0..self.machines)
+            .min_by(|&a, &b| self.time(task, a).total_cmp(&self.time(task, b)))
+            .expect("at least one machine")
+    }
+
+    /// A crude makespan lower bound: the larger of (a) the most
+    /// demanding single task on its best machine, and (b) ideal work
+    /// sharing — total best-machine work divided by machine count.
+    pub fn lower_bound(&self) -> f64 {
+        let mut max_single: f64 = 0.0;
+        let mut total_best = 0.0;
+        for t in 0..self.tasks {
+            let best = self.time(t, self.best_machine(t));
+            max_single = max_single.max(best);
+            total_best += best;
+        }
+        max_single.max(total_best / self.machines as f64)
+    }
+}
+
+/// The classic ETC heterogeneity classes (Braun et al. structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeterogeneityClass {
+    /// Machine rankings agree for every task (machine A faster than B
+    /// for one task ⇒ faster for all).
+    Consistent,
+    /// Rankings are independent per task.
+    Inconsistent,
+    /// Even-indexed machine columns are consistent, odd ones random.
+    SemiConsistent,
+}
+
+/// Generates an ETC matrix: `base[t] · mult[t][m]` where `base` models
+/// task heterogeneity and `mult` machine heterogeneity, arranged per the
+/// requested class. Deterministic in `seed`.
+pub fn generate(
+    tasks: usize,
+    machines: usize,
+    class: HeterogeneityClass,
+    task_spread: f64,
+    machine_spread: f64,
+    seed: u64,
+) -> EtcMatrix {
+    assert!(
+        task_spread >= 1.0 && machine_spread >= 1.0,
+        "spreads are ≥ 1 multipliers"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<f64> = (0..tasks)
+        .map(|_| rng.random_range(10.0..10.0 * task_spread))
+        .collect();
+    // Per-machine global speed factors for the consistent component.
+    let mut machine_factor: Vec<f64> = (0..machines)
+        .map(|_| rng.random_range(1.0..machine_spread))
+        .collect();
+    machine_factor.sort_by(f64::total_cmp);
+
+    EtcMatrix::from_fn(tasks, machines, |t, m| {
+        let consistent = base[t] * machine_factor[m];
+        match class {
+            HeterogeneityClass::Consistent => consistent,
+            HeterogeneityClass::Inconsistent => {
+                // Fresh multiplier per cell, reproducible via hashing.
+                let h = hash2(seed, (t * machines + m) as u64);
+                base[t] * (1.0 + (h % 1_000) as f64 / 1_000.0 * (machine_spread - 1.0))
+            }
+            HeterogeneityClass::SemiConsistent => {
+                if m % 2 == 0 {
+                    consistent
+                } else {
+                    let h = hash2(seed ^ 0xABCD, (t * machines + m) as u64);
+                    base[t] * (1.0 + (h % 1_000) as f64 / 1_000.0 * (machine_spread - 1.0))
+                }
+            }
+        }
+    })
+}
+
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_best_machine() {
+        let e = EtcMatrix::from_fn(2, 3, |t, m| (t * 3 + m + 1) as f64);
+        assert_eq!(e.tasks(), 2);
+        assert_eq!(e.machines(), 3);
+        assert_eq!(e.time(1, 2), 6.0);
+        assert_eq!(e.best_machine(0), 0);
+        assert_eq!(e.best_machine(1), 0);
+    }
+
+    #[test]
+    fn lower_bound_components() {
+        // One dominant task.
+        let e = EtcMatrix::from_fn(2, 2, |t, _| if t == 0 { 100.0 } else { 1.0 });
+        assert_eq!(e.lower_bound(), 100.0);
+        // Many equal tasks: sharing bound dominates.
+        let e = EtcMatrix::from_fn(10, 2, |_, _| 4.0);
+        assert_eq!(e.lower_bound(), 20.0); // 40 total / 2 machines
+    }
+
+    #[test]
+    fn consistent_class_preserves_machine_ranking() {
+        let e = generate(20, 5, HeterogeneityClass::Consistent, 10.0, 8.0, 42);
+        for t in 0..20 {
+            for m in 0..4 {
+                assert!(
+                    e.time(t, m) <= e.time(t, m + 1) + 1e-9,
+                    "consistent ETC must rank machines identically for every task"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_class_breaks_ranking_somewhere() {
+        let e = generate(30, 6, HeterogeneityClass::Inconsistent, 10.0, 8.0, 42);
+        let ranking_of = |t: usize| {
+            let mut idx: Vec<usize> = (0..6).collect();
+            idx.sort_by(|&a, &b| e.time(t, a).total_cmp(&e.time(t, b)));
+            idx
+        };
+        let first = ranking_of(0);
+        assert!(
+            (1..30).any(|t| ranking_of(t) != first),
+            "30 tasks with identical machine rankings is not inconsistent"
+        );
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = generate(8, 4, HeterogeneityClass::SemiConsistent, 5.0, 5.0, 7);
+        let b = generate(8, 4, HeterogeneityClass::SemiConsistent, 5.0, 5.0, 7);
+        assert_eq!(a, b);
+        let c = generate(8, 4, HeterogeneityClass::SemiConsistent, 5.0, 5.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_etc_rejected() {
+        let _ = EtcMatrix::from_fn(1, 1, |_, _| 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The six classic mapping heuristics.
+
+use crate::etc::EtcMatrix;
+
+/// Which mapping rule to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heuristic {
+    /// Opportunistic load balancing.
+    Olb,
+    /// Minimum execution time (load-oblivious).
+    Met,
+    /// Minimum completion time.
+    Mct,
+    /// Min-min batch heuristic.
+    MinMin,
+    /// Max-min batch heuristic.
+    MaxMin,
+    /// Sufferage batch heuristic.
+    Sufferage,
+}
+
+impl Heuristic {
+    /// All heuristics, for sweeps.
+    pub const ALL: [Heuristic; 6] = [
+        Heuristic::Olb,
+        Heuristic::Met,
+        Heuristic::Mct,
+        Heuristic::MinMin,
+        Heuristic::MaxMin,
+        Heuristic::Sufferage,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Heuristic::Olb => "olb",
+            Heuristic::Met => "met",
+            Heuristic::Mct => "mct",
+            Heuristic::MinMin => "min-min",
+            Heuristic::MaxMin => "max-min",
+            Heuristic::Sufferage => "sufferage",
+        }
+    }
+}
+
+/// The result of mapping every task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// `assignment[task]` = machine.
+    pub assignment: Vec<usize>,
+    /// Per-machine finish time.
+    pub machine_finish: Vec<f64>,
+    /// Overall makespan.
+    pub makespan: f64,
+}
+
+impl Mapping {
+    fn from_assignment(etc: &EtcMatrix, assignment: Vec<usize>) -> Self {
+        let mut machine_finish = vec![0.0; etc.machines()];
+        for (t, &m) in assignment.iter().enumerate() {
+            machine_finish[m] += etc.time(t, m);
+        }
+        let makespan = machine_finish.iter().copied().fold(0.0, f64::max);
+        Mapping {
+            assignment,
+            machine_finish,
+            makespan,
+        }
+    }
+
+    /// Ratio to the ETC lower bound (≥ 1).
+    pub fn lb_ratio(&self, etc: &EtcMatrix) -> f64 {
+        self.makespan / etc.lower_bound()
+    }
+}
+
+/// Maps all tasks with the chosen heuristic.
+///
+/// Immediate-mode rules (OLB/MET/MCT) process tasks in index order —
+/// "the relative performance of various mapping algorithms is independent
+/// of sizable variances in runtime predictions" \[1\] used arrival order
+/// the same way. Batch rules (min-min/max-min/sufferage) re-evaluate the
+/// whole unmapped set each commit.
+pub fn map_tasks(etc: &EtcMatrix, heuristic: Heuristic) -> Mapping {
+    let tasks = etc.tasks();
+    let machines = etc.machines();
+    let mut avail = vec![0.0f64; machines];
+    let mut assignment = vec![usize::MAX; tasks];
+
+    let commit = |t: usize, m: usize, avail: &mut Vec<f64>, assignment: &mut Vec<usize>| {
+        avail[m] += etc.time(t, m);
+        assignment[t] = m;
+    };
+
+    match heuristic {
+        Heuristic::Olb => {
+            for t in 0..tasks {
+                let m = (0..machines)
+                    .min_by(|&a, &b| avail[a].total_cmp(&avail[b]).then(a.cmp(&b)))
+                    .expect("machines");
+                commit(t, m, &mut avail, &mut assignment);
+            }
+        }
+        Heuristic::Met => {
+            for t in 0..tasks {
+                commit(t, etc.best_machine(t), &mut avail, &mut assignment);
+            }
+        }
+        Heuristic::Mct => {
+            for t in 0..tasks {
+                let m = (0..machines)
+                    .min_by(|&a, &b| {
+                        (avail[a] + etc.time(t, a))
+                            .total_cmp(&(avail[b] + etc.time(t, b)))
+                            .then(a.cmp(&b))
+                    })
+                    .expect("machines");
+                commit(t, m, &mut avail, &mut assignment);
+            }
+        }
+        Heuristic::MinMin | Heuristic::MaxMin | Heuristic::Sufferage => {
+            let mut unmapped: Vec<usize> = (0..tasks).collect();
+            while !unmapped.is_empty() {
+                // For each unmapped task: best and second-best completion.
+                let mut pick: Option<(f64, usize, usize)> = None; // (key, task, machine)
+                for &t in &unmapped {
+                    let mut best = (f64::INFINITY, 0usize);
+                    let mut second = f64::INFINITY;
+                    for m in 0..machines {
+                        let c = avail[m] + etc.time(t, m);
+                        if c < best.0 {
+                            second = best.0;
+                            best = (c, m);
+                        } else if c < second {
+                            second = c;
+                        }
+                    }
+                    let key = match heuristic {
+                        Heuristic::MinMin => best.0,  // smallest best first
+                        Heuristic::MaxMin => -best.0, // largest best first
+                        Heuristic::Sufferage => {
+                            if second.is_finite() {
+                                -(second - best.0) // largest sufferage first
+                            } else {
+                                f64::NEG_INFINITY // single machine: any order
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                    let cand = (key, t, best.1);
+                    pick = Some(match pick {
+                        None => cand,
+                        Some(p) => {
+                            if (cand.0, cand.1) < (p.0, p.1) {
+                                cand
+                            } else {
+                                p
+                            }
+                        }
+                    });
+                }
+                let (_, t, m) = pick.expect("unmapped is non-empty");
+                commit(t, m, &mut avail, &mut assignment);
+                unmapped.retain(|&x| x != t);
+            }
+        }
+    }
+
+    debug_assert!(assignment.iter().all(|&m| m != usize::MAX));
+    Mapping::from_assignment(etc, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etc::{generate, HeterogeneityClass};
+
+    fn sample() -> EtcMatrix {
+        generate(40, 6, HeterogeneityClass::Inconsistent, 20.0, 10.0, 11)
+    }
+
+    #[test]
+    fn every_heuristic_maps_every_task() {
+        let etc = sample();
+        for h in Heuristic::ALL {
+            let m = map_tasks(&etc, h);
+            assert_eq!(m.assignment.len(), 40, "{}", h.name());
+            assert!(m.assignment.iter().all(|&x| x < 6));
+            assert!(m.makespan >= etc.lower_bound() - 1e-9, "{}", h.name());
+            // Machine finish times are consistent with the assignment.
+            let recomputed = Mapping::from_assignment(&etc, m.assignment.clone());
+            assert_eq!(m, recomputed);
+        }
+    }
+
+    #[test]
+    fn met_ignores_load_and_pays_for_it_on_consistent_etc() {
+        // On a consistent matrix MET piles everything on the globally
+        // fastest machine — textbook pathology.
+        let etc = generate(30, 5, HeterogeneityClass::Consistent, 5.0, 6.0, 3);
+        let met = map_tasks(&etc, Heuristic::Met);
+        assert!(
+            met.assignment.iter().all(|&m| m == met.assignment[0]),
+            "MET on consistent ETC uses one machine"
+        );
+        let mct = map_tasks(&etc, Heuristic::Mct);
+        assert!(mct.makespan < met.makespan, "MCT must beat MET here");
+    }
+
+    #[test]
+    fn batch_heuristics_beat_olb_on_average() {
+        let mut olb_total = 0.0;
+        let mut minmin_total = 0.0;
+        let mut suff_total = 0.0;
+        for seed in 0..10 {
+            let etc = generate(50, 8, HeterogeneityClass::Inconsistent, 30.0, 10.0, seed);
+            olb_total += map_tasks(&etc, Heuristic::Olb).makespan;
+            minmin_total += map_tasks(&etc, Heuristic::MinMin).makespan;
+            suff_total += map_tasks(&etc, Heuristic::Sufferage).makespan;
+        }
+        assert!(
+            minmin_total < olb_total,
+            "min-min {minmin_total} vs OLB {olb_total}"
+        );
+        assert!(
+            suff_total < olb_total,
+            "sufferage {suff_total} vs OLB {olb_total}"
+        );
+    }
+
+    #[test]
+    fn min_min_known_small_instance() {
+        // 3 tasks, 2 machines.
+        //        m0   m1
+        // t0:     2    4
+        // t1:     3    1
+        // t2:    10   10
+        let etc = EtcMatrix::from_fn(3, 2, |t, m| [[2.0, 4.0], [3.0, 1.0], [10.0, 10.0]][t][m]);
+        let mm = map_tasks(&etc, Heuristic::MinMin);
+        // Min-min commits t1→m1 (1), then t0→m0 (2), then t2→m0 or m1:
+        // completions 12 vs 11 → m1. Makespan 11.
+        assert_eq!(mm.assignment, vec![0, 1, 1]);
+        assert_eq!(mm.makespan, 11.0);
+        // Max-min commits t2 first (best 10), then fills the other
+        // machine: t0→m0(2), t1: m0 → 2+3=5 vs m1 → 11: picks m0.
+        let xm = map_tasks(&etc, Heuristic::MaxMin);
+        assert_eq!(xm.assignment[2], 0);
+        assert_eq!(xm.makespan, 10.0, "max-min wins when one task dominates");
+    }
+
+    #[test]
+    fn sufferage_prefers_tasks_with_most_to_lose() {
+        // t0 is nearly indifferent; t1 suffers hugely off its best
+        // machine. Both prefer m0. Sufferage must give m0 to t1.
+        let etc = EtcMatrix::from_fn(2, 2, |t, m| [[5.0, 6.0], [5.0, 50.0]][t][m]);
+        let s = map_tasks(&etc, Heuristic::Sufferage);
+        assert_eq!(s.assignment[1], 0, "the sufferer gets its machine");
+        assert_eq!(s.assignment[0], 1);
+        assert_eq!(s.makespan, 6.0);
+        // Min-min (tie on completion 5, lower task id first) gives m0 to
+        // t0; t1 then still prefers m0 (5+5=10 beats 50) and stacks on
+        // it — worse than sufferage's 6, the heuristic's known weakness.
+        let mm = map_tasks(&etc, Heuristic::MinMin);
+        assert_eq!(mm.assignment, vec![0, 0]);
+        assert_eq!(mm.makespan, 10.0);
+    }
+
+    #[test]
+    fn single_machine_degenerates() {
+        let etc = EtcMatrix::from_fn(4, 1, |t, _| (t + 1) as f64);
+        for h in Heuristic::ALL {
+            let m = map_tasks(&etc, h);
+            assert_eq!(m.makespan, 10.0, "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Heuristic::ALL.iter().map(|h| h.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,53 @@
+//! MSHN-style task mapping onto heterogeneous machines.
+//!
+//! "The Management System for Heterogeneous Networks (MSHN) project …
+//! is designing and implementing a Resource Management System for
+//! distributed heterogeneous and shared environments. … Various task
+//! mapping and scheduling algorithms are being developed [1, 20]. Our
+//! research is a part of the MSHN effort." (paper §2)
+//!
+//! This crate implements that sister problem: map a bag of independent
+//! tasks onto heterogeneous machines given an **ETC** (expected time to
+//! compute) matrix, minimizing makespan. It provides the six classic
+//! heuristics evaluated in the MSHN literature (Maheswaran/Siegel,
+//! Armstrong/Hensgen/Kidd; later canonized in the Braun benchmark):
+//!
+//! | Heuristic | Rule |
+//! |---|---|
+//! | OLB | next task → machine that becomes *available* first |
+//! | MET | next task → machine with minimum execution time (ignores load) |
+//! | MCT | next task → machine with minimum *completion* time |
+//! | Min-min | among all unmapped tasks, commit the (task, machine) pair with smallest best completion |
+//! | Max-min | like min-min, but commit the task whose *best* completion is largest |
+//! | Sufferage | commit the task that would *suffer* most if denied its best machine |
+//!
+//! [`etc`] generates the classic consistent / semi-consistent /
+//! inconsistent ETC heterogeneity classes.
+
+//!
+//! # Example
+//!
+//! ```
+//! use adaptcomm_mapping::{etc, map_tasks, Heuristic, HeterogeneityClass};
+//!
+//! let matrix = etc::generate(30, 5, HeterogeneityClass::Inconsistent, 20.0, 8.0, 42);
+//! let minmin = map_tasks(&matrix, Heuristic::MinMin);
+//! let olb = map_tasks(&matrix, Heuristic::Olb);
+//! assert!(minmin.makespan >= matrix.lower_bound());
+//! // The batch heuristic typically beats opportunistic load balancing.
+//! assert!(minmin.makespan <= olb.makespan * 1.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Index-based loops mirror the published pseudocode of the ported
+// algorithms; iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dag;
+pub mod etc;
+pub mod heuristics;
+
+pub use dag::{schedule_dag, DagSchedule, TaskGraph};
+pub use etc::{EtcMatrix, HeterogeneityClass};
+pub use heuristics::{map_tasks, Heuristic, Mapping};

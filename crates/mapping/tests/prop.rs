@@ -1,0 +1,54 @@
+//! Property tests for the mapping heuristics.
+
+use adaptcomm_mapping::{etc, map_tasks, EtcMatrix, HeterogeneityClass, Heuristic};
+use proptest::prelude::*;
+
+fn etc_matrix() -> impl Strategy<Value = EtcMatrix> {
+    (
+        1usize..30,
+        1usize..8,
+        0u64..1000,
+        prop_oneof![
+            Just(HeterogeneityClass::Consistent),
+            Just(HeterogeneityClass::Inconsistent),
+            Just(HeterogeneityClass::SemiConsistent),
+        ],
+    )
+        .prop_map(|(t, m, seed, class)| etc::generate(t, m, class, 15.0, 8.0, seed))
+}
+
+proptest! {
+    /// Every heuristic produces a complete assignment whose makespan is
+    /// at least the lower bound and (except load-oblivious MET) within a
+    /// generous sanity ceiling.
+    #[test]
+    fn mappings_are_complete_and_bounded(e in etc_matrix()) {
+        // Universal ceiling: every task on its *worst* machine, all on
+        // one node. No assignment can exceed it.
+        let worst_serial: f64 = (0..e.tasks())
+            .map(|t| (0..e.machines()).map(|m| e.time(t, m)).fold(0.0f64, f64::max))
+            .sum();
+        for h in Heuristic::ALL {
+            let m = map_tasks(&e, h);
+            prop_assert_eq!(m.assignment.len(), e.tasks());
+            prop_assert!(m.assignment.iter().all(|&x| x < e.machines()));
+            prop_assert!(m.makespan >= e.lower_bound() - 1e-9, "{}", h.name());
+            prop_assert!(m.makespan <= worst_serial + 1e-6, "{}", h.name());
+        }
+    }
+
+    /// Mapping is deterministic.
+    #[test]
+    fn mct_is_deterministically_reproducible(e in etc_matrix()) {
+        let a = map_tasks(&e, Heuristic::Mct);
+        let b = map_tasks(&e, Heuristic::Mct);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Min-min stays within a loose universal list-scheduling bound.
+    #[test]
+    fn minmin_within_list_scheduling_bound(e in etc_matrix()) {
+        let m = map_tasks(&e, Heuristic::MinMin);
+        prop_assert!(m.makespan <= 2.0 * e.machines() as f64 * e.lower_bound() + 1e-6);
+    }
+}

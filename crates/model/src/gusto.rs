@@ -1,0 +1,200 @@
+//! The GUSTO testbed measurements from the paper (Tables 1 and 2).
+//!
+//! GUSTO was the Globus testbed; its Metacomputing Directory Service
+//! published end-to-end latency and bandwidth between computing sites.
+//! The paper reproduces a 5-site snapshot — NASA AMES, Argonne National
+//! Lab, Indiana University, USC-ISI and NCSA — which we embed verbatim.
+//! The simulation section (§5) generates random network characteristics
+//! "using information from the GUSTO directory service as a guideline";
+//! [`crate::generator`] samples within the ranges spanned by these tables.
+
+use crate::cost::LinkEstimate;
+use crate::params::NetParams;
+use crate::units::{Bandwidth, Millis};
+
+/// The five GUSTO sites of Tables 1 and 2, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// NASA Ames Research Center.
+    Ames,
+    /// Argonne National Laboratory.
+    Anl,
+    /// Indiana University.
+    Indiana,
+    /// USC Information Sciences Institute.
+    UscIsi,
+    /// National Center for Supercomputing Applications.
+    Ncsa,
+}
+
+impl Site {
+    /// All sites in table order.
+    pub const ALL: [Site; 5] = [
+        Site::Ames,
+        Site::Anl,
+        Site::Indiana,
+        Site::UscIsi,
+        Site::Ncsa,
+    ];
+
+    /// Table row/column index of the site.
+    pub fn index(self) -> usize {
+        match self {
+            Site::Ames => 0,
+            Site::Anl => 1,
+            Site::Indiana => 2,
+            Site::UscIsi => 3,
+            Site::Ncsa => 4,
+        }
+    }
+
+    /// The site's name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Ames => "AMES",
+            Site::Anl => "ANL",
+            Site::Indiana => "IND",
+            Site::UscIsi => "USC-ISI",
+            Site::Ncsa => "NCSA",
+        }
+    }
+}
+
+/// Table 1: latency in milliseconds between the 5 GUSTO sites.
+/// Diagonal entries (site to itself) are zero.
+pub const LATENCY_MS: [[f64; 5]; 5] = [
+    [0.0, 34.5, 89.5, 12.0, 42.0],
+    [34.5, 0.0, 20.0, 26.5, 4.5],
+    [89.5, 20.0, 0.0, 42.5, 21.5],
+    [12.0, 26.5, 42.5, 0.0, 29.5],
+    [42.0, 4.5, 21.5, 29.5, 0.0],
+];
+
+/// Table 2: bandwidth in kbit/s between the 5 GUSTO sites.
+/// Diagonal entries are zero placeholders (local copies are free).
+pub const BANDWIDTH_KBPS: [[f64; 5]; 5] = [
+    [0.0, 512.0, 246.0, 2044.0, 391.0],
+    [512.0, 0.0, 491.0, 693.0, 2402.0],
+    [246.0, 491.0, 0.0, 311.0, 448.0],
+    [2044.0, 693.0, 311.0, 0.0, 4976.0],
+    [391.0, 2402.0, 448.0, 4976.0, 0.0],
+];
+
+/// Smallest off-diagonal latency in Table 1 (ms).
+pub const MIN_LATENCY_MS: f64 = 4.5;
+/// Largest off-diagonal latency in Table 1 (ms).
+pub const MAX_LATENCY_MS: f64 = 89.5;
+/// Smallest off-diagonal bandwidth in Table 2 (kbit/s).
+pub const MIN_BANDWIDTH_KBPS: f64 = 246.0;
+/// Largest off-diagonal bandwidth in Table 2 (kbit/s).
+pub const MAX_BANDWIDTH_KBPS: f64 = 4976.0;
+
+/// Returns the 5-site [`NetParams`] built from Tables 1 and 2.
+pub fn gusto_params() -> NetParams {
+    NetParams::from_fn(5, |src, dst| {
+        if src == dst {
+            LinkEstimate::new(Millis::ZERO, Bandwidth::from_kbps(1e12))
+        } else {
+            LinkEstimate::new(
+                Millis::new(latency_ms(src, dst)),
+                Bandwidth::from_kbps(bandwidth_kbps(src, dst)),
+            )
+        }
+    })
+}
+
+/// Latency between two site indices, per Table 1 (symmetric).
+pub fn latency_ms(a: usize, b: usize) -> f64 {
+    LATENCY_MS[a][b]
+}
+
+/// Bandwidth between two site indices, per Table 2 (symmetric).
+pub fn bandwidth_kbps(a: usize, b: usize) -> f64 {
+    BANDWIDTH_KBPS[a][b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::units::Bytes;
+
+    #[test]
+    fn tables_are_symmetric() {
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(latency_ms(a, b), latency_ms(b, a), "latency {a},{b}");
+                assert_eq!(
+                    bandwidth_kbps(a, b),
+                    bandwidth_kbps(b, a),
+                    "bandwidth {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spot_check_paper_values() {
+        // Table 1 spot checks.
+        assert_eq!(latency_ms(Site::Ames.index(), Site::Indiana.index()), 89.5);
+        assert_eq!(latency_ms(Site::Anl.index(), Site::Ncsa.index()), 4.5);
+        assert_eq!(latency_ms(Site::Ames.index(), Site::UscIsi.index()), 12.0);
+        // Table 2 spot checks.
+        assert_eq!(
+            bandwidth_kbps(Site::UscIsi.index(), Site::Ncsa.index()),
+            4976.0
+        );
+        assert_eq!(
+            bandwidth_kbps(Site::Ames.index(), Site::Indiana.index()),
+            246.0
+        );
+        assert_eq!(
+            bandwidth_kbps(Site::Anl.index(), Site::Ncsa.index()),
+            2402.0
+        );
+    }
+
+    #[test]
+    fn ranges_match_tables() {
+        let mut lat_min = f64::INFINITY;
+        let mut lat_max = 0.0f64;
+        let mut bw_min = f64::INFINITY;
+        let mut bw_max = 0.0f64;
+        for a in 0..5 {
+            for b in 0..5 {
+                if a == b {
+                    continue;
+                }
+                lat_min = lat_min.min(latency_ms(a, b));
+                lat_max = lat_max.max(latency_ms(a, b));
+                bw_min = bw_min.min(bandwidth_kbps(a, b));
+                bw_max = bw_max.max(bandwidth_kbps(a, b));
+            }
+        }
+        assert_eq!(lat_min, MIN_LATENCY_MS);
+        assert_eq!(lat_max, MAX_LATENCY_MS);
+        assert_eq!(bw_min, MIN_BANDWIDTH_KBPS);
+        assert_eq!(bw_max, MAX_BANDWIDTH_KBPS);
+    }
+
+    #[test]
+    fn gusto_params_reflect_tables() {
+        let p = gusto_params();
+        assert_eq!(p.len(), 5);
+        let e = p.estimate(Site::Ames.index(), Site::Anl.index());
+        assert_eq!(e.startup.as_ms(), 34.5);
+        assert_eq!(e.bandwidth.as_kbps(), 512.0);
+        // Message time: 34.5 + 8e6/512 ms for 1 MB.
+        let t = p.message_time(0, 1, Bytes::MB);
+        assert!((t.as_ms() - (34.5 + 8e6 / 512.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn site_metadata() {
+        assert_eq!(Site::ALL.len(), 5);
+        for (i, s) in Site::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Site::UscIsi.name(), "USC-ISI");
+    }
+}

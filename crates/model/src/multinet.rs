@@ -1,0 +1,282 @@
+//! Multiple heterogeneous networks between node pairs (§2).
+//!
+//! The paper surveys Kim & Lilja's work on clusters wired with several
+//! networks at once (ATM + Ethernet + Fibre Channel) and two techniques
+//! for exploiting them:
+//!
+//! * **PBPS (Performance Based Path Selection)** — per message, pick the
+//!   single network minimizing `T + m/B` for that message size. Because
+//!   networks trade start-up cost against bandwidth, the best choice
+//!   *crosses over* as messages grow ([`MultiNetwork::crossover_size`]).
+//! * **Aggregation** — split one message across all networks in
+//!   parallel; the optimal split equalizes the finish times
+//!   (water-filling over `(T_k, B_k)`).
+//!
+//! [`MultiNetwork::pbps_params`] flattens a multi-network system into
+//! ordinary [`NetParams`] for a given message size, which plugs straight
+//! into the scheduling framework — exactly how the paper positions this
+//! related work ("these techniques can be incorporated").
+
+use crate::cost::LinkEstimate;
+use crate::params::NetParams;
+use crate::units::{Bandwidth, Bytes, Millis};
+
+/// A set of parallel networks covering the same `P` processors.
+#[derive(Debug, Clone)]
+pub struct MultiNetwork {
+    names: Vec<String>,
+    networks: Vec<NetParams>,
+}
+
+impl MultiNetwork {
+    /// Builds from named parameter tables; all must cover the same `P`.
+    pub fn new(networks: Vec<(String, NetParams)>) -> Self {
+        assert!(!networks.is_empty(), "need at least one network");
+        let p = networks[0].1.len();
+        for (name, net) in &networks {
+            assert_eq!(
+                net.len(),
+                p,
+                "network {name} covers {} nodes, expected {p}",
+                net.len()
+            );
+        }
+        let (names, networks) = networks.into_iter().unzip();
+        MultiNetwork { names, networks }
+    }
+
+    /// Number of parallel networks.
+    pub fn count(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.networks[0].len()
+    }
+
+    /// Network names, in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// PBPS: the index and predicted time of the best single network for
+    /// an `m`-byte message from `src` to `dst`.
+    pub fn pbps_choice(&self, src: usize, dst: usize, m: Bytes) -> (usize, Millis) {
+        self.networks
+            .iter()
+            .enumerate()
+            .map(|(k, net)| (k, net.time(src, dst, m)))
+            .min_by(|a, b| a.1.as_ms().total_cmp(&b.1.as_ms()).then(a.0.cmp(&b.0)))
+            .expect("at least one network")
+    }
+
+    /// PBPS flattened to [`NetParams`] for a fixed message size: each
+    /// pair is assigned its best network's parameters.
+    pub fn pbps_params(&self, m: Bytes) -> NetParams {
+        let p = self.processors();
+        NetParams::from_fn(p, |src, dst| {
+            if src == dst {
+                LinkEstimate::new(Millis::ZERO, Bandwidth::from_kbps(1e12))
+            } else {
+                let (k, _) = self.pbps_choice(src, dst, m);
+                self.networks[k].estimate(src, dst)
+            }
+        })
+    }
+
+    /// The message size at which network `b` becomes at least as fast as
+    /// network `a` for the pair, if such a crossover exists:
+    /// `T_a + m/B_a = T_b + m/B_b  ⇒  m = (T_b − T_a)·B_a·B_b/(B_b − B_a)`
+    /// (in consistent units). Returns `None` when one network dominates
+    /// at every size.
+    pub fn crossover_size(&self, src: usize, dst: usize, a: usize, b: usize) -> Option<Bytes> {
+        let ea = self.networks[a].estimate(src, dst);
+        let eb = self.networks[b].estimate(src, dst);
+        let (ta, tb) = (ea.startup.as_ms(), eb.startup.as_ms());
+        // Times in ms for m bytes: t + 8m/B_kbps.
+        let (ra, rb) = (8.0 / ea.bandwidth.as_kbps(), 8.0 / eb.bandwidth.as_kbps());
+        if (ra - rb).abs() < 1e-15 {
+            return None; // parallel lines: no crossover
+        }
+        let m = (tb - ta) / (ra - rb);
+        if m.is_finite() && m > 0.0 {
+            Some(Bytes::new(m.ceil() as u64))
+        } else {
+            None // one network dominates everywhere
+        }
+    }
+
+    /// Aggregation: the time to move `m` bytes from `src` to `dst` using
+    /// *all* networks in parallel with the optimal split, plus the split
+    /// itself (bytes per network; zero for networks not worth starting).
+    ///
+    /// Water-filling: at finish time `t`, network `k` moves
+    /// `max(0, (t − T_k))·B_k` bytes; find the smallest `t` with total
+    /// ≥ `m`. Piecewise linear and increasing in `t`, solved exactly by
+    /// sweeping the start-up costs in ascending order.
+    pub fn aggregate(&self, src: usize, dst: usize, m: Bytes) -> (Millis, Vec<Bytes>) {
+        let k = self.count();
+        if m == Bytes::ZERO {
+            return (Millis::ZERO, vec![Bytes::ZERO; k]);
+        }
+        // Per network: (startup ms, rate bytes/ms, original index).
+        let mut nets: Vec<(f64, f64, usize)> = (0..k)
+            .map(|i| {
+                let e = self.networks[i].estimate(src, dst);
+                (e.startup.as_ms(), e.bandwidth.as_kbps() / 8.0, i)
+            })
+            .collect();
+        nets.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+
+        let target = m.as_u64() as f64;
+        // Sweep: with the first `used` networks active, capacity(t) =
+        // Σ rate_i (t − T_i). Find the prefix for which the solution t
+        // precedes the next network's startup.
+        let mut rate_sum = 0.0;
+        let mut weighted = 0.0; // Σ rate_i · T_i
+        let mut best_t = f64::INFINITY;
+        let mut best_used = 0;
+        for used in 1..=nets.len() {
+            let (t_k, r_k, _) = nets[used - 1];
+            rate_sum += r_k;
+            weighted += r_k * t_k;
+            let t = (target + weighted) / rate_sum;
+            let lower_ok = t >= t_k - 1e-12;
+            let upper_ok = used == nets.len() || t <= nets[used].0 + 1e-12;
+            if lower_ok && upper_ok {
+                best_t = t;
+                best_used = used;
+                break;
+            }
+        }
+        assert!(best_t.is_finite(), "water-filling must find a finish time");
+
+        // Distribute bytes; round the split to integers conserving m.
+        let mut split = vec![Bytes::ZERO; k];
+        let mut assigned = 0u64;
+        for (idx, &(t_i, r_i, orig)) in nets.iter().take(best_used).enumerate() {
+            let exact = (best_t - t_i) * r_i;
+            let bytes = if idx == best_used - 1 {
+                m.as_u64() - assigned // remainder absorbs rounding
+            } else {
+                let b = exact.floor().max(0.0) as u64;
+                let b = b.min(m.as_u64() - assigned);
+                assigned += b;
+                b
+            };
+            split[orig] = Bytes::new(bytes);
+        }
+        (Millis::new(best_t), split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ethernet-like (cheap start-up, low bandwidth) vs ATM-like
+    /// (expensive start-up, high bandwidth).
+    fn two_nets() -> MultiNetwork {
+        let ethernet = NetParams::uniform(3, Millis::new(1.0), Bandwidth::from_kbps(8_000.0));
+        let atm = NetParams::uniform(3, Millis::new(20.0), Bandwidth::from_kbps(80_000.0));
+        MultiNetwork::new(vec![("ethernet".into(), ethernet), ("atm".into(), atm)])
+    }
+
+    #[test]
+    fn pbps_picks_by_message_size() {
+        let mn = two_nets();
+        // 1 kB: ethernet 1 + 1 = 2ms; atm 20 + 0.1 = 20.1ms.
+        assert_eq!(mn.pbps_choice(0, 1, Bytes::KB).0, 0);
+        // 1 MB: ethernet 1 + 1000 = 1001ms; atm 20 + 100 = 120ms.
+        assert_eq!(mn.pbps_choice(0, 1, Bytes::MB).0, 1);
+    }
+
+    #[test]
+    fn crossover_matches_hand_calculation() {
+        let mn = two_nets();
+        // T_a=1, r_a=8/8000=1e-3 ms/B; T_b=20, r_b=1e-4.
+        // m* = (20-1)/(1e-3-1e-4) = 19/9e-4 ≈ 21_111 bytes.
+        let m = mn.crossover_size(0, 1, 0, 1).unwrap();
+        assert!((m.as_u64() as f64 - 21_111.0).abs() < 2.0, "got {m}");
+        // Below the crossover ethernet wins, above ATM wins.
+        assert_eq!(mn.pbps_choice(0, 1, Bytes::new(20_000)).0, 0);
+        assert_eq!(mn.pbps_choice(0, 1, Bytes::new(22_000)).0, 1);
+    }
+
+    #[test]
+    fn no_crossover_when_one_network_dominates() {
+        let slow = NetParams::uniform(2, Millis::new(10.0), Bandwidth::from_kbps(100.0));
+        let fast = NetParams::uniform(2, Millis::new(1.0), Bandwidth::from_kbps(10_000.0));
+        let mn = MultiNetwork::new(vec![("slow".into(), slow), ("fast".into(), fast)]);
+        assert!(mn.crossover_size(0, 1, 0, 1).is_none());
+        assert_eq!(mn.pbps_choice(0, 1, Bytes::KB).0, 1);
+        assert_eq!(mn.pbps_choice(0, 1, Bytes::MB).0, 1);
+    }
+
+    #[test]
+    fn pbps_params_flatten_per_pair() {
+        let mn = two_nets();
+        let small = mn.pbps_params(Bytes::KB);
+        let large = mn.pbps_params(Bytes::MB);
+        assert_eq!(small.estimate(0, 1).startup.as_ms(), 1.0); // ethernet
+        assert_eq!(large.estimate(0, 1).startup.as_ms(), 20.0); // atm
+    }
+
+    #[test]
+    fn aggregation_beats_the_best_single_network() {
+        let mn = two_nets();
+        for m in [Bytes::new(50_000), Bytes::MB, Bytes::from_mb(5)] {
+            let (t_agg, split) = mn.aggregate(0, 1, m);
+            let (_, t_best) = mn.pbps_choice(0, 1, m);
+            assert!(
+                t_agg.as_ms() <= t_best.as_ms() + 1e-9,
+                "aggregation {t_agg} worse than best single {t_best} for {m}"
+            );
+            assert_eq!(split.iter().map(|b| b.as_u64()).sum::<u64>(), m.as_u64());
+        }
+    }
+
+    #[test]
+    fn aggregation_skips_networks_not_worth_starting() {
+        let mn = two_nets();
+        // A tiny message finishes on ethernet before ATM even starts up.
+        let (t, split) = mn.aggregate(0, 1, Bytes::new(1_000));
+        assert!(t.as_ms() < 20.0, "finished before ATM's 20ms startup: {t}");
+        assert_eq!(split[1], Bytes::ZERO, "ATM must carry nothing");
+        assert_eq!(split[0], Bytes::new(1_000));
+    }
+
+    #[test]
+    fn aggregation_split_equalizes_finish_times() {
+        let mn = two_nets();
+        let (t, split) = mn.aggregate(0, 1, Bytes::MB);
+        // Each used network finishes within a byte-quantum of t.
+        for (k, bytes) in split.iter().enumerate() {
+            if bytes.as_u64() > 0 {
+                let e = mn.networks[k].estimate(0, 1);
+                let fin = e.message_time(*bytes).as_ms();
+                assert!(
+                    (fin - t.as_ms()).abs() < 0.01,
+                    "network {k} finishes at {fin}, batch at {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let mn = two_nets();
+        let (t, split) = mn.aggregate(0, 1, Bytes::ZERO);
+        assert_eq!(t.as_ms(), 0.0);
+        assert!(split.iter().all(|b| *b == Bytes::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "covers")]
+    fn mismatched_sizes_rejected() {
+        let a = NetParams::uniform(2, Millis::new(1.0), Bandwidth::from_kbps(10.0));
+        let b = NetParams::uniform(3, Millis::new(1.0), Bandwidth::from_kbps(10.0));
+        let _ = MultiNetwork::new(vec![("a".into(), a), ("b".into(), b)]);
+    }
+}

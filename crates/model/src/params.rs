@@ -1,0 +1,253 @@
+//! Dense per-pair network parameter tables.
+//!
+//! [`NetParams`] is the exchange format between the directory service and
+//! the schedulers: for every ordered processor pair `(i, j)` it stores the
+//! current estimate `(T_ij, B_ij)`. Diagonal entries are local memory
+//! copies and are never consulted (the cost model short-circuits them to
+//! zero, per the paper's §4.2 assumption).
+
+use crate::cost::LinkEstimate;
+use crate::units::{Bandwidth, Bytes, Millis};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense `P×P` table of link estimates.
+///
+/// Storage is row-major over *senders*: `estimate(src, dst)` is the
+/// performance of the path used by messages from `src` to `dst`.
+/// Estimates need not be symmetric (WAN routes rarely are).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetParams {
+    p: usize,
+    entries: Vec<LinkEstimate>,
+}
+
+impl NetParams {
+    /// Builds a table where every off-diagonal pair shares one estimate.
+    pub fn uniform(p: usize, startup: Millis, bandwidth: Bandwidth) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        let e = LinkEstimate::new(startup, bandwidth);
+        NetParams {
+            p,
+            entries: vec![e; p * p],
+        }
+    }
+
+    /// Builds a table from a function of `(src, dst)`. The function is
+    /// also invoked for the diagonal so callers can keep it total, but
+    /// diagonal values are never used by the cost model.
+    pub fn from_fn(p: usize, mut f: impl FnMut(usize, usize) -> LinkEstimate) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        let mut entries = Vec::with_capacity(p * p);
+        for src in 0..p {
+            for dst in 0..p {
+                entries.push(f(src, dst));
+            }
+        }
+        NetParams { p, entries }
+    }
+
+    /// Builds a table from explicit startup (ms) and bandwidth (kbit/s)
+    /// matrices, as published by a directory like GUSTO's.
+    ///
+    /// Diagonal bandwidth entries may be zero in the source tables (the
+    /// GUSTO tables leave them blank); they are replaced by a large
+    /// sentinel since local copies are free anyway.
+    pub fn from_matrices(startup_ms: &[Vec<f64>], bandwidth_kbps: &[Vec<f64>]) -> Self {
+        let p = startup_ms.len();
+        assert!(p >= 1, "need at least one processor");
+        assert_eq!(bandwidth_kbps.len(), p, "matrix sizes differ");
+        for r in 0..p {
+            assert_eq!(startup_ms[r].len(), p, "startup matrix is not square");
+            assert_eq!(bandwidth_kbps[r].len(), p, "bandwidth matrix is not square");
+        }
+        Self::from_fn(p, |src, dst| {
+            if src == dst {
+                LinkEstimate::new(Millis::ZERO, Bandwidth::from_kbps(1e12))
+            } else {
+                LinkEstimate::new(
+                    Millis::new(startup_ms[src][dst]),
+                    Bandwidth::from_kbps(bandwidth_kbps[src][dst]),
+                )
+            }
+        })
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.p
+    }
+
+    /// True if the table is empty (never constructible; kept for API
+    /// symmetry with collections).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.p == 0
+    }
+
+    /// The estimate for the ordered pair `(src, dst)`.
+    #[inline]
+    pub fn estimate(&self, src: usize, dst: usize) -> LinkEstimate {
+        self.entries[src * self.p + dst]
+    }
+
+    /// Overwrites the estimate for `(src, dst)`.
+    #[inline]
+    pub fn set_estimate(&mut self, src: usize, dst: usize, e: LinkEstimate) {
+        self.entries[src * self.p + dst] = e;
+    }
+
+    /// Applies a multiplicative factor to the bandwidth of a single
+    /// directed pair (load injection / variation).
+    pub fn scale_bandwidth(&mut self, src: usize, dst: usize, factor: f64) {
+        let e = self.estimate(src, dst);
+        self.set_estimate(
+            src,
+            dst,
+            LinkEstimate::new(e.startup, e.bandwidth.scaled(factor)),
+        );
+    }
+
+    /// Applies a multiplicative factor to every off-diagonal bandwidth.
+    pub fn scale_all_bandwidths(&mut self, factor: f64) {
+        for src in 0..self.p {
+            for dst in 0..self.p {
+                if src != dst {
+                    self.scale_bandwidth(src, dst, factor);
+                }
+            }
+        }
+    }
+
+    /// Predicted message time for `m` bytes from `src` to `dst`
+    /// (zero on the diagonal).
+    #[inline]
+    pub fn time(&self, src: usize, dst: usize, m: Bytes) -> Millis {
+        if src == dst {
+            Millis::ZERO
+        } else {
+            self.estimate(src, dst).message_time(m)
+        }
+    }
+
+    /// Iterates over all ordered off-diagonal pairs with their estimates.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, LinkEstimate)> + '_ {
+        (0..self.p).flat_map(move |src| {
+            (0..self.p)
+                .filter(move |&dst| dst != src)
+                .map(move |dst| (src, dst, self.estimate(src, dst)))
+        })
+    }
+
+    /// Largest relative bandwidth change between two snapshots of the same
+    /// system, e.g. to decide whether rescheduling is worthwhile (§6.3).
+    pub fn max_relative_bandwidth_delta(&self, other: &NetParams) -> f64 {
+        assert_eq!(self.p, other.p, "snapshots cover different systems");
+        let mut worst = 0.0f64;
+        for (src, dst, e) in self.pairs() {
+            let b0 = e.bandwidth.as_kbps();
+            let b1 = other.estimate(src, dst).bandwidth.as_kbps();
+            worst = worst.max((b1 - b0).abs() / b0);
+        }
+        worst
+    }
+}
+
+impl fmt::Display for NetParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "NetParams over {} processors:", self.p)?;
+        for src in 0..self.p {
+            for dst in 0..self.p {
+                if src == dst {
+                    write!(f, "      --      ")?;
+                } else {
+                    let e = self.estimate(src, dst);
+                    write!(
+                        f,
+                        " {:5.1}ms/{:7.0}k",
+                        e.startup.as_ms(),
+                        e.bandwidth.as_kbps()
+                    )?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_table_is_uniform() {
+        let p = NetParams::uniform(4, Millis::new(10.0), Bandwidth::from_kbps(500.0));
+        assert_eq!(p.len(), 4);
+        for (_, _, e) in p.pairs() {
+            assert_eq!(e.startup.as_ms(), 10.0);
+            assert_eq!(e.bandwidth.as_kbps(), 500.0);
+        }
+        assert_eq!(p.pairs().count(), 12); // 4*3 off-diagonal pairs
+    }
+
+    #[test]
+    fn from_fn_is_directional() {
+        let p = NetParams::from_fn(3, |src, dst| {
+            LinkEstimate::new(
+                Millis::new((src * 10 + dst) as f64 + 1.0),
+                Bandwidth::from_kbps(100.0),
+            )
+        });
+        assert_eq!(p.estimate(2, 1).startup.as_ms(), 22.0);
+        assert_eq!(p.estimate(1, 2).startup.as_ms(), 13.0);
+    }
+
+    #[test]
+    fn from_matrices_roundtrip() {
+        let s = vec![vec![0.0, 5.0], vec![7.0, 0.0]];
+        let b = vec![vec![0.0, 100.0], vec![200.0, 0.0]];
+        let p = NetParams::from_matrices(&s, &b);
+        assert_eq!(p.estimate(0, 1).startup.as_ms(), 5.0);
+        assert_eq!(p.estimate(1, 0).bandwidth.as_kbps(), 200.0);
+        // Diagonal is free regardless of sentinel.
+        assert_eq!(p.time(0, 0, Bytes::MB), Millis::ZERO);
+    }
+
+    #[test]
+    fn scaling_affects_only_target_pair() {
+        let mut p = NetParams::uniform(3, Millis::new(1.0), Bandwidth::from_kbps(100.0));
+        p.scale_bandwidth(0, 2, 0.5);
+        assert_eq!(p.estimate(0, 2).bandwidth.as_kbps(), 50.0);
+        assert_eq!(p.estimate(2, 0).bandwidth.as_kbps(), 100.0);
+        assert_eq!(p.estimate(0, 1).bandwidth.as_kbps(), 100.0);
+    }
+
+    #[test]
+    fn scale_all_bandwidths_scales_everything() {
+        let mut p = NetParams::uniform(3, Millis::new(1.0), Bandwidth::from_kbps(100.0));
+        p.scale_all_bandwidths(2.0);
+        for (_, _, e) in p.pairs() {
+            assert_eq!(e.bandwidth.as_kbps(), 200.0);
+        }
+    }
+
+    #[test]
+    fn max_relative_delta_detects_change() {
+        let a = NetParams::uniform(3, Millis::new(1.0), Bandwidth::from_kbps(100.0));
+        let mut b = a.clone();
+        assert_eq!(a.max_relative_bandwidth_delta(&b), 0.0);
+        b.scale_bandwidth(1, 2, 1.5);
+        assert!((a.max_relative_bandwidth_delta(&b) - 0.5).abs() < 1e-12);
+        b.scale_bandwidth(2, 0, 0.2);
+        assert!((a.max_relative_bandwidth_delta(&b) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_without_panic() {
+        let p = NetParams::uniform(2, Millis::new(1.0), Bandwidth::from_kbps(100.0));
+        let s = format!("{p}");
+        assert!(s.contains("2 processors"));
+    }
+}

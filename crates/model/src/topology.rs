@@ -1,0 +1,319 @@
+//! Hierarchical metacomputing topology (paper Figure 1).
+//!
+//! A metacomputing system is a collection of *sites* (each with a local
+//! network) joined by long-haul links. A message between nodes at
+//! different sites traverses the sender's local network, the long-haul
+//! link, and the receiver's local network. Applications never see this
+//! structure — the directory service flattens it into per-pair
+//! [`NetParams`] — but the directory needs it to account for *shared
+//! links*: "If the paths between two distinct node pairs share a common
+//! link, the bandwidth of the common link is divided among these
+//! communicating pairs" (§3.1).
+
+use crate::cost::LinkEstimate;
+use crate::params::NetParams;
+use crate::units::{Bandwidth, Millis};
+use std::collections::HashMap;
+
+/// Identifier of a link within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// A physical link: a site's local network or a long-haul connection.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Human-readable label ("site0-lan", "site0<->site1").
+    pub name: String,
+    /// One-way traversal latency.
+    pub latency: Millis,
+    /// Raw capacity of the link.
+    pub capacity: Bandwidth,
+}
+
+/// A compute site holding `nodes` processors behind one local network.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Number of processor nodes at the site.
+    pub nodes: usize,
+    /// Local-network latency contribution (one traversal).
+    pub lan_latency: Millis,
+    /// Local-network capacity.
+    pub lan_capacity: Bandwidth,
+}
+
+/// A two-level metacomputing topology: sites with LANs, fully connected
+/// by long-haul links.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    links: Vec<Link>,
+    /// `site_of[node]` = site index.
+    site_of: Vec<usize>,
+    /// LAN link of each site.
+    lan: Vec<LinkId>,
+    /// Long-haul link between each unordered site pair.
+    wan: HashMap<(usize, usize), LinkId>,
+}
+
+impl Topology {
+    /// Builds a topology from site specifications and a function giving
+    /// the long-haul link between each site pair (`a < b`).
+    pub fn new(
+        sites: &[SiteSpec],
+        mut wan_link: impl FnMut(usize, usize) -> (Millis, Bandwidth),
+    ) -> Self {
+        assert!(!sites.is_empty(), "need at least one site");
+        let mut links = Vec::new();
+        let mut site_of = Vec::new();
+        let mut lan = Vec::new();
+        for (s, spec) in sites.iter().enumerate() {
+            assert!(spec.nodes > 0, "site {s} has no nodes");
+            let id = LinkId(links.len());
+            links.push(Link {
+                name: format!("site{s}-lan"),
+                latency: spec.lan_latency,
+                capacity: spec.lan_capacity,
+            });
+            lan.push(id);
+            for _ in 0..spec.nodes {
+                site_of.push(s);
+            }
+        }
+        let mut wan = HashMap::new();
+        for a in 0..sites.len() {
+            for b in (a + 1)..sites.len() {
+                let (latency, capacity) = wan_link(a, b);
+                let id = LinkId(links.len());
+                links.push(Link {
+                    name: format!("site{a}<->site{b}"),
+                    latency,
+                    capacity,
+                });
+                wan.insert((a, b), id);
+            }
+        }
+        Topology {
+            links,
+            site_of,
+            lan,
+            wan,
+        }
+    }
+
+    /// A convenient uniform topology: `n_sites` sites of `nodes_per_site`
+    /// nodes, identical fast LANs and identical long-haul links.
+    pub fn uniform(
+        n_sites: usize,
+        nodes_per_site: usize,
+        lan: (Millis, Bandwidth),
+        wan: (Millis, Bandwidth),
+    ) -> Self {
+        let spec = SiteSpec {
+            nodes: nodes_per_site,
+            lan_latency: lan.0,
+            lan_capacity: lan.1,
+        };
+        Topology::new(&vec![spec; n_sites], |_, _| wan)
+    }
+
+    /// Total number of processor nodes.
+    pub fn nodes(&self) -> usize {
+        self.site_of.len()
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.lan.len()
+    }
+
+    /// Site of a node.
+    pub fn site_of(&self, node: usize) -> usize {
+        self.site_of[node]
+    }
+
+    /// The link objects, indexable by [`LinkId`].
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// The sequence of links traversed by a message from `src` to `dst`.
+    /// Intra-site messages use only the LAN; an intra-node transfer uses
+    /// no links at all.
+    pub fn path(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        if src == dst {
+            return Vec::new();
+        }
+        let (sa, sb) = (self.site_of[src], self.site_of[dst]);
+        if sa == sb {
+            return vec![self.lan[sa]];
+        }
+        let key = if sa < sb { (sa, sb) } else { (sb, sa) };
+        vec![self.lan[sa], self.wan[&key], self.lan[sb]]
+    }
+
+    /// End-to-end estimate for a path with no competing traffic:
+    /// latencies add, the bottleneck capacity limits bandwidth.
+    pub fn end_to_end(&self, src: usize, dst: usize) -> Option<LinkEstimate> {
+        let path = self.path(src, dst);
+        let mut latency = Millis::ZERO;
+        let mut bw: Option<Bandwidth> = None;
+        for id in &path {
+            let l = self.link(*id);
+            latency += l.latency;
+            bw = Some(match bw {
+                None => l.capacity,
+                Some(b) => b.min(l.capacity),
+            });
+        }
+        bw.map(|bandwidth| LinkEstimate::new(latency, bandwidth))
+    }
+
+    /// Flattens the topology into per-pair [`NetParams`] assuming no
+    /// competing traffic.
+    pub fn to_net_params(&self) -> NetParams {
+        let diag = LinkEstimate::new(Millis::ZERO, Bandwidth::from_kbps(1e12));
+        NetParams::from_fn(self.nodes(), |src, dst| {
+            self.end_to_end(src, dst).unwrap_or(diag)
+        })
+    }
+
+    /// Flattens the topology into [`NetParams`] while a set of flows
+    /// (`(src, dst)` pairs) is active, dividing each link's capacity
+    /// among the flows that traverse it (§3.1 directory semantics).
+    ///
+    /// Each flow's effective bandwidth is the minimum over its links of
+    /// `capacity / flows_on_link`. Flows not in `active` see the same
+    /// shared capacities (they would join the existing load).
+    pub fn to_net_params_with_flows(&self, active: &[(usize, usize)]) -> NetParams {
+        let mut load: HashMap<LinkId, usize> = HashMap::new();
+        for &(s, d) in active {
+            for id in self.path(s, d) {
+                *load.entry(id).or_insert(0) += 1;
+            }
+        }
+        let diag = LinkEstimate::new(Millis::ZERO, Bandwidth::from_kbps(1e12));
+        NetParams::from_fn(self.nodes(), |src, dst| {
+            if src == dst {
+                return diag;
+            }
+            let mut latency = Millis::ZERO;
+            let mut bw: Option<Bandwidth> = None;
+            for id in self.path(src, dst) {
+                let l = self.link(id);
+                latency += l.latency;
+                let shared = l
+                    .capacity
+                    .shared(load.get(&id).copied().unwrap_or(0).max(1));
+                bw = Some(match bw {
+                    None => shared,
+                    Some(b) => b.min(shared),
+                });
+            }
+            LinkEstimate::new(latency, bw.expect("off-diagonal path is non-empty"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Topology {
+        // Two sites of 2 nodes: fast LANs (1 ms, 100 Mbit/s), slow WAN
+        // (30 ms, 2 Mbit/s).
+        Topology::uniform(
+            2,
+            2,
+            (Millis::new(1.0), Bandwidth::from_mbps(100.0)),
+            (Millis::new(30.0), Bandwidth::from_mbps(2.0)),
+        )
+    }
+
+    #[test]
+    fn path_shapes() {
+        let t = sample();
+        assert_eq!(t.nodes(), 4);
+        assert_eq!(t.sites(), 2);
+        assert!(t.path(0, 0).is_empty());
+        assert_eq!(t.path(0, 1).len(), 1, "intra-site is LAN only");
+        assert_eq!(t.path(0, 2).len(), 3, "inter-site is LAN+WAN+LAN");
+        assert_eq!(t.site_of(0), 0);
+        assert_eq!(t.site_of(3), 1);
+    }
+
+    #[test]
+    fn end_to_end_latency_adds_and_bandwidth_bottlenecks() {
+        let t = sample();
+        let e = t.end_to_end(0, 2).unwrap();
+        assert!((e.startup.as_ms() - 32.0).abs() < 1e-9); // 1 + 30 + 1
+        assert_eq!(e.bandwidth.as_mbps(), 2.0); // WAN is the bottleneck
+        let local = t.end_to_end(0, 1).unwrap();
+        assert_eq!(local.startup.as_ms(), 1.0);
+        assert_eq!(local.bandwidth.as_mbps(), 100.0);
+        assert!(t.end_to_end(0, 0).is_none());
+    }
+
+    #[test]
+    fn flattened_params_cover_all_pairs() {
+        let t = sample();
+        let p = t.to_net_params();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.estimate(1, 3).startup.as_ms(), 32.0);
+        assert_eq!(p.estimate(2, 3).startup.as_ms(), 1.0);
+    }
+
+    #[test]
+    fn shared_wan_divides_bandwidth() {
+        let t = sample();
+        // Two simultaneous cross-site flows share the single WAN link.
+        let p = t.to_net_params_with_flows(&[(0, 2), (1, 3)]);
+        let e = p.estimate(0, 2);
+        assert_eq!(e.bandwidth.as_mbps(), 1.0); // 2 Mbit/s ÷ 2 flows
+                                                // LAN also carries both flows at site 0: 100/2 = 50 Mbit/s, still
+                                                // not the bottleneck.
+        let intra = p.estimate(0, 1);
+        assert_eq!(intra.bandwidth.as_mbps(), 50.0);
+    }
+
+    #[test]
+    fn unloaded_links_keep_full_capacity() {
+        let t = sample();
+        let p = t.to_net_params_with_flows(&[]);
+        assert_eq!(p.estimate(0, 2).bandwidth.as_mbps(), 2.0);
+    }
+
+    #[test]
+    fn heterogeneous_sites() {
+        let sites = [
+            SiteSpec {
+                nodes: 1,
+                lan_latency: Millis::new(0.5),
+                lan_capacity: Bandwidth::from_mbps(622.0),
+            },
+            SiteSpec {
+                nodes: 3,
+                lan_latency: Millis::new(2.0),
+                lan_capacity: Bandwidth::from_mbps(10.0),
+            },
+        ];
+        let t = Topology::new(&sites, |_, _| {
+            (Millis::new(20.0), Bandwidth::from_mbps(45.0))
+        });
+        assert_eq!(t.nodes(), 4);
+        let e = t.end_to_end(0, 1).unwrap();
+        assert!((e.startup.as_ms() - 22.5).abs() < 1e-9);
+        assert_eq!(e.bandwidth.as_mbps(), 10.0); // slow LAN bottleneck
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn empty_site_rejected() {
+        let _ = Topology::new(
+            &[SiteSpec {
+                nodes: 0,
+                lan_latency: Millis::ZERO,
+                lan_capacity: Bandwidth::from_kbps(1.0),
+            }],
+            |_, _| (Millis::ZERO, Bandwidth::from_kbps(1.0)),
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! A minimal deterministic discrete-event calendar.
+//!
+//! A thin wrapper over a binary heap that (a) orders events by time, (b)
+//! breaks time ties by an explicit class rank and then by insertion
+//! sequence, so simulations are bit-for-bit reproducible regardless of
+//! heap internals, and (c) refuses to travel backwards in time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled calendar entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry<T> {
+    time: f64,
+    class: u8,
+    seq: u64,
+    payload: T,
+}
+
+/// Deterministic event calendar.
+#[derive(Debug)]
+pub struct Calendar<T> {
+    heap: BinaryHeap<Reverse<OrdEntry<T>>>,
+    seq: u64,
+    now: f64,
+}
+
+#[derive(Debug)]
+struct OrdEntry<T>(Entry<T>);
+
+impl<T> PartialEq for OrdEntry<T> {
+    fn eq(&self, o: &Self) -> bool {
+        self.0.time == o.0.time && self.0.class == o.0.class && self.0.seq == o.0.seq
+    }
+}
+impl<T> Eq for OrdEntry<T> {}
+impl<T> PartialOrd for OrdEntry<T> {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<T> Ord for OrdEntry<T> {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.0
+            .time
+            .total_cmp(&o.0.time)
+            .then(self.0.class.cmp(&o.0.class))
+            .then(self.0.seq.cmp(&o.0.seq))
+    }
+}
+
+impl<T> Calendar<T> {
+    /// An empty calendar at time zero.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute `time` with tie-break `class`
+    /// (lower classes pop first at equal times). Panics on scheduling in
+    /// the past — a simulation bug, not a recoverable condition.
+    pub fn schedule(&mut self, time: f64, class: u8, payload: T) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time >= self.now - 1e-9,
+            "event scheduled at {time} but the clock is already at {}",
+            self.now
+        );
+        let e = Entry {
+            time,
+            class,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(OrdEntry(e)));
+    }
+
+    /// Pops the next event, advancing the clock.
+    pub fn pop_next(&mut self) -> Option<(f64, u8, T)> {
+        let Reverse(OrdEntry(e)) = self.heap.pop()?;
+        self.now = self.now.max(e.time);
+        Some((e.time, e.class, e.payload))
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<T> Default for Calendar<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut c = Calendar::new();
+        c.schedule(5.0, 0, "b");
+        c.schedule(1.0, 0, "a");
+        c.schedule(9.0, 0, "c");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.pop_next().unwrap().2, "a");
+        assert_eq!(c.now(), 1.0);
+        assert_eq!(c.pop_next().unwrap().2, "b");
+        assert_eq!(c.pop_next().unwrap().2, "c");
+        assert!(c.is_empty());
+        assert!(c.pop_next().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_class_then_fifo() {
+        let mut c = Calendar::new();
+        c.schedule(2.0, 1, "late-class");
+        c.schedule(2.0, 0, "first-in");
+        c.schedule(2.0, 0, "second-in");
+        assert_eq!(c.pop_next().unwrap().2, "first-in");
+        assert_eq!(c.pop_next().unwrap().2, "second-in");
+        assert_eq!(c.pop_next().unwrap().2, "late-class");
+    }
+
+    #[test]
+    #[should_panic(expected = "clock is already")]
+    fn rejects_time_travel() {
+        let mut c = Calendar::new();
+        c.schedule(10.0, 0, ());
+        c.pop_next();
+        c.schedule(5.0, 0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut c: Calendar<()> = Calendar::new();
+        c.schedule(f64::NAN, 0, ());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let c: Calendar<u32> = Calendar::default();
+        assert!(c.is_empty());
+        assert_eq!(c.now(), 0.0);
+    }
+}

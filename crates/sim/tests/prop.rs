@@ -1,0 +1,162 @@
+//! Property tests: the §6.1 model variants degenerate to the base model
+//! at their identity parameters, for *any* send order.
+
+use adaptcomm_core::execution::execute_listed;
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::schedule::SendOrder;
+use adaptcomm_model::cost::{BufferedModel, InterleavedModel, LinkEstimate};
+use adaptcomm_model::params::NetParams;
+use adaptcomm_model::units::{Bandwidth, Bytes, Millis};
+use adaptcomm_model::variation::{VariationConfig, VariationTrace};
+use adaptcomm_sim::buffered::run_buffered;
+use adaptcomm_sim::dynamic::{run_adaptive, AdaptiveConfig};
+use adaptcomm_sim::interleaved::run_interleaved;
+use adaptcomm_sim::run_static;
+use proptest::prelude::*;
+
+/// Random instance: network, sizes, and a random valid send order.
+#[derive(Debug, Clone)]
+struct Instance {
+    net: NetParams,
+    sizes: Vec<Vec<Bytes>>,
+    order: SendOrder,
+}
+
+fn instance(max_p: usize) -> impl Strategy<Value = Instance> {
+    (2..=max_p).prop_flat_map(|p| {
+        let net_entries = proptest::collection::vec((1.0f64..50.0, 100.0f64..5_000.0), p * p);
+        let size_entries = proptest::collection::vec(1u64..200, p * p);
+        let order_perms = proptest::collection::vec(any::<u64>(), p);
+        (net_entries, size_entries, order_perms).prop_map(move |(nets, szs, seeds)| {
+            let net = NetParams::from_fn(p, |s, d| {
+                let (t, b) = nets[s * p + d];
+                let _ = (s, d);
+                LinkEstimate::new(Millis::new(t), Bandwidth::from_kbps(b))
+            });
+            let sizes: Vec<Vec<Bytes>> = (0..p)
+                .map(|s| {
+                    (0..p)
+                        .map(|d| {
+                            if s == d {
+                                Bytes::ZERO
+                            } else {
+                                Bytes::from_kb(szs[s * p + d])
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            // Deterministic per-sender shuffles from the seeds.
+            let order = SendOrder::new(
+                (0..p)
+                    .map(|s| {
+                        let mut dsts: Vec<usize> = (0..p).filter(|&d| d != s).collect();
+                        let mut state = seeds[s] | 1;
+                        for i in (1..dsts.len()).rev() {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            dsts.swap(i, (state as usize) % (i + 1));
+                        }
+                        dsts
+                    })
+                    .collect(),
+            );
+            Instance { net, sizes, order }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The message-level simulator equals the analytic execution.
+    #[test]
+    fn simulator_equals_analytic_execution(inst in instance(8)) {
+        let matrix = CommMatrix::from_model(&inst.net, &inst.sizes);
+        let analytic = execute_listed(&inst.order, &matrix);
+        let run = run_static(&inst.order, &inst.net, &inst.sizes);
+        prop_assert!(
+            (analytic.completion_time().as_ms() - run.makespan.as_ms()).abs() < 1e-6
+        );
+    }
+
+    /// Interleaving with fan-in 1 is the base model, for any α.
+    #[test]
+    fn interleaved_fan_in_one_is_identity(inst in instance(7), alpha in 0.0f64..2.0) {
+        let base = run_static(&inst.order, &inst.net, &inst.sizes);
+        let model = InterleavedModel::new(inst.net.clone(), alpha, 1);
+        let inter = run_interleaved(&inst.order, &model, &inst.sizes);
+        prop_assert!((base.makespan.as_ms() - inter.makespan.as_ms()).abs() < 1e-6);
+    }
+
+    /// An effectively infinite buffer with instant drain reproduces the
+    /// base network makespan and never stalls.
+    #[test]
+    fn infinite_buffer_is_identity(inst in instance(7)) {
+        let base = run_static(&inst.order, &inst.net, &inst.sizes);
+        let model = BufferedModel::new(
+            inst.net.clone(),
+            Bytes::from_mb(100_000),
+            Bandwidth::from_kbps(1e15),
+        );
+        let buffered = run_buffered(&inst.order, &model, &inst.sizes);
+        prop_assert!(
+            (base.makespan.as_ms() - buffered.network_makespan.as_ms()).abs() < 1e-6
+        );
+        prop_assert_eq!(buffered.total_buffer_stall.as_ms(), 0.0);
+    }
+
+    /// A zero-volatility trace reproduces the planned schedule exactly.
+    #[test]
+    fn frozen_trace_matches_plan(inst in instance(7)) {
+        let cfg = VariationConfig { volatility: 0.0, ..Default::default() };
+        let mut trace = VariationTrace::new(inst.net.clone(), cfg, 0);
+        let out = run_adaptive(&inst.order, &inst.sizes, &mut trace, &AdaptiveConfig::oblivious());
+        let matrix = CommMatrix::from_model(&inst.net, &inst.sizes);
+        let planned = execute_listed(&inst.order, &matrix);
+        prop_assert!((out.makespan.as_ms() - planned.completion_time().as_ms()).abs() < 1e-6);
+    }
+
+    /// Whatever the drift, every message is delivered exactly once and
+    /// port constraints hold in the realized trace.
+    #[test]
+    fn dynamic_execution_is_always_physical(inst in instance(6), seed in 0u64..100) {
+        let cfg = VariationConfig {
+            step: Millis::new(100.0),
+            volatility: 0.4,
+            floor: 0.05,
+            ceil: 4.0,
+        };
+        let mut trace = VariationTrace::new(inst.net.clone(), cfg, seed);
+        let out = run_adaptive(
+            &inst.order,
+            &inst.sizes,
+            &mut trace,
+            &AdaptiveConfig {
+                policy: adaptcomm_core::checkpointed::CheckpointPolicy::Halving,
+                rule: adaptcomm_core::checkpointed::RescheduleRule::default(),
+            },
+        );
+        let p = inst.net.len();
+        prop_assert_eq!(out.records.len(), p * (p - 1));
+        let mut seen = vec![false; p * p];
+        for r in &out.records {
+            prop_assert!(!seen[r.src * p + r.dst], "duplicate transfer");
+            seen[r.src * p + r.dst] = true;
+        }
+        for proc in 0..p {
+            for side in [true, false] {
+                let mut evs: Vec<_> = out
+                    .records
+                    .iter()
+                    .filter(|r| if side { r.src == proc } else { r.dst == proc })
+                    .collect();
+                evs.sort_by(|a, b| a.start.as_ms().total_cmp(&b.start.as_ms()));
+                for w in evs.windows(2) {
+                    prop_assert!(w[0].finish.as_ms() <= w[1].start.as_ms() + 1e-9);
+                }
+            }
+        }
+    }
+}

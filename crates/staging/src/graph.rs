@@ -1,0 +1,328 @@
+//! The WAN link graph and its time-dependent earliest-arrival search.
+
+use adaptcomm_model::cost::LinkEstimate;
+use adaptcomm_model::units::{Bytes, Millis};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A node (machine / router site) in the staging network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    from: usize,
+    to: usize,
+    estimate: LinkEstimate,
+    /// Committed busy intervals, kept sorted by start (ms).
+    reservations: Vec<(f64, f64)>,
+}
+
+/// A directed graph of point-to-point links with capacity reservations.
+///
+/// Each link carries one transfer at a time: a transfer of `m` bytes
+/// entering the link at time `t` occupies it for `T + m/B` and must not
+/// overlap an existing reservation. Store-and-forward semantics: a
+/// multi-hop item fully arrives at a node before the next hop begins.
+#[derive(Debug, Clone, Default)]
+pub struct LinkGraph {
+    nodes: usize,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node.
+    out: Vec<Vec<usize>>,
+}
+
+impl LinkGraph {
+    /// An empty graph over `nodes` machines.
+    pub fn new(nodes: usize) -> Self {
+        LinkGraph {
+            nodes,
+            edges: Vec::new(),
+            out: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of directed links.
+    pub fn edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed link and returns its id.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, estimate: LinkEstimate) -> EdgeId {
+        assert!(
+            from.0 < self.nodes && to.0 < self.nodes,
+            "endpoint out of range"
+        );
+        assert_ne!(from, to, "self-loops are meaningless");
+        let id = self.edges.len();
+        self.edges.push(Edge {
+            from: from.0,
+            to: to.0,
+            estimate,
+            reservations: Vec::new(),
+        });
+        self.out[from.0].push(id);
+        EdgeId(id)
+    }
+
+    /// Adds a bidirectional link (two directed edges sharing parameters).
+    pub fn add_bidi(&mut self, a: NodeId, b: NodeId, estimate: LinkEstimate) -> (EdgeId, EdgeId) {
+        (self.add_link(a, b, estimate), self.add_link(b, a, estimate))
+    }
+
+    /// Transfer duration of `m` bytes over edge `e`.
+    pub fn transfer_time(&self, e: EdgeId, m: Bytes) -> Millis {
+        self.edges[e.0].estimate.message_time(m)
+    }
+
+    /// The earliest start ≥ `ready` at which edge `e` can carry an
+    /// uninterrupted transfer of duration `dur`, honoring reservations.
+    fn earliest_slot(&self, e: usize, ready: f64, dur: f64) -> f64 {
+        let mut t = ready;
+        for &(s, f) in &self.edges[e].reservations {
+            if t + dur <= s + 1e-12 {
+                break; // fits before this reservation
+            }
+            if f > t {
+                t = f; // pushed past this reservation
+            }
+        }
+        t
+    }
+
+    /// Reserves edge `e` for `[start, start + dur)`. Panics on overlap —
+    /// callers must only reserve slots returned by the search.
+    pub fn reserve(&mut self, e: EdgeId, start: Millis, dur: Millis) {
+        let (s, f) = (start.as_ms(), start.as_ms() + dur.as_ms());
+        let res = &mut self.edges[e.0].reservations;
+        for &(a, b) in res.iter() {
+            assert!(
+                f <= a + 1e-9 || s >= b - 1e-9,
+                "reservation [{s}, {f}) overlaps existing [{a}, {b})"
+            );
+        }
+        res.push((s, f));
+        res.sort_by(|x, y| x.0.total_cmp(&y.0));
+    }
+
+    /// One hop of a committed route.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        (NodeId(self.edges[e.0].from), NodeId(self.edges[e.0].to))
+    }
+
+    /// Time-dependent, multiple-source earliest-arrival search for an
+    /// `m`-byte item.
+    ///
+    /// `sources` gives each candidate origin with the time the item is
+    /// available there. Returns, if `dst` is reachable, the arrival time
+    /// and the hop list `(edge, start, finish)` from the chosen source.
+    /// Link waiting respects existing reservations, so the returned slots
+    /// can be committed verbatim.
+    ///
+    /// This is Dijkstra on arrival times; correctness relies on the FIFO
+    /// property of the link model (waiting never helps: `earliest_slot`
+    /// is monotone in the ready time).
+    pub fn earliest_arrival(
+        &self,
+        sources: &[(NodeId, Millis)],
+        dst: NodeId,
+        m: Bytes,
+    ) -> Option<(Millis, RouteHops)> {
+        assert!(!sources.is_empty(), "need at least one source");
+        let n = self.nodes;
+        let mut arrival = vec![f64::INFINITY; n];
+        let mut pred: Vec<Option<(usize, f64, f64)>> = vec![None; n]; // (edge, start, finish)
+        let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+        for &(s, t) in sources {
+            assert!(s.0 < n, "source out of range");
+            if t.as_ms() < arrival[s.0] {
+                arrival[s.0] = t.as_ms();
+                heap.push(Reverse((OrdF64(t.as_ms()), s.0)));
+            }
+        }
+        while let Some(Reverse((OrdF64(t), u))) = heap.pop() {
+            if t > arrival[u] + 1e-12 {
+                continue; // stale entry
+            }
+            if u == dst.0 {
+                break;
+            }
+            for &e in &self.out[u] {
+                let dur = self.edges[e].estimate.message_time(m).as_ms();
+                let start = self.earliest_slot(e, t, dur);
+                let finish = start + dur;
+                let v = self.edges[e].to;
+                if finish < arrival[v] - 1e-12 {
+                    arrival[v] = finish;
+                    pred[v] = Some((e, start, finish));
+                    heap.push(Reverse((OrdF64(finish), v)));
+                }
+            }
+        }
+        if arrival[dst.0].is_infinite() {
+            return None;
+        }
+        // Reconstruct the hop list.
+        let mut hops = Vec::new();
+        let mut v = dst.0;
+        while let Some((e, s, f)) = pred[v] {
+            hops.push((EdgeId(e), Millis::new(s), Millis::new(f)));
+            v = self.edges[e].from;
+        }
+        hops.reverse();
+        Some((Millis::new(arrival[dst.0]), hops))
+    }
+}
+
+/// The hops of a committed route: `(edge, start, finish)` per hop.
+pub type RouteHops = Vec<(EdgeId, Millis, Millis)>;
+
+/// Total-ordered f64 key for the Dijkstra heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&o.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptcomm_model::units::Bandwidth;
+
+    fn est(startup_ms: f64, kbps: f64) -> LinkEstimate {
+        LinkEstimate::new(Millis::new(startup_ms), Bandwidth::from_kbps(kbps))
+    }
+
+    /// 0 → 1 → 2 chain plus a slow shortcut 0 → 2.
+    fn chain() -> LinkGraph {
+        let mut g = LinkGraph::new(3);
+        g.add_link(NodeId(0), NodeId(1), est(5.0, 8_000.0)); // 1kB: 5+1 = 6ms
+        g.add_link(NodeId(1), NodeId(2), est(5.0, 8_000.0));
+        g.add_link(NodeId(0), NodeId(2), est(50.0, 8_000.0)); // 1kB: 51ms
+        g
+    }
+
+    #[test]
+    fn multi_hop_beats_slow_direct_link() {
+        let g = chain();
+        let (t, hops) = g
+            .earliest_arrival(&[(NodeId(0), Millis::ZERO)], NodeId(2), Bytes::KB)
+            .unwrap();
+        assert!((t.as_ms() - 12.0).abs() < 1e-9, "two 6ms hops, got {t}");
+        assert_eq!(hops.len(), 2);
+        // Store-and-forward: hop 2 starts exactly when hop 1 finishes.
+        assert_eq!(hops[0].2, hops[1].1);
+    }
+
+    #[test]
+    fn direct_link_wins_for_big_messages() {
+        // For 100 kB the per-hop transfer dominates: one hop of
+        // 50 + 100 = 150ms beats two hops of 5 + 100 = 105ms each (210).
+        let g = chain();
+        let (_, hops) = g
+            .earliest_arrival(&[(NodeId(0), Millis::ZERO)], NodeId(2), Bytes::from_kb(100))
+            .unwrap();
+        assert_eq!(hops.len(), 1, "direct link should win");
+    }
+
+    #[test]
+    fn multiple_sources_pick_the_nearest() {
+        let g = chain();
+        let (t, hops) = g
+            .earliest_arrival(
+                &[(NodeId(0), Millis::ZERO), (NodeId(1), Millis::ZERO)],
+                NodeId(2),
+                Bytes::KB,
+            )
+            .unwrap();
+        assert!(
+            (t.as_ms() - 6.0).abs() < 1e-9,
+            "the copy at node 1 is closer"
+        );
+        assert_eq!(hops.len(), 1);
+    }
+
+    #[test]
+    fn late_source_availability_is_respected() {
+        let g = chain();
+        let (t, _) = g
+            .earliest_arrival(
+                &[(NodeId(0), Millis::ZERO), (NodeId(1), Millis::new(100.0))],
+                NodeId(2),
+                Bytes::KB,
+            )
+            .unwrap();
+        // Waiting for the node-1 copy (100 + 6) loses to routing from 0.
+        assert!((t.as_ms() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservations_delay_transfers() {
+        let mut g = chain();
+        // Block the 0→1 link for [0, 20).
+        g.reserve(EdgeId(0), Millis::ZERO, Millis::new(20.0));
+        let (t, hops) = g
+            .earliest_arrival(&[(NodeId(0), Millis::ZERO)], NodeId(1), Bytes::KB)
+            .unwrap();
+        assert!(
+            (hops[0].1.as_ms() - 20.0).abs() < 1e-9,
+            "must wait out the reservation"
+        );
+        assert!((t.as_ms() - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_fits_before_a_reservation() {
+        let mut g = chain();
+        g.reserve(EdgeId(0), Millis::new(100.0), Millis::new(50.0));
+        let (t, hops) = g
+            .earliest_arrival(&[(NodeId(0), Millis::ZERO)], NodeId(1), Bytes::KB)
+            .unwrap();
+        assert_eq!(hops[0].1.as_ms(), 0.0, "6ms transfer fits before t=100");
+        assert!((t.as_ms() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let mut g = LinkGraph::new(3);
+        g.add_link(NodeId(0), NodeId(1), est(1.0, 1_000.0));
+        assert!(g
+            .earliest_arrival(&[(NodeId(0), Millis::ZERO)], NodeId(2), Bytes::KB)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps existing")]
+    fn conflicting_reservation_rejected() {
+        let mut g = chain();
+        g.reserve(EdgeId(0), Millis::ZERO, Millis::new(10.0));
+        g.reserve(EdgeId(0), Millis::new(5.0), Millis::new(10.0));
+    }
+
+    #[test]
+    fn bidi_adds_both_directions() {
+        let mut g = LinkGraph::new(2);
+        g.add_bidi(NodeId(0), NodeId(1), est(1.0, 1_000.0));
+        assert_eq!(g.edges(), 2);
+        assert!(g
+            .earliest_arrival(&[(NodeId(1), Millis::ZERO)], NodeId(0), Bytes::KB)
+            .is_some());
+    }
+}

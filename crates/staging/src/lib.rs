@@ -1,0 +1,61 @@
+//! BADD-style data staging over a store-and-forward WAN graph.
+//!
+//! The paper's related-work and future-directions sections (§2, §6.4)
+//! describe DARPA's BADD program: "data items must be moved from their
+//! initial locations to requester nodes. Each data request also has a
+//! time-deadline and priority associated with it. In \[24\], a heuristic
+//! based on the multiple-source shortest-path algorithm is used to find a
+//! communication schedule for this data staging problem."
+//!
+//! This crate implements that problem in the spirit of Tan, Theys &
+//! Siegel's formulation:
+//!
+//! * [`graph`] — a directed link graph with per-link `T + m/B` costs and
+//!   single-transfer-at-a-time serialization, plus a *time-dependent,
+//!   multiple-source* earliest-arrival Dijkstra;
+//! * [`problem`] — data items (replicated at source machines), requests
+//!   with deadlines and priorities;
+//! * [`scheduler`] — the greedy staging heuristic: requests in
+//!   (priority, deadline) order, each routed along its earliest-arrival
+//!   path; committed transfers reserve link time, and every intermediate
+//!   node that stored a copy becomes a *new source* for later requests
+//!   (the essence of staging).
+//!
+//! Unlike the total-exchange setting (where combine-and-forward is ruled
+//! out because it inflates traffic), staging is *defined* by forwarding:
+//! a data item is immutable and may be replicated wherever it passes.
+
+//!
+//! # Example
+//!
+//! ```
+//! use adaptcomm_staging::{schedule_staging, DataItem, LinkGraph, NodeId,
+//!                         Request, StagingProblem};
+//! use adaptcomm_model::cost::LinkEstimate;
+//! use adaptcomm_model::units::{Bandwidth, Bytes, Millis};
+//!
+//! let mut wan = LinkGraph::new(3);
+//! let link = LinkEstimate::new(Millis::new(5.0), Bandwidth::from_kbps(8_000.0));
+//! wan.add_bidi(NodeId(0), NodeId(1), link);
+//! wan.add_bidi(NodeId(1), NodeId(2), link);
+//!
+//! let mut problem = StagingProblem::new();
+//! problem.add_item(DataItem { id: 0, size: Bytes::KB, sources: vec![NodeId(0)] });
+//! problem.add_request(Request {
+//!     item: 0, destination: NodeId(2),
+//!     deadline: Millis::new(20.0), priority: 5,
+//! });
+//! let outcome = schedule_staging(&mut wan, &problem);
+//! assert_eq!(outcome.satisfied(), 1); // two 6 ms hops beat the 20 ms deadline
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod problem;
+pub mod scheduler;
+
+pub use graph::{LinkGraph, NodeId};
+pub use problem::{DataItem, Request, StagingProblem};
+pub use scheduler::{schedule_staging, StagingOutcome};

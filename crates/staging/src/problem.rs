@@ -1,0 +1,163 @@
+//! Data items and requests.
+
+use crate::graph::NodeId;
+use adaptcomm_model::units::{Bytes, Millis};
+
+/// An immutable data item (satellite image, map overlay, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataItem {
+    /// Identifier, referenced by requests.
+    pub id: usize,
+    /// Item size.
+    pub size: Bytes,
+    /// Machines initially holding a copy.
+    pub sources: Vec<NodeId>,
+}
+
+/// A warfighter's (or application's) request for one item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Which item.
+    pub item: usize,
+    /// Where it must arrive.
+    pub destination: NodeId,
+    /// Hard real-time deadline.
+    pub deadline: Millis,
+    /// Priority; larger is more important.
+    pub priority: u8,
+}
+
+/// A complete staging problem instance.
+#[derive(Debug, Clone, Default)]
+pub struct StagingProblem {
+    items: Vec<DataItem>,
+    requests: Vec<Request>,
+}
+
+impl StagingProblem {
+    /// An empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an item; its `id` must equal its registration index.
+    pub fn add_item(&mut self, item: DataItem) -> &mut Self {
+        assert_eq!(
+            item.id,
+            self.items.len(),
+            "item ids must be dense and in order"
+        );
+        assert!(!item.sources.is_empty(), "item {} has no source", item.id);
+        self.items.push(item);
+        self
+    }
+
+    /// Registers a request for an already-registered item.
+    pub fn add_request(&mut self, request: Request) -> &mut Self {
+        assert!(
+            request.item < self.items.len(),
+            "request references unknown item"
+        );
+        self.requests.push(request);
+        self
+    }
+
+    /// The items.
+    pub fn items(&self) -> &[DataItem] {
+        &self.items
+    }
+
+    /// The requests, in registration order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Requests sorted by the staging policy: priority descending, then
+    /// deadline ascending, then registration order (stable).
+    pub fn prioritized_requests(&self) -> Vec<(usize, Request)> {
+        let mut indexed: Vec<(usize, Request)> =
+            self.requests.iter().copied().enumerate().collect();
+        indexed.sort_by(|(ia, a), (ib, b)| {
+            b.priority
+                .cmp(&a.priority)
+                .then(a.deadline.as_ms().total_cmp(&b.deadline.as_ms()))
+                .then(ia.cmp(ib))
+        });
+        indexed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: usize) -> DataItem {
+        DataItem {
+            id,
+            size: Bytes::KB,
+            sources: vec![NodeId(0)],
+        }
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let mut p = StagingProblem::new();
+        p.add_item(item(0)).add_item(item(1));
+        p.add_request(Request {
+            item: 1,
+            destination: NodeId(2),
+            deadline: Millis::new(100.0),
+            priority: 3,
+        });
+        assert_eq!(p.items().len(), 2);
+        assert_eq!(p.requests().len(), 1);
+    }
+
+    #[test]
+    fn prioritization_order() {
+        let mut p = StagingProblem::new();
+        p.add_item(item(0));
+        let r = |deadline: f64, priority: u8| Request {
+            item: 0,
+            destination: NodeId(1),
+            deadline: Millis::new(deadline),
+            priority,
+        };
+        p.add_request(r(50.0, 1)); // index 0
+        p.add_request(r(10.0, 1)); // index 1: same priority, earlier deadline
+        p.add_request(r(99.0, 9)); // index 2: highest priority
+        p.add_request(r(10.0, 1)); // index 3: tie with 1 → registration order
+        let order: Vec<usize> = p.prioritized_requests().iter().map(|(i, _)| *i).collect();
+        assert_eq!(order, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and in order")]
+    fn out_of_order_item_ids_rejected() {
+        let mut p = StagingProblem::new();
+        p.add_item(item(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown item")]
+    fn dangling_request_rejected() {
+        let mut p = StagingProblem::new();
+        p.add_request(Request {
+            item: 0,
+            destination: NodeId(0),
+            deadline: Millis::ZERO,
+            priority: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no source")]
+    fn sourceless_item_rejected() {
+        let mut p = StagingProblem::new();
+        p.add_item(DataItem {
+            id: 0,
+            size: Bytes::KB,
+            sources: vec![],
+        });
+    }
+}

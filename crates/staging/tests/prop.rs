@@ -1,0 +1,116 @@
+//! Property tests: staging commits are always physically consistent.
+
+use adaptcomm_model::cost::LinkEstimate;
+use adaptcomm_model::units::{Bandwidth, Bytes, Millis};
+use adaptcomm_staging::scheduler::RequestOutcome;
+use adaptcomm_staging::{schedule_staging, DataItem, LinkGraph, NodeId, Request, StagingProblem};
+use proptest::prelude::*;
+
+/// A random ring + chords topology with n nodes.
+fn random_graph(n: usize, chord_seed: u64) -> LinkGraph {
+    let mut g = LinkGraph::new(n);
+    let est = |k: u64| {
+        LinkEstimate::new(
+            Millis::new((k % 80 + 5) as f64),
+            Bandwidth::from_kbps((k % 4_000 + 200) as f64),
+        )
+    };
+    for i in 0..n {
+        g.add_bidi(NodeId(i), NodeId((i + 1) % n), est(chord_seed + i as u64));
+    }
+    // A few chords for route diversity.
+    for k in 0..n / 2 {
+        let a = (chord_seed as usize + k * 7) % n;
+        let b = (chord_seed as usize + k * 13 + n / 2) % n;
+        if a != b {
+            g.add_bidi(NodeId(a), NodeId(b), est(chord_seed + 100 + k as u64));
+        }
+    }
+    g
+}
+
+fn random_problem(n: usize, items: usize, requests: usize, seed: u64) -> StagingProblem {
+    let mut p = StagingProblem::new();
+    for id in 0..items {
+        let src = (seed as usize + id * 3) % n;
+        p.add_item(DataItem {
+            id,
+            size: Bytes::from_kb(((seed + id as u64 * 11) % 200 + 1) * 4),
+            sources: vec![NodeId(src)],
+        });
+    }
+    for r in 0..requests {
+        let dst = (seed as usize + r * 5 + 1) % n;
+        p.add_request(Request {
+            item: (r + seed as usize) % items,
+            destination: NodeId(dst),
+            deadline: Millis::new(((seed + r as u64 * 31) % 60_000 + 500) as f64),
+            priority: ((seed + r as u64) % 10) as u8,
+        });
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satisfied requests always arrive by their deadline; committed hops
+    /// never overlap on any link and respect store-and-forward order.
+    #[test]
+    fn commits_are_physically_consistent(
+        n in 4usize..10,
+        items in 1usize..4,
+        requests in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let mut g = random_graph(n, seed);
+        let p = random_problem(n, items, requests, seed);
+        let out = schedule_staging(&mut g, &p);
+        prop_assert_eq!(out.outcomes.len(), p.requests().len());
+
+        let mut per_edge: std::collections::HashMap<usize, Vec<(f64, f64)>> = Default::default();
+        for (req, outcome) in p.requests().iter().zip(&out.outcomes) {
+            if let RequestOutcome::Satisfied { arrival, route } = outcome {
+                prop_assert!(arrival.as_ms() <= req.deadline.as_ms() + 1e-6);
+                // Hops are causally ordered.
+                for w in route.windows(2) {
+                    prop_assert!(w[1].start.as_ms() >= w[0].finish.as_ms() - 1e-9);
+                }
+                if let Some(last) = route.last() {
+                    prop_assert!((last.finish.as_ms() - arrival.as_ms()).abs() < 1e-6);
+                }
+                for hop in route {
+                    per_edge.entry(hop.edge.0).or_default()
+                        .push((hop.start.as_ms(), hop.finish.as_ms()));
+                }
+            }
+        }
+        // No link carries two transfers at once.
+        for (_, mut intervals) in per_edge {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in intervals.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-9, "link overlap: {w:?}");
+            }
+        }
+    }
+
+    /// Satisfaction is monotone in deadlines: relaxing every deadline
+    /// never satisfies fewer requests under the greedy policy.
+    #[test]
+    fn relaxing_deadlines_never_hurts(
+        n in 4usize..8,
+        seed in 0u64..200,
+    ) {
+        let p_tight = random_problem(n, 2, 5, seed);
+        let mut p_loose = StagingProblem::new();
+        for item in p_tight.items() {
+            p_loose.add_item(item.clone());
+        }
+        for r in p_tight.requests() {
+            p_loose.add_request(Request { deadline: Millis::new(r.deadline.as_ms() * 100.0), ..*r });
+        }
+        let tight = schedule_staging(&mut random_graph(n, seed), &p_tight);
+        let loose = schedule_staging(&mut random_graph(n, seed), &p_loose);
+        prop_assert!(loose.satisfied() >= tight.satisfied());
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload generators for the HPDC '98 evaluation scenarios.
+//!
+//! The paper's §5 evaluates the schedulers on four total-exchange
+//! workloads over GUSTO-guided random networks:
+//!
+//! * **Figure 9** — every message is 1 kB;
+//! * **Figure 10** — every message is 1 MB;
+//! * **Figure 11** — "a random mix of these two sizes";
+//! * **Figure 12** — 20 % of the processors are servers that send large
+//!   messages to their clients; server↔server and client↔client
+//!   messages are small (the multimedia scenario).
+//!
+//! [`sizes`] generates per-pair message-size matrices for these (plus a
+//! matrix-transpose workload from the paper's motivating example in
+//! §4.1), and [`scenario`] packages workload + network generation into
+//! reproducible experiment instances.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod scenario;
+pub mod sizes;
+
+pub use scenario::{Scenario, ScenarioInstance};
+pub use sizes::SizeMatrix;

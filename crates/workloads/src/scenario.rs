@@ -1,0 +1,164 @@
+//! Reproducible experiment scenarios: workload × network → [`CommMatrix`].
+
+use crate::sizes::SizeMatrix;
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_model::generator::{GeneratorConfig, NetGenerator};
+use adaptcomm_model::params::NetParams;
+use adaptcomm_model::units::Bytes;
+
+/// The paper's evaluation scenarios plus the §4.1 transpose workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// Figure 9: uniform 1 kB messages.
+    Small,
+    /// Figure 10: uniform 1 MB messages.
+    Large,
+    /// Figure 11: random 1 kB / 1 MB mix.
+    Mixed,
+    /// Figure 12: 20 % servers sending 1 MB to clients, 1 kB elsewhere.
+    Servers,
+    /// Matrix transpose of an `n×n` double-precision matrix.
+    Transpose {
+        /// Matrix dimension.
+        n: usize,
+    },
+}
+
+impl Scenario {
+    /// All figure scenarios in paper order.
+    pub const FIGURES: [Scenario; 4] = [
+        Scenario::Small,
+        Scenario::Large,
+        Scenario::Mixed,
+        Scenario::Servers,
+    ];
+
+    /// Identifier used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Small => "fig09-small-1kB",
+            Scenario::Large => "fig10-large-1MB",
+            Scenario::Mixed => "fig11-mixed",
+            Scenario::Servers => "fig12-servers",
+            Scenario::Transpose { .. } => "transpose",
+        }
+    }
+
+    /// The message-size matrix for `p` processors.
+    pub fn sizes(&self, p: usize, seed: u64) -> SizeMatrix {
+        match *self {
+            Scenario::Small => SizeMatrix::uniform(p, Bytes::KB),
+            Scenario::Large => SizeMatrix::uniform(p, Bytes::MB),
+            Scenario::Mixed => SizeMatrix::mixed(p, seed),
+            Scenario::Servers => SizeMatrix::servers(p, 0.20, Bytes::KB, Bytes::MB),
+            Scenario::Transpose { n } => SizeMatrix::transpose(p, n, 8),
+        }
+    }
+
+    /// Builds a full instance: GUSTO-guided random network + workload.
+    /// `seed` controls both the network draw and any randomness in the
+    /// workload, so an instance is fully reproducible from
+    /// `(scenario, p, seed)`.
+    pub fn instance(&self, p: usize, seed: u64) -> ScenarioInstance {
+        self.instance_with(p, seed, GeneratorConfig::default())
+    }
+
+    /// Like [`Scenario::instance`] with a custom network generator
+    /// configuration.
+    pub fn instance_with(&self, p: usize, seed: u64, cfg: GeneratorConfig) -> ScenarioInstance {
+        let mut gen = NetGenerator::new(cfg, seed);
+        let network = gen.generate(p);
+        // Decorrelate workload randomness from the network draw.
+        let sizes = self.sizes(p, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let matrix = CommMatrix::from_model(&network, &sizes.to_rows());
+        ScenarioInstance {
+            scenario: *self,
+            seed,
+            network,
+            sizes,
+            matrix,
+        }
+    }
+}
+
+/// A fully materialized experiment instance.
+#[derive(Debug, Clone)]
+pub struct ScenarioInstance {
+    /// Which scenario generated this instance.
+    pub scenario: Scenario,
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// The random network.
+    pub network: NetParams,
+    /// The per-pair message sizes.
+    pub sizes: SizeMatrix,
+    /// The resulting communication matrix handed to the schedulers.
+    pub matrix: CommMatrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptcomm_core::algorithms::all_schedulers;
+
+    #[test]
+    fn instances_are_reproducible() {
+        for sc in Scenario::FIGURES {
+            let a = sc.instance(10, 7);
+            let b = sc.instance(10, 7);
+            assert_eq!(a.matrix, b.matrix, "{} not reproducible", sc.name());
+            let c = sc.instance(10, 8);
+            assert_ne!(a.matrix, c.matrix, "{} ignores the seed", sc.name());
+        }
+    }
+
+    #[test]
+    fn small_and_large_differ_by_transfer_time_only() {
+        let small = Scenario::Small.instance(6, 3);
+        let large = Scenario::Large.instance(6, 3);
+        // Same network (same seed): large costs strictly dominate.
+        assert_eq!(small.network, large.network);
+        for (s, d, c) in small.matrix.events() {
+            assert!(large.matrix.cost(s, d).as_ms() > c.as_ms());
+        }
+    }
+
+    #[test]
+    fn servers_instance_has_heavy_rows() {
+        let inst = Scenario::Servers.instance(10, 1);
+        // Rows 0..2 (servers) carry far more send time than client rows.
+        let server_send = inst.matrix.send_total(0).as_ms();
+        let client_send = inst.matrix.send_total(9).as_ms();
+        assert!(
+            server_send > 10.0 * client_send,
+            "server row {server_send} should dwarf client row {client_send}"
+        );
+    }
+
+    #[test]
+    fn transpose_instance_is_near_uniform() {
+        let inst = Scenario::Transpose { n: 64 }.instance(8, 2);
+        assert_eq!(inst.sizes.get(0, 1), Bytes::new(8 * 8 * 8));
+        assert!(inst.matrix.lower_bound().as_ms() > 0.0);
+    }
+
+    #[test]
+    fn schedulers_run_on_every_scenario() {
+        for sc in Scenario::FIGURES {
+            let inst = sc.instance(8, 11);
+            for s in all_schedulers() {
+                let sched = s.schedule(&inst.matrix);
+                sched
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), sc.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Scenario::Small.name(), "fig09-small-1kB");
+        assert_eq!(Scenario::Servers.name(), "fig12-servers");
+        assert_eq!(Scenario::Transpose { n: 4 }.name(), "transpose");
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-pair message-size matrices.
+
+use adaptcomm_model::units::Bytes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A `P×P` matrix of message sizes for a total exchange. The diagonal is
+/// always zero (no self-messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeMatrix {
+    p: usize,
+    sizes: Vec<Bytes>,
+}
+
+impl SizeMatrix {
+    /// Builds from a function of `(src, dst)`; the diagonal is forced to
+    /// zero.
+    pub fn from_fn(p: usize, mut f: impl FnMut(usize, usize) -> Bytes) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        let mut sizes = Vec::with_capacity(p * p);
+        for s in 0..p {
+            for d in 0..p {
+                sizes.push(if s == d { Bytes::ZERO } else { f(s, d) });
+            }
+        }
+        SizeMatrix { p, sizes }
+    }
+
+    /// Every message has the same size (Figures 9 and 10).
+    pub fn uniform(p: usize, size: Bytes) -> Self {
+        Self::from_fn(p, |_, _| size)
+    }
+
+    /// Every message independently 1 kB or 1 MB with equal probability
+    /// (Figure 11); deterministic in `seed`.
+    pub fn mixed(p: usize, seed: u64) -> Self {
+        Self::mixed_of(p, Bytes::KB, Bytes::MB, 0.5, seed)
+    }
+
+    /// Generalized mix: each message is `large` with probability
+    /// `large_fraction`, else `small`.
+    pub fn mixed_of(p: usize, small: Bytes, large: Bytes, large_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&large_fraction),
+            "fraction must be in [0,1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::from_fn(p, |_, _| {
+            if rng.random_range(0.0..1.0) < large_fraction {
+                large
+            } else {
+                small
+            }
+        })
+    }
+
+    /// The Figure-12 multimedia scenario: the first
+    /// `ceil(server_fraction · P)` processors are servers. Server→client
+    /// messages are `large`; everything else (server↔server,
+    /// client↔client, client→server) is `small`. "Data is also assumed to
+    /// be partitioned over the servers, so that the load on the servers
+    /// is balanced" — uniform large sizes model that balance.
+    pub fn servers(p: usize, server_fraction: f64, small: Bytes, large: Bytes) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&server_fraction),
+            "fraction must be in [0,1]"
+        );
+        let n_servers = ((p as f64) * server_fraction).ceil() as usize;
+        Self::from_fn(p, |src, dst| {
+            if src < n_servers && dst >= n_servers {
+                large
+            } else {
+                small
+            }
+        })
+    }
+
+    /// Number of server processors in a [`SizeMatrix::servers`] workload.
+    pub fn server_count(p: usize, server_fraction: f64) -> usize {
+        ((p as f64) * server_fraction).ceil() as usize
+    }
+
+    /// The §4.1 motivating example: an `n×n` matrix of `element_bytes`
+    /// elements distributed by rows must be transposed to a distribution
+    /// by columns. Processor `i` holds rows `[i·n/P, (i+1)·n/P)` and must
+    /// ship to processor `j` the sub-block that lands in `j`'s columns —
+    /// `rows(i) × cols(j)` elements. Remainder rows/columns go to the
+    /// last processors, so messages are slightly non-uniform when
+    /// `P ∤ n`.
+    pub fn transpose(p: usize, n: usize, element_bytes: u64) -> Self {
+        assert!(n >= p, "matrix must have at least one row per processor");
+        let share = |k: usize| -> u64 {
+            // Rows/cols owned by processor k under block distribution.
+            let base = n / p;
+            let extra = n % p;
+            (base + usize::from(k < extra)) as u64
+        };
+        Self::from_fn(p, |src, dst| {
+            Bytes::new(share(src) * share(dst) * element_bytes)
+        })
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.p
+    }
+
+    /// Size of the message from `src` to `dst`.
+    pub fn get(&self, src: usize, dst: usize) -> Bytes {
+        self.sizes[src * self.p + dst]
+    }
+
+    /// Row-major nested representation (what
+    /// [`adaptcomm_core::CommMatrix::from_model`] consumes).
+    pub fn to_rows(&self) -> Vec<Vec<Bytes>> {
+        (0..self.p)
+            .map(|s| (0..self.p).map(|d| self.get(s, d)).collect())
+            .collect()
+    }
+
+    /// Total bytes moved by the exchange.
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes.iter().map(|b| b.as_u64()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sizes() {
+        let m = SizeMatrix::uniform(4, Bytes::KB);
+        assert_eq!(m.get(0, 1), Bytes::KB);
+        assert_eq!(m.get(2, 2), Bytes::ZERO);
+        assert_eq!(m.total_bytes(), 12 * 1_000);
+    }
+
+    #[test]
+    fn mixed_contains_both_sizes_and_is_reproducible() {
+        let a = SizeMatrix::mixed(10, 5);
+        let b = SizeMatrix::mixed(10, 5);
+        assert_eq!(a, b);
+        let mut small = 0;
+        let mut large = 0;
+        for s in 0..10 {
+            for d in 0..10 {
+                if s == d {
+                    continue;
+                }
+                match a.get(s, d) {
+                    Bytes(1_000) => small += 1,
+                    Bytes(1_000_000) => large += 1,
+                    other => panic!("unexpected size {other}"),
+                }
+            }
+        }
+        assert!(small > 10 && large > 10, "mix should be roughly balanced");
+    }
+
+    #[test]
+    fn server_workload_shape() {
+        let m = SizeMatrix::servers(10, 0.2, Bytes::KB, Bytes::MB);
+        assert_eq!(SizeMatrix::server_count(10, 0.2), 2);
+        // Server → client: large.
+        assert_eq!(m.get(0, 5), Bytes::MB);
+        assert_eq!(m.get(1, 9), Bytes::MB);
+        // Server ↔ server: small.
+        assert_eq!(m.get(0, 1), Bytes::KB);
+        // Client → anywhere: small.
+        assert_eq!(m.get(5, 0), Bytes::KB);
+        assert_eq!(m.get(5, 6), Bytes::KB);
+    }
+
+    #[test]
+    fn server_fraction_rounds_up() {
+        assert_eq!(SizeMatrix::server_count(7, 0.2), 2);
+        assert_eq!(SizeMatrix::server_count(5, 0.2), 1);
+    }
+
+    #[test]
+    fn transpose_even_division() {
+        // 8x8 matrix of 8-byte doubles over 4 processors: each pair block
+        // is 2x2 elements = 32 bytes.
+        let m = SizeMatrix::transpose(4, 8, 8);
+        for s in 0..4 {
+            for d in 0..4 {
+                if s != d {
+                    assert_eq!(m.get(s, d), Bytes::new(32));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_with_remainder() {
+        // 7 rows over 3 processors: shares 3, 2, 2.
+        let m = SizeMatrix::transpose(3, 7, 1);
+        assert_eq!(m.get(0, 1), Bytes::new(6)); // 3 × 2
+        assert_eq!(m.get(1, 2), Bytes::new(4)); // 2 × 2
+        assert_eq!(m.get(1, 0), Bytes::new(6)); // 2 × 3
+    }
+
+    #[test]
+    fn mixed_of_extreme_fractions() {
+        let all_small = SizeMatrix::mixed_of(5, Bytes::KB, Bytes::MB, 0.0, 1);
+        let all_large = SizeMatrix::mixed_of(5, Bytes::KB, Bytes::MB, 1.0, 1);
+        for s in 0..5 {
+            for d in 0..5 {
+                if s != d {
+                    assert_eq!(all_small.get(s, d), Bytes::KB);
+                    assert_eq!(all_large.get(s, d), Bytes::MB);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn transpose_too_small_rejected() {
+        let _ = SizeMatrix::transpose(8, 4, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! The framework beyond total exchange: heterogeneity-aware broadcast,
+//! reduce, scatter/gather and all-to-some on the GUSTO network.
+//!
+//! ```sh
+//! cargo run --example collectives
+//! ```
+
+use adaptcomm::collectives::all_to_some::{schedule_demand, Demand};
+use adaptcomm::collectives::broadcast;
+use adaptcomm::collectives::gather::{gather, GatherOrder};
+use adaptcomm::collectives::reduce::{reduce, ReduceTree};
+use adaptcomm::collectives::scatter::{mean_receiver_completion, scatter, ScatterOrder};
+use adaptcomm::prelude::*;
+
+fn main() {
+    // An 8-node system: the 5 GUSTO sites plus 3 workstations behind a
+    // slow shared uplink — classic metacomputing heterogeneity.
+    let network = NetParams::from_fn(8, |s, d| {
+        use adaptcomm::model::cost::LinkEstimate;
+        if s == d {
+            return LinkEstimate::new(Millis::ZERO, Bandwidth::from_kbps(1e12));
+        }
+        let (a, b) = (s.min(d), s.max(d));
+        if b < 5 {
+            // Between GUSTO sites: the paper's tables.
+            LinkEstimate::new(
+                Millis::new(adaptcomm::model::gusto::latency_ms(a, b)),
+                Bandwidth::from_kbps(adaptcomm::model::gusto::bandwidth_kbps(a, b)),
+            )
+        } else {
+            // Workstations: 60 ms, 128 kbit/s uplink.
+            LinkEstimate::new(Millis::new(60.0), Bandwidth::from_kbps(128.0))
+        }
+    });
+    let matrix = CommMatrix::uniform_message(&network, Bytes::from_kb(256));
+
+    println!("== Broadcast of 256 kB from P0 ==");
+    for (name, plan) in [
+        ("flat (root sends all)", broadcast::flat(&matrix, 0)),
+        ("binomial tree", broadcast::binomial(&matrix, 0)),
+        (
+            "fastest-completion-first",
+            broadcast::fastest_first(&matrix, 0),
+        ),
+    ] {
+        println!("{name:>28}: completes at {}", plan.completion_time());
+    }
+
+    println!("\n== Reduce into P0 ==");
+    for (name, plan) in [
+        ("flat star", reduce(&matrix, 0, ReduceTree::Flat)),
+        (
+            "fastest-first tree",
+            reduce(&matrix, 0, ReduceTree::FastestFirst),
+        ),
+    ] {
+        println!("{name:>28}: completes at {}", plan.completion_time());
+    }
+
+    println!("\n== Scatter from P0 (completion is order-invariant; latency is not) ==");
+    for (name, order) in [
+        ("by index", ScatterOrder::ByIndex),
+        ("shortest first (SPT)", ScatterOrder::ShortestFirst),
+        ("longest first", ScatterOrder::LongestFirst),
+    ] {
+        let plan = scatter(&matrix, 0, order);
+        println!(
+            "{name:>28}: completes at {}, mean receiver wait {}",
+            plan.completion_time(),
+            mean_receiver_completion(&plan, 0)
+        );
+    }
+
+    println!("\n== Gather into P0 ==");
+    let g = gather(&matrix, 0, GatherOrder::ShortestFirst);
+    println!(
+        "{:>28}: completes at {}",
+        "shortest first",
+        g.completion_time()
+    );
+
+    println!("\n== Broadcast timing diagram (fastest-first from P0) ==");
+    let plan = broadcast::fastest_first(&matrix, 0);
+    println!(
+        "{}",
+        TimingDiagram::of_events(plan.processors(), plan.events()).render(14)
+    );
+
+    println!("\n== All-to-some: every node ships results to the two visualization hosts ==");
+    let demand = Demand::all_to(8, &[0, 4]);
+    let plan = schedule_demand(&matrix, &demand);
+    println!(
+        "{:>28}: {} messages complete at {} (lower bound {})",
+        "open shop rule",
+        demand.len(),
+        plan.completion_time(),
+        demand.lower_bound(&matrix)
+    );
+}

@@ -1,0 +1,87 @@
+//! The Figure-12 multimedia scenario with the §6.4 extensions: QoS
+//! deadlines on the video streams and a critical supercomputer whose
+//! traffic must finish first.
+//!
+//! ```sh
+//! cargo run --example multimedia_servers
+//! ```
+
+use adaptcomm::prelude::*;
+use adaptcomm::scheduling::critical::CriticalResource;
+use adaptcomm::scheduling::qos::{QosMatrix, QosReport, QosRequirement, QosScheduler};
+
+const P: usize = 10;
+
+fn main() {
+    // 20% of the processors (P0, P1) are media servers pushing 1 MB
+    // clips to every client; all other traffic is 1 kB control data.
+    let inst = Scenario::Servers.instance(P, 2026);
+    let matrix = &inst.matrix;
+    let servers = SizeMatrix::server_count(P, 0.20);
+    println!(
+        "{P} processors, {servers} servers; lower bound t_lb = {}\n",
+        matrix.lower_bound()
+    );
+
+    // --- Plain comparison (the Figure-12 experiment at one P). ---
+    println!("{:>14} {:>14} {:>8}", "algorithm", "completion", "vs t_lb");
+    for scheduler in all_schedulers() {
+        let s = scheduler.schedule(matrix);
+        println!(
+            "{:>14} {:>14} {:>7.1}%",
+            scheduler.name(),
+            format!("{}", s.completion_time()),
+            (s.lb_ratio() - 1.0) * 100.0
+        );
+    }
+
+    // --- §6.4 QoS: the streams to client P5 carry real-time deadlines. ---
+    let mut qos = QosMatrix::best_effort(P);
+    for server in 0..servers {
+        // Deadline: the stream must land within 1.2× its raw transfer
+        // time plus a 5 s startup allowance.
+        let raw = matrix.cost(server, 5);
+        qos.set(
+            server,
+            5,
+            QosRequirement {
+                deadline: Some(Millis::new(raw.as_ms() * 1.2 + 5_000.0)),
+                priority: 10,
+            },
+        );
+    }
+    let qos_schedule = QosScheduler::new(qos.clone()).build(matrix);
+    let qos_report = QosReport::evaluate(&qos_schedule, &qos);
+    let open_report = QosReport::evaluate(&OpenShop.schedule(matrix), &qos);
+    println!("\nQoS streams to client P5 (deadline = 1.2x raw + 5 s):");
+    println!(
+        "  QoS-aware scheduler: {} missed, total tardiness {}",
+        qos_report.missed.len(),
+        qos_report.total_tardiness
+    );
+    println!(
+        "  QoS-oblivious open shop: {} missed, total tardiness {}",
+        open_report.missed.len(),
+        open_report.total_tardiness
+    );
+
+    // --- §6.4 critical resource: P2 is an expensive supercomputer. ---
+    let critical = 2;
+    let crit_schedule = CriticalResource::new(critical).build(matrix);
+    let open_schedule = OpenShop.schedule(matrix);
+    println!("\nCritical resource P{critical} (finish its traffic first):");
+    println!(
+        "  optimum possible finish for P{critical}: {}",
+        CriticalResource::critical_optimum(matrix, critical)
+    );
+    println!(
+        "  critical-aware schedule: P{critical} done at {}, exchange done at {}",
+        CriticalResource::involvement_finish(&crit_schedule, critical),
+        crit_schedule.completion_time()
+    );
+    println!(
+        "  open shop schedule:      P{critical} done at {}, exchange done at {}",
+        CriticalResource::involvement_finish(&open_schedule, critical),
+        open_schedule.completion_time()
+    );
+}

@@ -1,0 +1,83 @@
+//! §2 multi-network techniques (Kim & Lilja): PBPS network selection and
+//! bandwidth aggregation on a dual-network cluster, and their effect on
+//! total-exchange scheduling.
+//!
+//! ```sh
+//! cargo run --example multinet
+//! ```
+
+use adaptcomm::model::multinet::MultiNetwork;
+use adaptcomm::prelude::*;
+
+fn main() {
+    // A 6-node cluster wired with both Ethernet (cheap start-up, slow)
+    // and ATM (expensive start-up, fast) — the testbed of the paper's
+    // §2 reference [14, 15].
+    let p = 6;
+    let ethernet = NetParams::uniform(p, Millis::new(0.8), Bandwidth::from_mbps(10.0));
+    let atm = NetParams::uniform(p, Millis::new(12.0), Bandwidth::from_mbps(155.0));
+    let multi = MultiNetwork::new(vec![("ethernet".into(), ethernet), ("atm".into(), atm)]);
+
+    // --- PBPS: which network for which message size? ---
+    println!("PBPS network choice between a node pair:");
+    println!(
+        "{:>12} {:>10} {:>14} {:>14}",
+        "size", "choice", "ethernet", "atm"
+    );
+    for kb in [1u64, 4, 16, 64, 256, 1024] {
+        let m = Bytes::from_kb(kb);
+        let (k, t) = multi.pbps_choice(0, 1, m);
+        let t_eth = Bandwidth::from_mbps(10.0).transfer_time(m) + Millis::new(0.8);
+        let t_atm = Bandwidth::from_mbps(155.0).transfer_time(m) + Millis::new(12.0);
+        println!(
+            "{:>12} {:>10} {:>14} {:>14}{}",
+            format!("{m}"),
+            multi.names()[k],
+            format!("{t_eth}"),
+            format!("{t_atm}"),
+            if t == t_eth.min(t_atm) { "" } else { " ?" },
+        );
+    }
+    if let Some(cross) = multi.crossover_size(0, 1, 0, 1) {
+        println!("crossover at {cross}: below it Ethernet wins, above it ATM\n");
+    }
+
+    // --- Aggregation: both networks at once ---
+    println!("Aggregation (split across both networks):");
+    println!(
+        "{:>12} {:>14} {:>14} {:>20}",
+        "size", "best single", "aggregated", "split (eth/atm)"
+    );
+    for kb in [16u64, 128, 1024, 8192] {
+        let m = Bytes::from_kb(kb);
+        let (_, best_single) = multi.pbps_choice(0, 1, m);
+        let (agg, split) = multi.aggregate(0, 1, m);
+        println!(
+            "{:>12} {:>14} {:>14} {:>20}",
+            format!("{m}"),
+            format!("{best_single}"),
+            format!("{agg}"),
+            format!("{} / {}", split[0], split[1]),
+        );
+    }
+
+    // --- Effect on total-exchange scheduling ---
+    // PBPS-flattened parameters plug straight into the framework.
+    println!("\nTotal exchange of 64 kB messages, scheduled on each view:");
+    let msg = Bytes::from_kb(64);
+    for (name, params) in [
+        (
+            "ethernet only",
+            NetParams::uniform(p, Millis::new(0.8), Bandwidth::from_mbps(10.0)),
+        ),
+        (
+            "atm only",
+            NetParams::uniform(p, Millis::new(12.0), Bandwidth::from_mbps(155.0)),
+        ),
+        ("pbps best-of-both", multi.pbps_params(msg)),
+    ] {
+        let matrix = CommMatrix::uniform_message(&params, msg);
+        let sched = OpenShop.schedule(&matrix);
+        println!("{:>20}: completes at {}", name, sched.completion_time());
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: schedule a total exchange over the GUSTO testbed.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use adaptcomm::prelude::*;
+
+fn main() {
+    // 1. Network performance, as the directory service reports it — here
+    //    the paper's Tables 1 and 2 (five GUSTO sites).
+    let network = adaptcomm::model::gusto::gusto_params();
+    println!("Network: 5 GUSTO sites (Tables 1–2 of the paper)\n");
+
+    // 2. The application wants an all-to-all personalized exchange of
+    //    1 MB messages (e.g. a distributed matrix transpose).
+    let matrix = CommMatrix::uniform_message(&network, Bytes::MB);
+    println!("Communication matrix (predicted transfer times):\n{matrix}");
+    println!("Lower bound t_lb = {}\n", matrix.lower_bound());
+
+    // 3. Compare every scheduling algorithm from the paper.
+    println!("{:>14} {:>14} {:>8}", "algorithm", "completion", "vs t_lb");
+    for scheduler in all_schedulers() {
+        let schedule = scheduler.schedule(&matrix);
+        schedule
+            .validate()
+            .expect("all schedulers produce valid schedules");
+        println!(
+            "{:>14} {:>14} {:>7.1}%",
+            scheduler.name(),
+            format!("{}", schedule.completion_time()),
+            (schedule.lb_ratio() - 1.0) * 100.0
+        );
+    }
+
+    // 4. Show the winner's timing diagram (the paper's Figure-8 analogue).
+    let best = OpenShop.schedule(&matrix);
+    println!("\nOpen shop timing diagram (columns = senders, labels = receivers):");
+    println!("{}", TimingDiagram::of_schedule(&best).render(24));
+}

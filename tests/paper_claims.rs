@@ -1,0 +1,134 @@
+//! The paper's §5 quantitative claims, verified end to end over random
+//! GUSTO-guided instances. Absolute numbers cannot match a 1998 testbed;
+//! these tests pin the *shape*: who wins, by what kind of factor, and
+//! that the theoretical guarantees hold everywhere.
+
+use adaptcomm::prelude::*;
+use adaptcomm::scheduling::bounds;
+use adaptcomm::scheduling::depgraph;
+
+/// Collects lb-ratios of one scheduler over a sweep of instances.
+fn ratios(name: &str, instances: &[CommMatrix]) -> Vec<f64> {
+    let scheduler = all_schedulers()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("unknown scheduler {name}"));
+    instances
+        .iter()
+        .map(|m| scheduler.schedule(m).completion_time() / m.lower_bound())
+        .collect()
+}
+
+fn instances() -> Vec<CommMatrix> {
+    let mut out = Vec::new();
+    for scenario in Scenario::FIGURES {
+        for p in [10usize, 20, 35, 50] {
+            for seed in 0..3u64 {
+                out.push(scenario.instance(p, seed * 37 + p as u64).matrix);
+            }
+        }
+    }
+    out
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+#[test]
+fn openshop_is_closest_to_the_lower_bound() {
+    // Paper: "often within 2%, and always within 10%". Our random draws
+    // differ from the authors'; we hold open shop to a mean within 5%
+    // and a worst case within the Theorem-3 guarantee.
+    let inst = instances();
+    let os = ratios("openshop", &inst);
+    assert!(mean(&os) < 1.05, "open shop mean ratio {}", mean(&os));
+    assert!(max(&os) <= 2.0 + 1e-9, "Theorem 3 violated: {}", max(&os));
+
+    // And it is the best algorithm on aggregate.
+    for other in ["baseline", "matching-max", "matching-min", "greedy"] {
+        let r = ratios(other, &inst);
+        assert!(
+            mean(&os) <= mean(&r) + 1e-9,
+            "open shop ({}) lost to {other} ({})",
+            mean(&os),
+            mean(&r)
+        );
+    }
+}
+
+#[test]
+fn matchings_and_greedy_sit_between_openshop_and_baseline() {
+    // Paper bands: matchings within ~15% of lb, greedy within ~25%.
+    let inst = instances();
+    let mm = mean(&ratios("matching-max", &inst));
+    let greedy = mean(&ratios("greedy", &inst));
+    let baseline = mean(&ratios("baseline", &inst));
+    assert!(mm < 1.20, "matching-max mean ratio {mm}");
+    assert!(greedy < 1.30, "greedy mean ratio {greedy}");
+    assert!(
+        baseline > mm,
+        "baseline ({baseline}) should trail matching ({mm})"
+    );
+}
+
+#[test]
+fn baseline_is_the_clear_loser_and_degrades_with_p() {
+    // The baseline's mean ratio grows with P on the server workload —
+    // the visual signature of Figure 12.
+    let ratio_at = |p: usize| {
+        let ms: Vec<CommMatrix> = (0..4)
+            .map(|s| Scenario::Servers.instance(p, s).matrix)
+            .collect();
+        mean(&ratios("baseline", &ms))
+    };
+    let r10 = ratio_at(10);
+    let r50 = ratio_at(50);
+    assert!(
+        r50 > r10 + 0.15,
+        "baseline ratio should grow with P: {r10} at P=10 vs {r50} at P=50"
+    );
+}
+
+#[test]
+fn theorem_2_bound_holds_and_is_tight() {
+    // Bound on random instances.
+    for scenario in Scenario::FIGURES {
+        for seed in 0..5u64 {
+            let m = scenario.instance(12, seed).matrix;
+            let t = depgraph::baseline_step_ordered_completion(&m).as_ms();
+            let bound = bounds::baseline_bound_factor(12) * m.lower_bound().as_ms();
+            assert!(t <= bound + 1e-6);
+        }
+    }
+    // Tightness on the paper's ε-instance.
+    let m = bounds::theorem2_tightness_instance(1e-9);
+    let ratio = depgraph::baseline_step_ordered_completion(&m).as_ms() / m.lower_bound().as_ms();
+    assert!((ratio - 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn scheduling_cost_scales_as_documented() {
+    // O(P³) algorithms must stay well under the O(P⁴) matching for the
+    // same instance — a coarse complexity smoke test at P=50 (exact
+    // wall-time scaling is measured by the Criterion benches).
+    use std::time::Instant;
+    let m = Scenario::Mixed.instance(50, 1).matrix;
+    let t_open = {
+        let start = Instant::now();
+        let _ = OpenShop.schedule(&m);
+        start.elapsed()
+    };
+    let t_match = {
+        let start = Instant::now();
+        let _ = MatchingScheduler::new(MatchingKind::Max).schedule(&m);
+        start.elapsed()
+    };
+    // Both complete quickly; no strict ratio (machine noise), just sanity.
+    assert!(t_open.as_millis() < 2_000);
+    assert!(t_match.as_millis() < 10_000);
+}
