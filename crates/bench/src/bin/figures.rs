@@ -5,22 +5,33 @@
 //!         [--fig12] [--fig12wide] [--thm2] [--thm3] [--summary]
 //!         [--adaptivity] [--refine] [--incremental] [--staging]
 //!         [--fluid] [--barrier] [--csv] [--all]
+//!         [--threads <N>] [--serial]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--quick` shrinks the
 //! sweeps (fewer processor counts and trials) for CI-speed runs; `--csv`
 //! emits machine-readable output after each rendered table.
+//!
+//! The figure and summary sweeps run on the parallel sweep engine;
+//! `--threads N` pins the worker count and `--serial` forces the
+//! single-threaded reference path. Per-instance seeds are derived from
+//! grid coordinates, so every thread count prints identical tables.
 
 use adaptcomm_bench::experiments::{
-    adaptivity_study, barrier_ablation, check_figure_shape, render_gusto_tables, run_figure,
-    summary, theorem2_series, theorem3_worst_ratio, DEFAULT_TRIALS, FIGURE_P_VALUES,
+    adaptivity_study, barrier_ablation, check_figure_shape, render_gusto_tables, run_figure_on,
+    summary_on, theorem2_series, theorem3_worst_ratio, DEFAULT_TRIALS, FIGURE_P_VALUES,
 };
+use adaptcomm_bench::sweep::SweepRunner;
+use adaptcomm_model::generator::GeneratorConfig;
 use adaptcomm_workloads::Scenario;
+use std::time::Instant;
 
 struct Options {
     quick: bool,
     csv: bool,
     selected: Vec<String>,
+    threads: Option<usize>,
+    serial: bool,
 }
 
 fn parse_args() -> Options {
@@ -28,11 +39,22 @@ fn parse_args() -> Options {
         quick: false,
         csv: false,
         selected: Vec::new(),
+        threads: None,
+        serial: false,
     };
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--csv" => opts.csv = true,
+            "--serial" => opts.serial = true,
+            "--threads" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                };
+                opts.threads = Some(n);
+            }
             "--all" => {}
             other if other.starts_with("--") => opts.selected.push(other[2..].to_string()),
             other => {
@@ -53,6 +75,15 @@ fn main() {
         FIGURE_P_VALUES.to_vec()
     };
     let trials = if opts.quick { 2 } else { DEFAULT_TRIALS };
+    let runner = if opts.serial {
+        SweepRunner::serial()
+    } else if let Some(n) = opts.threads {
+        SweepRunner::new(n)
+    } else {
+        SweepRunner::auto()
+    };
+    let mut sweep_elapsed = std::time::Duration::ZERO;
+    let mut sweep_instances = 0usize;
 
     if want("table1") || want("table2") {
         print!("{}", render_gusto_tables());
@@ -68,7 +99,16 @@ fn main() {
         if !want(flag) {
             continue;
         }
-        let table = run_figure(scenario, &p_values, trials);
+        let clock = Instant::now();
+        let table = run_figure_on(
+            scenario,
+            &p_values,
+            trials,
+            GeneratorConfig::default(),
+            &runner,
+        );
+        sweep_elapsed += clock.elapsed();
+        sweep_instances += p_values.len() * trials as usize;
         print!("{}", table.render());
         if let Err(e) = check_figure_shape(&table) {
             println!("!! shape check failed: {e}");
@@ -82,14 +122,17 @@ fn main() {
     }
 
     if want("fig12wide") {
-        use adaptcomm_bench::experiments::{improvement_factor, run_figure_with};
-        use adaptcomm_model::generator::GeneratorConfig;
-        let table = run_figure_with(
+        use adaptcomm_bench::experiments::improvement_factor;
+        let clock = Instant::now();
+        let table = run_figure_on(
             Scenario::Servers,
             &p_values,
             trials,
             GeneratorConfig::wide_area(),
+            &runner,
         );
+        sweep_elapsed += clock.elapsed();
+        sweep_instances += p_values.len() * trials as usize;
         println!("# fig12 under the §3.2 wide heterogeneity range (56 kbit/s – 155 Mbit/s)");
         print!("{}", table.render());
         println!(
@@ -119,8 +162,20 @@ fn main() {
     }
 
     if want("summary") {
-        let s = summary(&p_values, trials);
+        let clock = Instant::now();
+        let s = summary_on(&p_values, trials, &runner);
+        sweep_elapsed += clock.elapsed();
+        sweep_instances += s.instances;
         print!("{}", s.render());
+        println!();
+    }
+
+    if sweep_instances > 0 {
+        println!(
+            "# sweep engine: {sweep_instances} instances in {:.2} s on {} thread(s)",
+            sweep_elapsed.as_secs_f64(),
+            runner.threads()
+        );
         println!();
     }
 
@@ -182,7 +237,10 @@ fn main() {
         println!("# Flat cost model vs fluid topology ground truth (2 sites, shared WAN)");
         println!("{:>4} {:>14} {:>14} {:>8}", "P", "flat", "fluid", "ratio");
         for (p, flat, fluid) in fluid_gap_study(&[4, 8, 12, 16]) {
-            println!("{p:>4} {flat:>12.1}ms {fluid:>12.1}ms {:>8.3}", fluid / flat);
+            println!(
+                "{p:>4} {flat:>12.1}ms {fluid:>12.1}ms {:>8.3}",
+                fluid / flat
+            );
         }
         println!();
     }

@@ -1,5 +1,6 @@
 //! The experiments of §5, plus the §6 extension studies.
 
+use crate::sweep::{SweepGrid, SweepRunner};
 use adaptcomm_core::algorithms::{all_schedulers, Scheduler};
 use adaptcomm_core::bounds;
 use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
@@ -101,29 +102,49 @@ pub fn run_figure_with(
     trials: u64,
     cfg: GeneratorConfig,
 ) -> FigureTable {
-    let mut rows = Vec::with_capacity(p_values.len());
-    for &p in p_values {
-        let schedulers = all_schedulers();
-        let mut sums = vec![0.0f64; schedulers.len()];
-        let mut lb_sum = 0.0f64;
-        for trial in 0..trials {
-            let inst =
-                scenario.instance_with(p, trial.wrapping_mul(7919).wrapping_add(p as u64), cfg);
-            lb_sum += inst.matrix.lower_bound().as_ms();
-            for (k, s) in schedulers.iter().enumerate() {
-                sums[k] += s.schedule(&inst.matrix).completion_time().as_ms();
+    run_figure_on(scenario, p_values, trials, cfg, &SweepRunner::default())
+}
+
+/// [`run_figure_with`] on an explicit [`SweepRunner`] (thread count under
+/// caller control; `SweepRunner::serial()` is the reference path).
+pub fn run_figure_on(
+    scenario: Scenario,
+    p_values: &[usize],
+    trials: u64,
+    cfg: GeneratorConfig,
+    runner: &SweepRunner,
+) -> FigureTable {
+    assert!(trials >= 1, "a figure needs at least one trial per point");
+    let grid = SweepGrid::figure(scenario, p_values, trials, cfg);
+    let results = runner.run(&grid);
+    // Results arrive in grid order (P-major, then trial), so chunking by
+    // trial count rebuilds each row's sums in the exact order the old
+    // serial loop accumulated them.
+    let rows = p_values
+        .iter()
+        .zip(results.chunks(trials as usize))
+        .map(|(&p, chunk)| {
+            let schedulers = all_schedulers();
+            let mut sums = vec![0.0f64; schedulers.len()];
+            let mut lb_sum = 0.0f64;
+            for r in chunk {
+                debug_assert_eq!(r.point.p, p);
+                lb_sum += r.lower_bound_ms;
+                for (k, &(_, t)) in r.completions_ms.iter().enumerate() {
+                    sums[k] += t;
+                }
             }
-        }
-        rows.push(FigureRow {
-            p,
-            completions: schedulers
-                .iter()
-                .enumerate()
-                .map(|(k, s)| (s.name(), Millis::new(sums[k] / trials as f64)))
-                .collect(),
-            lower_bound: Millis::new(lb_sum / trials as f64),
-        });
-    }
+            FigureRow {
+                p,
+                completions: schedulers
+                    .iter()
+                    .enumerate()
+                    .map(|(k, s)| (s.name(), Millis::new(sums[k] / trials as f64)))
+                    .collect(),
+                lower_bound: Millis::new(lb_sum / trials as f64),
+            }
+        })
+        .collect();
     FigureTable { scenario, rows }
 }
 
@@ -175,31 +196,25 @@ impl SummaryStats {
 
 /// Computes lb-ratio statistics over every figure scenario.
 pub fn summary(p_values: &[usize], trials: u64) -> SummaryStats {
-    let schedulers = all_schedulers();
-    let mut sums = vec![0.0f64; schedulers.len()];
-    let mut worst = vec![0.0f64; schedulers.len()];
-    let mut count = 0usize;
-    for scenario in Scenario::FIGURES {
-        for &p in p_values {
-            for trial in 0..trials {
-                let inst = scenario.instance(p, trial.wrapping_mul(104729).wrapping_add(p as u64));
-                let lb = inst.matrix.lower_bound().as_ms();
-                count += 1;
-                for (k, s) in schedulers.iter().enumerate() {
-                    let r = s.schedule(&inst.matrix).completion_time().as_ms() / lb;
-                    sums[k] += r;
-                    worst[k] = worst[k].max(r);
-                }
-            }
-        }
-    }
+    summary_on(p_values, trials, &SweepRunner::default())
+}
+
+/// [`summary`] on an explicit [`SweepRunner`].
+pub fn summary_on(p_values: &[usize], trials: u64, runner: &SweepRunner) -> SummaryStats {
+    let stats = runner.stats(&SweepGrid::summary(p_values, trials));
     SummaryStats {
-        ratios: schedulers
+        ratios: stats
+            .per_scheduler
             .iter()
-            .enumerate()
-            .map(|(k, s)| (s.name(), sums[k] / count as f64, worst[k]))
+            .map(|&(name, acc)| {
+                (
+                    name,
+                    acc.ratio_sum / stats.instances as f64,
+                    acc.ratio_worst,
+                )
+            })
             .collect(),
-        instances: count,
+        instances: stats.instances,
     }
 }
 
@@ -516,7 +531,13 @@ pub fn fluid_gap_study(p_values: &[usize]) -> Vec<(usize, f64, f64)> {
             let sizes: Vec<Vec<Bytes>> = (0..p)
                 .map(|s| {
                     (0..p)
-                        .map(|d| if s == d { Bytes::ZERO } else { Bytes::from_kb(200) })
+                        .map(|d| {
+                            if s == d {
+                                Bytes::ZERO
+                            } else {
+                                Bytes::from_kb(200)
+                            }
+                        })
                         .collect()
                 })
                 .collect();

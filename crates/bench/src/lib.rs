@@ -13,5 +13,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod experiments;
+pub mod sweep;
 
 pub use experiments::{FigureRow, FigureTable, SummaryStats};
+pub use sweep::{InstanceResult, SweepGrid, SweepPoint, SweepRunner, SweepStats};

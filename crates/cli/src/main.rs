@@ -6,6 +6,7 @@
 //! adaptcomm schedule --algorithm openshop --matrix matrix.csv --diagram
 //! adaptcomm schedule --algorithm matching-max --matrix matrix.csv --svg out.svg
 //! adaptcomm compare --matrix matrix.csv
+//! adaptcomm sweep --scenario all --trials 5 --threads 4
 //! ```
 //!
 //! Matrices are plain CSV: `P` rows of `P` comma-separated costs in
@@ -51,6 +52,13 @@ USAGE:
   adaptcomm compare --matrix <file.csv>
       Run every algorithm and print the comparison table.
 
+  adaptcomm sweep [--scenario <all|fig9|fig10|fig11|fig12>] [--pmin <N>]
+                  [--pmax <N>] [--pstep <N>] [--trials <N>] [--threads <N>]
+      Evaluate every algorithm over the (scenario x P x trial) grid on
+      the parallel sweep engine and print lb-ratio statistics. Seeds are
+      derived from grid coordinates, so any --threads value produces the
+      same numbers. --threads 0 (default) uses all cores; 1 is serial.
+
   adaptcomm help
       This text.
 ";
@@ -75,6 +83,7 @@ fn run() -> Result<(), String> {
         "generate" => generate(&opts),
         "schedule" => schedule(&opts),
         "compare" => compare(&opts),
+        "sweep" => sweep(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -198,6 +207,53 @@ fn schedule(opts: &args::Options) -> Result<(), String> {
         std::fs::write(&path, svg).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+fn sweep(opts: &args::Options) -> Result<(), String> {
+    use adaptcomm_bench::experiments::{DEFAULT_TRIALS, FIGURE_P_VALUES};
+    use adaptcomm_bench::sweep::{summary_seed, SweepGrid, SweepRunner};
+    use adaptcomm_model::generator::GeneratorConfig;
+
+    let scenario_name = opts.get("scenario").unwrap_or_else(|| "all".into());
+    let scenarios = if scenario_name == "all" {
+        Scenario::FIGURES.to_vec()
+    } else {
+        vec![scenario_by_name(&scenario_name, 64)?]
+    };
+    let pmin: usize = opts.parsed_or("pmin", FIGURE_P_VALUES[0])?;
+    let pmax: usize = opts.parsed_or("pmax", *FIGURE_P_VALUES.last().unwrap())?;
+    let pstep: usize = opts.parsed_or("pstep", 5)?;
+    if pmin < 2 || pmax < pmin || pstep == 0 {
+        return Err("need 2 <= --pmin <= --pmax and --pstep >= 1".into());
+    }
+    let trials: u64 = opts.parsed_or("trials", DEFAULT_TRIALS)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
+    let threads: usize = opts.parsed_or("threads", 0)?;
+    let runner = if threads == 0 {
+        SweepRunner::auto()
+    } else {
+        SweepRunner::new(threads)
+    };
+
+    let grid = SweepGrid {
+        scenarios,
+        p_values: (pmin..=pmax).step_by(pstep).collect(),
+        trials,
+        cfg: GeneratorConfig::default(),
+        seed_fn: summary_seed,
+    };
+    let clock = std::time::Instant::now();
+    let stats = runner.stats(&grid);
+    print!("{}", stats.render());
+    println!(
+        "{} instances in {:.2} s on {} thread(s)",
+        stats.instances,
+        clock.elapsed().as_secs_f64(),
+        runner.threads()
+    );
     Ok(())
 }
 

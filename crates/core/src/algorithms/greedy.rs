@@ -43,7 +43,7 @@ impl Greedy {
             .collect();
 
         let mut sent = vec![vec![false; p]; p]; // sent[src][dst]
-        let mut remaining: Vec<usize> = vec![p - 1; p];
+        let mut remaining: Vec<usize> = vec![p.saturating_sub(1); p];
         let mut priority: Vec<usize> = (0..p).collect();
         let mut steps = Vec::new();
 

@@ -48,7 +48,11 @@ impl MatchingScheduler {
     /// `P−k`, and a `(P−k)`-regular bipartite graph always contains a
     /// perfect matching (König), so a matching avoiding deleted edges
     /// always exists; deleted edges carry a sentinel weight that makes
-    /// them strictly worse than any valid matching.
+    /// them strictly worse than any valid matching. Deletion is tracked
+    /// by an explicit boolean mask, not by comparing against the sentinel
+    /// weight — a real cost may sit arbitrarily close to the sentinel
+    /// (CommMatrix only guarantees finite, non-negative entries), so a
+    /// float-tolerance check could both miss reuse and fire spuriously.
     pub fn steps(&self, matrix: &CommMatrix) -> Vec<Vec<Option<usize>>> {
         let p = matrix.len();
         // Sentinel strictly dominating any complete matching built from
@@ -59,6 +63,7 @@ impl MatchingScheduler {
             MatchingKind::Min => big,
         };
         let mut weights = DenseCost::from_fn(p, |src, dst| matrix.cost(src, dst).as_ms());
+        let mut deleted = vec![false; p * p];
         let mut steps = Vec::with_capacity(p);
         for _round in 0..p {
             let assignment = match self.kind {
@@ -67,10 +72,11 @@ impl MatchingScheduler {
             };
             let mut step = Vec::with_capacity(p);
             for (src, &dst) in assignment.row_to_col.iter().enumerate() {
-                debug_assert!(
-                    (weights.at(src, dst) - deleted_weight).abs() > 1e-9,
-                    "matching reused a deleted edge"
+                assert!(
+                    !deleted[src * p + dst],
+                    "matching reused the deleted edge {src} -> {dst}"
                 );
+                deleted[src * p + dst] = true;
                 step.push(Some(dst));
                 weights.set(src, dst, deleted_weight);
             }
@@ -218,6 +224,27 @@ mod tests {
             baseline.completion_time()
         );
         assert!(matching.lb_ratio() <= 2.0);
+    }
+
+    #[test]
+    fn all_zero_matrix_still_partitions() {
+        // Every real edge weighs the same (0.0), so nothing but the
+        // deletion mask distinguishes a fresh edge from a deleted one —
+        // exactly the case where a weight-based reuse check is fragile.
+        let m = CommMatrix::from_fn(5, |_, _| 0.0);
+        for kind in [MatchingKind::Max, MatchingKind::Min] {
+            let steps = MatchingScheduler::new(kind).steps(&m);
+            assert_eq!(steps.len(), 5);
+            let mut seen = [false; 25];
+            for step in &steps {
+                for (src, dst) in step.iter().enumerate() {
+                    let dst = dst.unwrap();
+                    assert!(!seen[src * 5 + dst], "pair used twice");
+                    seen[src * 5 + dst] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "all pairs covered");
+        }
     }
 
     #[test]

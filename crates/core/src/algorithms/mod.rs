@@ -28,7 +28,12 @@ use crate::matrix::CommMatrix;
 use crate::schedule::{Schedule, SendOrder};
 
 /// A total-exchange scheduling algorithm.
-pub trait Scheduler {
+///
+/// `Send + Sync` are supertraits so `Box<dyn Scheduler>` collections can
+/// be shared across worker threads by parallel experiment sweeps; every
+/// scheduler is a stateless (or immutable-config) value, so the bounds
+/// cost implementors nothing.
+pub trait Scheduler: Send + Sync {
     /// Short identifier used in experiment output ("baseline",
     /// "openshop", ...).
     fn name(&self) -> &'static str;
@@ -80,6 +85,34 @@ mod tests {
                 "{} beat the lower bound?!",
                 s.name()
             );
+        }
+    }
+
+    #[test]
+    fn degenerate_processor_counts_are_handled() {
+        // P = 0 (no processors) and P = 1 (nothing to exchange) are legal
+        // inputs: every registered scheduler must return an empty
+        // schedule instead of underflowing `p - 1` somewhere.
+        for p in [0usize, 1] {
+            let m = CommMatrix::from_fn(p, |_, _| 0.0);
+            assert_eq!(m.len(), p);
+            assert_eq!(m.lower_bound().as_ms(), 0.0);
+            for s in all_schedulers() {
+                let order = s.send_order(&m);
+                assert_eq!(order.processors(), p, "{} at P={p}", s.name());
+                assert!(
+                    order.order.iter().all(|l| l.is_empty()),
+                    "{} scheduled a message at P={p}",
+                    s.name()
+                );
+                let sched = s.schedule(&m);
+                sched
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} invalid at P={p}: {e}", s.name()));
+                assert!(sched.events().is_empty(), "{} at P={p}", s.name());
+                assert_eq!(sched.completion_time().as_ms(), 0.0);
+                assert_eq!(sched.lb_ratio(), 1.0);
+            }
         }
     }
 

@@ -35,7 +35,7 @@ impl OpenShop {
             .map(|i| (0..p).filter(|&j| j != i).collect())
             .collect();
         let mut remaining: Vec<usize> = if p > 1 { (0..p).collect() } else { Vec::new() };
-        let mut events = Vec::with_capacity(p * (p - 1));
+        let mut events = Vec::with_capacity(p * p.saturating_sub(1));
 
         while !remaining.is_empty() {
             // Earliest-available sender; ties to the lowest id ("senders
@@ -82,7 +82,7 @@ impl Scheduler for OpenShop {
         // Derive per-sender order from the constructed schedule.
         let schedule = Self::build(matrix);
         let p = matrix.len();
-        let mut order = vec![Vec::with_capacity(p - 1); p];
+        let mut order = vec![Vec::with_capacity(p.saturating_sub(1)); p];
         for e in schedule.events() {
             order[e.src].push(e.dst);
         }

@@ -55,6 +55,9 @@ pub fn baseline_step_ordered_completion(matrix: &CommMatrix) -> Millis {
 /// `(src, dst)` events realizing [`baseline_step_ordered_completion`].
 pub fn baseline_critical_path(matrix: &CommMatrix) -> Vec<(usize, usize)> {
     let p = matrix.len();
+    if p == 0 {
+        return Vec::new();
+    }
     // finish[j][i] with full storage for back-tracking.
     let mut finish = vec![vec![0.0f64; p]; p];
     for i in 0..p {

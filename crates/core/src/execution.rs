@@ -82,7 +82,7 @@ pub fn execute_listed(order: &SendOrder, matrix: &CommMatrix) -> Schedule {
     let mut pending: Vec<Vec<(f64, usize)>> = vec![Vec::new(); p];
     let mut receiver_busy = vec![false; p];
     let mut next_index = vec![0usize; p];
-    let mut events_out: Vec<ScheduledEvent> = Vec::with_capacity(p * (p - 1));
+    let mut events_out: Vec<ScheduledEvent> = Vec::with_capacity(p * p.saturating_sub(1));
 
     // Starts the transfer src→dst at `now`, booking the receiver and
     // scheduling both follow-up events at the finish time.
@@ -141,7 +141,11 @@ pub fn execute_listed(order: &SendOrder, matrix: &CommMatrix) -> Schedule {
         }
     }
 
-    debug_assert_eq!(events_out.len(), p * (p - 1), "all transfers executed");
+    debug_assert_eq!(
+        events_out.len(),
+        p * p.saturating_sub(1),
+        "all transfers executed"
+    );
     Schedule::new(matrix.clone(), events_out)
 }
 
@@ -161,7 +165,7 @@ pub fn execute_steps_pairwise(steps: &[Vec<Option<usize>>], matrix: &CommMatrix)
     let p = matrix.len();
     let mut sender_finish = vec![0.0f64; p];
     let mut receiver_finish = vec![0.0f64; p];
-    let mut events = Vec::with_capacity(p * (p - 1));
+    let mut events = Vec::with_capacity(p * p.saturating_sub(1));
     for step in steps {
         assert_eq!(step.len(), p, "step width must equal P");
         let mut new_sender = sender_finish.clone();
@@ -206,7 +210,7 @@ pub fn execute_steps_pairwise(steps: &[Vec<Option<usize>>], matrix: &CommMatrix)
 pub fn execute_steps_sendrecv(steps: &[Vec<Option<usize>>], matrix: &CommMatrix) -> Schedule {
     let p = matrix.len();
     let mut node_ready = vec![0.0f64; p];
-    let mut events = Vec::with_capacity(p * (p - 1));
+    let mut events = Vec::with_capacity(p * p.saturating_sub(1));
     for step in steps {
         assert_eq!(step.len(), p, "step width must equal P");
         let mut next_ready = node_ready.clone();
@@ -242,7 +246,7 @@ pub fn execute_steps_sendrecv(steps: &[Vec<Option<usize>>], matrix: &CommMatrix)
 pub fn execute_steps(steps: &[Vec<Option<usize>>], matrix: &CommMatrix) -> Schedule {
     let p = matrix.len();
     let mut t = 0.0f64;
-    let mut events = Vec::with_capacity(p * (p - 1));
+    let mut events = Vec::with_capacity(p * p.saturating_sub(1));
     for step in steps {
         assert_eq!(step.len(), p, "step width must equal P");
         let mut step_end = t;

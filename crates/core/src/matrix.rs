@@ -26,9 +26,13 @@ pub struct CommMatrix {
 
 impl CommMatrix {
     /// Builds a matrix from sender-major rows: `rows[src][dst]`.
+    ///
+    /// A zero-row input yields the degenerate `0×0` matrix: no
+    /// processors, no events, lower bound zero. Every entry must be
+    /// finite and non-negative — NaN/∞ costs are rejected here so the
+    /// schedulers never see them.
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         let p = rows.len();
-        assert!(p >= 1, "need at least one processor");
         let mut costs = Vec::with_capacity(p * p);
         for (src, row) in rows.iter().enumerate() {
             assert_eq!(
@@ -99,7 +103,8 @@ impl CommMatrix {
         self.p
     }
 
-    /// True if the matrix covers zero processors (not constructible).
+    /// True if the matrix covers zero processors (the degenerate `P = 0`
+    /// exchange: nothing to send, nothing to receive).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.p == 0
@@ -263,6 +268,36 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_cost_rejected() {
         let _ = CommMatrix::from_rows(&[vec![0.0, -1.0], vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_cost_rejected() {
+        let _ = CommMatrix::from_rows(&[vec![0.0, f64::NAN], vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn infinite_cost_rejected() {
+        let _ = CommMatrix::from_rows(&[vec![0.0, f64::INFINITY], vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn set_cost_rejects_non_finite() {
+        let mut m = sample();
+        m.set_cost(0, 1, Millis::new(f64::NAN));
+    }
+
+    #[test]
+    fn zero_processor_matrix_is_constructible() {
+        let m = CommMatrix::from_rows(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.lower_bound().as_ms(), 0.0);
+        assert_eq!(m.events().count(), 0);
+        assert_eq!(m.total_cost().as_ms(), 0.0);
+        assert_eq!(CommMatrix::from_fn(0, |_, _| 1.0), m);
     }
 
     #[test]

@@ -308,7 +308,7 @@ impl SendOrder {
     /// `step[src] = Some(dst)`. Steps are concatenated per sender;
     /// self-sends (`step[src] == Some(src)`) are dropped as no-ops.
     pub fn from_steps(p: usize, steps: &[Vec<Option<usize>>]) -> Self {
-        let mut order = vec![Vec::with_capacity(p - 1); p];
+        let mut order = vec![Vec::with_capacity(p.saturating_sub(1)); p];
         for step in steps {
             assert_eq!(step.len(), p, "step width must equal P");
             for (src, dst) in step.iter().enumerate() {

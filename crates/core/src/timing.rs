@@ -35,7 +35,7 @@ impl TimingDiagram {
     /// Diagram of a concrete schedule (Figures 4, 6, 7, 8).
     pub fn of_schedule(schedule: &Schedule) -> Self {
         let p = schedule.processors();
-        let mut columns = vec![Vec::with_capacity(p - 1); p];
+        let mut columns = vec![Vec::with_capacity(p.saturating_sub(1)); p];
         for e in schedule.events() {
             columns[e.src].push(Block {
                 dst: e.dst,
@@ -80,7 +80,7 @@ impl TimingDiagram {
         let mut columns = Vec::with_capacity(p);
         let mut horizon = Millis::ZERO;
         for src in 0..p {
-            let mut col = Vec::with_capacity(p - 1);
+            let mut col = Vec::with_capacity(p.saturating_sub(1));
             let mut t = Millis::ZERO;
             for dst in 0..p {
                 if dst == src {

@@ -60,6 +60,10 @@ struct Inner {
     current: DirectorySnapshot,
     clock: Millis,
     trace: Option<VariationTrace>,
+    /// Minimum age the current snapshot must reach before an attached
+    /// trace publishes a replacement. `None` republishes on every clock
+    /// advance (a directory that measures continuously).
+    publish_interval: Option<Millis>,
     subscribers: Vec<Sender<DirectorySnapshot>>,
     publishes: u64,
     queries: u64,
@@ -79,6 +83,7 @@ impl DirectoryService {
                 current: snapshot,
                 clock: Millis::ZERO,
                 trace: None,
+                publish_interval: None,
                 subscribers: Vec::new(),
                 publishes: 0,
                 queries: 0,
@@ -94,27 +99,50 @@ impl DirectoryService {
         svc
     }
 
+    /// Like [`DirectoryService::with_trace`], but the trace publishes a
+    /// new snapshot only once the current one is at least `interval` old
+    /// — the MDS model where a monitor remeasures periodically, so
+    /// queries between publishes can fail a tight staleness budget
+    /// ([`QueryError::Stale`]).
+    pub fn with_trace_every(trace: VariationTrace, interval: Millis) -> Self {
+        let svc = Self::with_trace(trace);
+        svc.inner.lock().publish_interval = Some(interval);
+        svc
+    }
+
     /// Number of processors covered.
     pub fn processors(&self) -> usize {
         self.inner.lock().current.params().len()
     }
 
     /// Advances the simulated clock. With an attached trace, a new
-    /// snapshot is generated and published to subscribers.
+    /// snapshot is generated and published to subscribers — immediately,
+    /// or (with [`DirectoryService::with_trace_every`]) only once the
+    /// current snapshot has aged past the publish interval.
     pub fn advance_clock(&self, now: Millis) {
         let mut inner = self.inner.lock();
         if now.as_ms() <= inner.clock.as_ms() {
             return; // the clock never goes backwards
         }
         inner.clock = now;
-        if let Some(trace) = inner.trace.as_mut() {
-            let params = trace.snapshot_at(now);
-            let seq = inner.current.sequence() + 1;
-            let snap = DirectorySnapshot::new(params, now, seq);
-            inner.current = snap.clone();
-            inner.publishes += 1;
-            inner.subscribers.retain(|tx| tx.send(snap.clone()).is_ok());
+        if inner.trace.is_none() {
+            return;
         }
+        if let Some(interval) = inner.publish_interval {
+            if inner.current.age_at(now).as_ms() < interval.as_ms() {
+                return; // not due for remeasurement yet
+            }
+        }
+        let params = inner
+            .trace
+            .as_mut()
+            .expect("checked above")
+            .snapshot_at(now);
+        let seq = inner.current.sequence() + 1;
+        let snap = DirectorySnapshot::new(params, now, seq);
+        inner.current = snap.clone();
+        inner.publishes += 1;
+        inner.subscribers.retain(|tx| tx.send(snap.clone()).is_ok());
     }
 
     /// Publishes an externally measured table at the current clock.
@@ -252,6 +280,55 @@ mod tests {
             }
             other => panic!("expected staleness error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_advance_between_publishes_triggers_stale_rejection() {
+        // A periodically remeasuring directory: the trace republishes only
+        // every 5 s, so a query 2 s after the last snapshot with a 500 ms
+        // budget must be rejected as stale.
+        let trace = VariationTrace::new(params(), VariationConfig::default(), 11);
+        let d = DirectoryService::with_trace_every(trace, Millis::new(5_000.0));
+        d.advance_clock(Millis::new(2_000.0));
+        assert_eq!(d.snapshot().sequence(), 0, "trace must not republish yet");
+        match d.snapshot_fresh(Millis::new(500.0)) {
+            Err(QueryError::Stale { age, budget }) => {
+                assert_eq!(age.as_ms(), 2_000.0);
+                assert_eq!(budget.as_ms(), 500.0);
+            }
+            other => panic!("expected staleness rejection, got {other:?}"),
+        }
+        // A budget covering the age still succeeds.
+        assert!(d.snapshot_fresh(Millis::new(2_000.0)).is_ok());
+        // Once the interval elapses the trace remeasures and queries pass.
+        d.advance_clock(Millis::new(5_000.0));
+        let snap = d
+            .snapshot_fresh(Millis::new(500.0))
+            .expect("fresh right after the trace republished");
+        assert_eq!(snap.sequence(), 1);
+        assert_eq!(snap.taken_at().as_ms(), 5_000.0);
+    }
+
+    #[test]
+    fn publish_restores_freshness_after_stale_rejection() {
+        let trace = VariationTrace::new(params(), VariationConfig::default(), 13);
+        let d = DirectoryService::with_trace_every(trace, Millis::new(60_000.0));
+        d.advance_clock(Millis::new(3_000.0));
+        assert!(matches!(
+            d.snapshot_fresh(Millis::new(1_000.0)),
+            Err(QueryError::Stale { .. })
+        ));
+        // An external measurement published at the current clock makes
+        // the same query succeed.
+        let mut measured = params();
+        measured.scale_bandwidth(0, 1, 2.0);
+        d.publish(measured.clone());
+        let snap = d
+            .snapshot_fresh(Millis::new(1_000.0))
+            .expect("fresh after publish");
+        assert_eq!(snap.params(), &measured);
+        assert_eq!(snap.taken_at().as_ms(), 3_000.0);
+        assert_eq!(snap.sequence(), 1);
     }
 
     #[test]

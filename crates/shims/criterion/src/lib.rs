@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors the slice of criterion its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `bench_with_input`, and [`Bencher::iter`].
+//!
+//! Instead of criterion's statistical machinery, each benchmark is run
+//! for a fixed wall-clock budget and the mean iteration time is printed.
+//! Good enough to spot order-of-magnitude regressions offline; not a
+//! substitute for real criterion runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration measurement driver handed to bench closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut n = 0u64;
+        while start.elapsed() < budget {
+            black_box(f());
+            n += 1;
+        }
+        self.iters_done = n.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for source compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, label: &str, b: &mut Bencher) {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+        println!(
+            "{}/{label}: {:.3} ms/iter ({} iters)",
+            self.name,
+            per_iter * 1e3,
+            b.iters_done
+        );
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let label = name.to_string();
+        self.run(&label, &mut b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        let label = id.label.clone();
+        self.run(&label, &mut b);
+        self
+    }
+
+    /// Ends the group (no-op; exists for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Declares a group-runner function invoking each bench fn in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by
+//! this workspace; it is modeled on `std::sync::mpsc`. The one semantic
+//! difference from real crossbeam — `Receiver` here is not `Clone` and
+//! not `Sync` — does not matter to the directory service's
+//! one-receiver-per-subscription usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; errs if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks until a message arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Drains currently queued messages without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+    }
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_errs() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+    }
+}

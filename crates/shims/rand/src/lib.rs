@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny slice of the `rand` API it actually uses:
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`] and
+//! [`RngExt::random_range`] over integer and float ranges.
+//!
+//! The generator is xoshiro256++ with a SplitMix64 seed expansion —
+//! deterministic, portable, and fast. It is **not** the upstream
+//! `StdRng` algorithm (ChaCha12): streams differ from real `rand`, but
+//! every draw in this repository is seeded explicitly, so only internal
+//! reproducibility matters, and that is guaranteed by this file alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// The next raw 64-bit output (xoshiro256++ step).
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// A uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// SplitMix64: expands a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seedable construction (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro requires a non-zero state; SplitMix64 cannot emit four
+        // zeros from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        rngs::StdRng { s }
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded draw (Lemire); bias is < 2^-64
+                // per draw, irrelevant at simulation scale.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let hi = ((rng.next_u64() as u128 * (span + 1) as u128) >> 64) as u64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample!(usize, u64, u32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut rngs::StdRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + rng.next_f64() * (end - start)
+    }
+}
+
+/// The draw methods this workspace uses (`rand`'s `Rng::random_range`).
+pub trait RngExt {
+    /// Uniform draw from a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.random_range(1..=3);
+            assert!((1..=3).contains(&w));
+            let f: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let g: f64 = rng.random_range(-0.25..=0.25);
+            assert!((-0.25..=0.25).contains(&g));
+        }
+    }
+
+    #[test]
+    fn f64_draws_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let draws: Vec<f64> = (0..1000).map(|_| rng.random_range(0.0..1.0)).collect();
+        assert!(draws.iter().any(|&x| x < 0.1));
+        assert!(draws.iter().any(|&x| x > 0.9));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn integer_draws_hit_every_bucket() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[rng.random_range(0..5usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 800, "bucket {i} only hit {c} times");
+        }
+    }
+}

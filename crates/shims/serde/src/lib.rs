@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace derives `Serialize` / `Deserialize` purely as marker
+//! annotations (see `adaptcomm-core::export` for the hand-written JSON
+//! and CSV writers). The derives re-exported here expand to nothing; no
+//! `Serializer` / `Deserializer` machinery exists. Replace this shim
+//! with the real crate if genuine serde integration is ever needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

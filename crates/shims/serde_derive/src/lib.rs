@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses serde only as `#[derive(Serialize, Deserialize)]`
+//! markers (all actual export formats are hand-written in
+//! `adaptcomm-core::export`), so the derives expand to nothing. If a
+//! future change needs real serialization, these must be replaced with
+//! genuine impl generation.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

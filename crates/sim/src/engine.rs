@@ -1,9 +1,10 @@
 //! A minimal deterministic discrete-event calendar.
 //!
 //! A thin wrapper over a binary heap that (a) orders events by time, (b)
-//! breaks time ties by an explicit class rank and then by insertion
-//! sequence, so simulations are bit-for-bit reproducible regardless of
-//! heap internals, and (c) refuses to travel backwards in time.
+//! breaks time ties by an explicit class rank, then an optional caller
+//! key, then insertion sequence, so simulations are bit-for-bit
+//! reproducible regardless of heap internals, and (c) refuses to travel
+//! backwards in time.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -13,6 +14,7 @@ use std::collections::BinaryHeap;
 struct Entry<T> {
     time: f64,
     class: u8,
+    key: u64,
     seq: u64,
     payload: T,
 }
@@ -30,7 +32,10 @@ struct OrdEntry<T>(Entry<T>);
 
 impl<T> PartialEq for OrdEntry<T> {
     fn eq(&self, o: &Self) -> bool {
-        self.0.time == o.0.time && self.0.class == o.0.class && self.0.seq == o.0.seq
+        self.0.time == o.0.time
+            && self.0.class == o.0.class
+            && self.0.key == o.0.key
+            && self.0.seq == o.0.seq
     }
 }
 impl<T> Eq for OrdEntry<T> {}
@@ -45,6 +50,7 @@ impl<T> Ord for OrdEntry<T> {
             .time
             .total_cmp(&o.0.time)
             .then(self.0.class.cmp(&o.0.class))
+            .then(self.0.key.cmp(&o.0.key))
             .then(self.0.seq.cmp(&o.0.seq))
     }
 }
@@ -65,9 +71,19 @@ impl<T> Calendar<T> {
     }
 
     /// Schedules `payload` at absolute `time` with tie-break `class`
-    /// (lower classes pop first at equal times). Panics on scheduling in
-    /// the past — a simulation bug, not a recoverable condition.
+    /// (lower classes pop first at equal times; remaining ties pop in
+    /// insertion order). Panics on scheduling in the past — a simulation
+    /// bug, not a recoverable condition.
     pub fn schedule(&mut self, time: f64, class: u8, payload: T) {
+        self.schedule_keyed(time, class, 0, payload);
+    }
+
+    /// Like [`Calendar::schedule`] but with an explicit `key` that breaks
+    /// equal-`(time, class)` ties before insertion order. Event loops that
+    /// must match an analytic model's deterministic tie-break (e.g. "lower
+    /// processor id first") pass that id here instead of depending on the
+    /// order finish events happened to be scheduled in.
+    pub fn schedule_keyed(&mut self, time: f64, class: u8, key: u64, payload: T) {
         assert!(time.is_finite(), "event time must be finite");
         assert!(
             time >= self.now - 1e-9,
@@ -77,6 +93,7 @@ impl<T> Calendar<T> {
         let e = Entry {
             time,
             class,
+            key,
             seq: self.seq,
             payload,
         };
@@ -136,6 +153,17 @@ mod tests {
         assert_eq!(c.pop_next().unwrap().2, "first-in");
         assert_eq!(c.pop_next().unwrap().2, "second-in");
         assert_eq!(c.pop_next().unwrap().2, "late-class");
+    }
+
+    #[test]
+    fn keyed_ties_break_by_key_before_fifo() {
+        let mut c = Calendar::new();
+        c.schedule_keyed(2.0, 0, 5, "high-key-first-in");
+        c.schedule_keyed(2.0, 0, 2, "low-key-second-in");
+        c.schedule(2.0, 0, "unkeyed"); // key 0 pops before any keyed entry
+        assert_eq!(c.pop_next().unwrap().2, "unkeyed");
+        assert_eq!(c.pop_next().unwrap().2, "low-key-second-in");
+        assert_eq!(c.pop_next().unwrap().2, "high-key-first-in");
     }
 
     #[test]

@@ -58,9 +58,11 @@ pub fn run_static<M: CostModel>(order: &SendOrder, network: &M, sizes: &[Vec<Byt
     let mut next_idx = vec![0usize; p];
     let mut records = Vec::with_capacity(p.saturating_mul(p.saturating_sub(1)));
 
-    // Sorted initial arrivals (class encodes sender id ordering via FIFO).
+    // Events at equal times are keyed by processor id so the pop order
+    // matches the analytic executor's `(time, kind, processor)` ordering
+    // exactly; FIFO insertion order must not leak into the semantics.
     for src in 0..p {
-        cal.schedule(0.0, CLS_SENDER_READY, Ev::SenderReady(src));
+        cal.schedule_keyed(0.0, CLS_SENDER_READY, src as u64, Ev::SenderReady(src));
     }
 
     macro_rules! begin {
@@ -78,8 +80,8 @@ pub fn run_static<M: CostModel>(order: &SendOrder, network: &M, sizes: &[Vec<Byt
             });
             busy[dst] = true;
             next_idx[src] += 1;
-            cal.schedule(fin, CLS_SENDER_READY, Ev::SenderReady(src));
-            cal.schedule(fin, CLS_RECEIVER_FREE, Ev::ReceiverFree(dst));
+            cal.schedule_keyed(fin, CLS_SENDER_READY, src as u64, Ev::SenderReady(src));
+            cal.schedule_keyed(fin, CLS_RECEIVER_FREE, dst as u64, Ev::ReceiverFree(dst));
         }};
     }
 

@@ -65,7 +65,10 @@ pub fn run_fluid(topology: &Topology, order: &SendOrder, sizes: &[Vec<Bytes>]) -
     let mut records: Vec<TransferRecord> = Vec::new();
     let mut now = 0.0f64;
 
-    // Attempts to start src's next transfer at time `now`.
+    // Attempts to start src's next transfer at time `now`. The argument
+    // list is the simulation state itself; bundling it into a struct
+    // would just rename the problem.
+    #[allow(clippy::too_many_arguments)]
     fn try_start(
         topology: &Topology,
         order: &SendOrder,
@@ -88,10 +91,7 @@ pub fn run_fluid(topology: &Topology, order: &SendOrder, sizes: &[Vec<Bytes>]) -
             return;
         }
         let path = topology.path(src, dst);
-        let startup: f64 = path
-            .iter()
-            .map(|&l| topology.link(l).latency.as_ms())
-            .sum();
+        let startup: f64 = path.iter().map(|&l| topology.link(l).latency.as_ms()).sum();
         busy[dst] = true;
         sending[src] = true;
         next_idx[src] += 1;
@@ -288,7 +288,12 @@ mod tests {
         // bytes so they are instantaneous.
         let mut sz = sizes(4, 0);
         sz[0][2] = Bytes::from_kb(250); // 2 Mbit over a 2 Mbit/s WAN = 1000ms
-        let order = SendOrder::new(vec![vec![2, 1, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]]);
+        let order = SendOrder::new(vec![
+            vec![2, 1, 3],
+            vec![0, 2, 3],
+            vec![0, 1, 3],
+            vec![0, 1, 2],
+        ]);
         let run = run_fluid(&t, &order, &sz);
         let r = run
             .records
@@ -310,7 +315,12 @@ mod tests {
         let mut sz = sizes(4, 0);
         sz[0][2] = Bytes::from_kb(250);
         sz[1][3] = Bytes::from_kb(250);
-        let order = SendOrder::new(vec![vec![2, 1, 3], vec![3, 0, 2], vec![0, 1, 3], vec![0, 1, 2]]);
+        let order = SendOrder::new(vec![
+            vec![2, 1, 3],
+            vec![3, 0, 2],
+            vec![0, 1, 3],
+            vec![0, 1, 2],
+        ]);
         let run = run_fluid(&t, &order, &sz);
         let dur = |s: usize, d: usize| {
             let r = run
