@@ -41,6 +41,42 @@ pub fn schedule_to_json(schedule: &Schedule) -> String {
     s
 }
 
+/// Serializes a bare realized event trace — from any execution engine
+/// (analytic, simulated, or the live runtime) — to the same JSON shape as
+/// [`schedule_to_json`], minus the matrix-derived lower bound:
+///
+/// ```json
+/// {"processors":3,"completion_ms":17.0,
+///  "events":[{"src":0,"dst":1,"start_ms":0.0,"finish_ms":2.0}, …]}
+/// ```
+pub fn events_to_json(processors: usize, events: &[crate::schedule::ScheduledEvent]) -> String {
+    let completion = events
+        .iter()
+        .map(|e| e.finish.as_ms())
+        .fold(0.0f64, f64::max);
+    let mut s = String::with_capacity(64 + events.len() * 64);
+    let _ = write!(
+        s,
+        r#"{{"processors":{processors},"completion_ms":{},"events":["#,
+        fmt_f64(completion),
+    );
+    for (k, e) in events.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            r#"{{"src":{},"dst":{},"start_ms":{},"finish_ms":{}}}"#,
+            e.src,
+            e.dst,
+            fmt_f64(e.start.as_ms()),
+            fmt_f64(e.finish.as_ms()),
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
 /// Serializes the event trace as CSV with a header row.
 pub fn schedule_to_csv(schedule: &Schedule) -> String {
     let mut s = String::from("src,dst,start_ms,finish_ms\n");
@@ -106,6 +142,24 @@ mod tests {
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), 4);
         }
+    }
+
+    #[test]
+    fn bare_events_export_matches_schedule_export_shape() {
+        let s = schedule();
+        let json = events_to_json(s.processors(), s.events());
+        assert!(json.contains(r#""processors":3"#));
+        assert_eq!(json.matches(r#""src""#).count(), s.events().len());
+        let completion = format!(
+            r#""completion_ms":{}"#,
+            fmt_f64(s.completion_time().as_ms())
+        );
+        assert!(json.contains(&completion), "{json}");
+        assert!(!json.contains("lower_bound"));
+        assert_eq!(
+            events_to_json(2, &[]),
+            r#"{"processors":2,"completion_ms":0.0,"events":[]}"#
+        );
     }
 
     #[test]

@@ -56,6 +56,90 @@ impl fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// Errors a live publish can produce.
+///
+/// A runtime prober feeding observed link performance back into the
+/// directory must not be able to poison the table: non-finite or
+/// non-positive measurements are rejected at this API boundary instead
+/// of propagating into every scheduler that later queries the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PublishError {
+    /// The measurement references a processor the directory does not
+    /// cover.
+    UnknownProcessor {
+        /// The offending index.
+        index: usize,
+        /// The number of processors the directory covers.
+        size: usize,
+    },
+    /// A startup or bandwidth value is NaN, infinite, or out of domain
+    /// (negative startup, non-positive bandwidth).
+    NonFiniteMeasurement {
+        /// The directed pair the bad value was reported for.
+        src: usize,
+        /// The directed pair the bad value was reported for.
+        dst: usize,
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// The published table covers a different number of processors than
+    /// the directory.
+    SizeMismatch {
+        /// Size of the published table.
+        published: usize,
+        /// Size the directory covers.
+        size: usize,
+    },
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublishError::UnknownProcessor { index, size } => {
+                write!(
+                    f,
+                    "processor {index} out of range (directory covers {size})"
+                )
+            }
+            PublishError::NonFiniteMeasurement { src, dst, detail } => {
+                write!(f, "measurement for {src} -> {dst} rejected: {detail}")
+            }
+            PublishError::SizeMismatch { published, size } => {
+                write!(
+                    f,
+                    "published table covers {published} processors, directory covers {size}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// Validates one raw measurement for publication.
+fn check_measurement(
+    src: usize,
+    dst: usize,
+    startup_ms: f64,
+    bandwidth_kbps: f64,
+) -> Result<(), PublishError> {
+    if !startup_ms.is_finite() || startup_ms < 0.0 {
+        return Err(PublishError::NonFiniteMeasurement {
+            src,
+            dst,
+            detail: format!("startup {startup_ms} ms must be finite and non-negative"),
+        });
+    }
+    if !bandwidth_kbps.is_finite() || bandwidth_kbps <= 0.0 {
+        return Err(PublishError::NonFiniteMeasurement {
+            src,
+            dst,
+            detail: format!("bandwidth {bandwidth_kbps} kbit/s must be finite and positive"),
+        });
+    }
+    Ok(())
+}
+
 struct Inner {
     current: DirectorySnapshot,
     clock: Millis,
@@ -67,6 +151,18 @@ struct Inner {
     subscribers: Vec<Sender<DirectorySnapshot>>,
     publishes: u64,
     queries: u64,
+}
+
+impl Inner {
+    /// Installs `params` as the current snapshot, stamped `taken_at`,
+    /// bumping the sequence and notifying subscribers.
+    fn install(&mut self, params: NetParams, taken_at: Millis) {
+        let seq = self.current.sequence() + 1;
+        let snap = DirectorySnapshot::new(params, taken_at, seq);
+        self.current = snap.clone();
+        self.publishes += 1;
+        self.subscribers.retain(|tx| tx.send(snap.clone()).is_ok());
+    }
 }
 
 /// A thread-safe, time-aware directory of network performance.
@@ -138,21 +234,92 @@ impl DirectoryService {
             .as_mut()
             .expect("checked above")
             .snapshot_at(now);
-        let seq = inner.current.sequence() + 1;
-        let snap = DirectorySnapshot::new(params, now, seq);
-        inner.current = snap.clone();
-        inner.publishes += 1;
-        inner.subscribers.retain(|tx| tx.send(snap.clone()).is_ok());
+        inner.install(params, now);
     }
 
     /// Publishes an externally measured table at the current clock.
+    ///
+    /// This does **not** advance the clock, so the new snapshot carries
+    /// the time of the last [`DirectoryService::advance_clock`] call. A
+    /// live measurement source (e.g. a runtime prober) should use
+    /// [`DirectoryService::publish_at`] instead, which stamps the
+    /// snapshot with the measurement time so staleness budgets see the
+    /// refreshed epoch.
     pub fn publish(&self, params: NetParams) {
         let mut inner = self.inner.lock();
-        let seq = inner.current.sequence() + 1;
-        let snap = DirectorySnapshot::new(params, inner.clock, seq);
-        inner.current = snap.clone();
-        inner.publishes += 1;
-        inner.subscribers.retain(|tx| tx.send(snap.clone()).is_ok());
+        let taken_at = inner.clock;
+        inner.install(params, taken_at);
+    }
+
+    /// Publishes a live-measured table observed at time `now`, advancing
+    /// the directory clock to `now` (monotonically) and stamping the
+    /// snapshot epoch there.
+    ///
+    /// This is the runtime feedback path: before this API existed, only
+    /// trace-driven publishing ([`DirectoryService::with_trace_every`] via
+    /// [`DirectoryService::advance_clock`]) refreshed the snapshot epoch,
+    /// so estimates published by a live prober were immediately judged
+    /// stale against a tight budget even though they were the freshest
+    /// data in the system. Every estimate is validated; non-finite
+    /// measurements are rejected wholesale.
+    pub fn publish_at(&self, now: Millis, params: NetParams) -> Result<(), PublishError> {
+        let mut inner = self.inner.lock();
+        let size = inner.current.params().len();
+        if params.len() != size {
+            return Err(PublishError::SizeMismatch {
+                published: params.len(),
+                size,
+            });
+        }
+        for (src, dst, e) in params.pairs() {
+            check_measurement(src, dst, e.startup.as_ms(), e.bandwidth.as_kbps())?;
+        }
+        if now.as_ms() > inner.clock.as_ms() {
+            inner.clock = now;
+        }
+        let taken_at = inner.clock;
+        inner.install(params, taken_at);
+        Ok(())
+    }
+
+    /// Publishes a single live link measurement observed at time `now`:
+    /// the current table is updated in place for `(src, dst)` and
+    /// republished with a fresh epoch (clock advanced to `now`).
+    ///
+    /// Takes the *raw* measured values, because this is the API boundary
+    /// where a misbehaving prober (a `0/0` fit, an overflowed division)
+    /// must be stopped: non-finite or non-positive measurements are
+    /// rejected with [`PublishError::NonFiniteMeasurement`] instead of
+    /// panicking inside the unit constructors or poisoning the table.
+    pub fn publish_measurement(
+        &self,
+        src: usize,
+        dst: usize,
+        startup_ms: f64,
+        bandwidth_kbps: f64,
+        now: Millis,
+    ) -> Result<(), PublishError> {
+        check_measurement(src, dst, startup_ms, bandwidth_kbps)?;
+        let estimate = LinkEstimate::new(
+            Millis::new(startup_ms),
+            adaptcomm_model::units::Bandwidth::from_kbps(bandwidth_kbps),
+        );
+        let mut inner = self.inner.lock();
+        let size = inner.current.params().len();
+        if src >= size {
+            return Err(PublishError::UnknownProcessor { index: src, size });
+        }
+        if dst >= size {
+            return Err(PublishError::UnknownProcessor { index: dst, size });
+        }
+        let mut params = inner.current.params().clone();
+        params.set_estimate(src, dst, estimate);
+        if now.as_ms() > inner.clock.as_ms() {
+            inner.clock = now;
+        }
+        let taken_at = inner.clock;
+        inner.install(params, taken_at);
+        Ok(())
     }
 
     /// The freshest snapshot.
@@ -329,6 +496,94 @@ mod tests {
         assert_eq!(snap.params(), &measured);
         assert_eq!(snap.taken_at().as_ms(), 3_000.0);
         assert_eq!(snap.sequence(), 1);
+    }
+
+    #[test]
+    fn publish_at_refreshes_the_snapshot_epoch() {
+        // A live prober publishing at wall/run time must make a tight
+        // staleness budget pass again — the fix over plain `publish`,
+        // which stamps the (stale) clock of the last advance_clock call.
+        let d = DirectoryService::new(params());
+        d.advance_clock(Millis::new(10_000.0));
+        assert!(matches!(
+            d.snapshot_fresh(Millis::new(100.0)),
+            Err(QueryError::Stale { .. })
+        ));
+        d.publish_at(Millis::new(10_000.0), params()).unwrap();
+        let snap = d.snapshot_fresh(Millis::new(100.0)).expect("fresh now");
+        assert_eq!(snap.taken_at().as_ms(), 10_000.0);
+        assert_eq!(snap.sequence(), 1);
+        // Publishing from a *later* observation also advances the clock.
+        d.publish_at(Millis::new(12_000.0), params()).unwrap();
+        assert_eq!(d.snapshot().taken_at().as_ms(), 12_000.0);
+        assert!(d.snapshot_fresh(Millis::new(100.0)).is_ok());
+    }
+
+    #[test]
+    fn publish_measurement_updates_one_pair_and_epoch() {
+        let d = DirectoryService::new(params());
+        d.advance_clock(Millis::new(5_000.0));
+        d.publish_measurement(1, 3, 2.5, 750.0, Millis::new(5_000.0))
+            .unwrap();
+        let snap = d.snapshot();
+        assert_eq!(snap.estimate(1, 3).bandwidth.as_kbps(), 750.0);
+        assert_eq!(snap.estimate(1, 3).startup.as_ms(), 2.5);
+        // Other pairs untouched.
+        assert_eq!(snap.estimate(3, 1).bandwidth.as_kbps(), 500.0);
+        assert_eq!(snap.taken_at().as_ms(), 5_000.0);
+        assert_eq!(
+            d.publish_measurement(9, 0, 2.5, 750.0, Millis::ZERO),
+            Err(PublishError::UnknownProcessor { index: 9, size: 4 })
+        );
+    }
+
+    #[test]
+    fn non_finite_measurements_are_rejected() {
+        let d = DirectoryService::new(params());
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -5.0] {
+            assert!(
+                matches!(
+                    d.publish_measurement(0, 1, 1.0, bad, Millis::ZERO),
+                    Err(PublishError::NonFiniteMeasurement { src: 0, dst: 1, .. })
+                ),
+                "bandwidth {bad} must be rejected"
+            );
+        }
+        for bad in [f64::NAN, f64::NEG_INFINITY, -1.0] {
+            assert!(
+                matches!(
+                    d.publish_measurement(0, 1, bad, 100.0, Millis::ZERO),
+                    Err(PublishError::NonFiniteMeasurement { .. })
+                ),
+                "startup {bad} must be rejected"
+            );
+        }
+        // A full-table publish with one poisoned entry is rejected whole.
+        // (The struct literal bypasses `LinkEstimate::new`'s assert, the
+        // way a deserialized table would.)
+        let mut p = params();
+        p.set_estimate(
+            2,
+            0,
+            LinkEstimate {
+                startup: Millis::new(f64::NAN),
+                bandwidth: Bandwidth::from_kbps(100.0),
+            },
+        );
+        assert!(matches!(
+            d.publish_at(Millis::ZERO, p),
+            Err(PublishError::NonFiniteMeasurement { src: 2, dst: 0, .. })
+        ));
+        // Nothing was installed by any rejected publish.
+        assert_eq!(d.snapshot().sequence(), 0);
+        let wrong_size = NetParams::uniform(3, Millis::new(1.0), Bandwidth::from_kbps(10.0));
+        assert_eq!(
+            d.publish_at(Millis::ZERO, wrong_size),
+            Err(PublishError::SizeMismatch {
+                published: 3,
+                size: 4
+            })
+        );
     }
 
     #[test]

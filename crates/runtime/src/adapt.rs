@@ -1,0 +1,483 @@
+//! The closed loop: measure → schedule → execute → adapt (§6.4).
+//!
+//! [`CheckpointedRun`] drives the shaped engine through the paper's full
+//! cycle. At every checkpoint of the configured
+//! [`CheckpointPolicy`], under the fabric lock:
+//!
+//! 1. **measure** — the [`Prober`] fits live `(T_ij, B_ij)` values from
+//!    the transfers completed so far and publishes them into the
+//!    [`DirectoryService`], refreshing its snapshot epoch;
+//! 2. **query** — a fresh snapshot is taken, now reflecting what the
+//!    network actually did rather than what was assumed;
+//! 3. **decide** — observed progress since the last replan is compared
+//!    against the plan (the same segment-relative deviation rule as
+//!    `adaptcomm_sim::dynamic::run_adaptive`);
+//! 4. **adapt** — if the drift exceeds the [`RescheduleRule`] threshold,
+//!    the not-yet-started messages are replanned with
+//!    [`openshop_replan`] — the identical decision rule the simulator
+//!    uses, so live and simulated adaptation can be cross-validated.
+//!
+//! On a typed link failure ([`RuntimeError::MessageDropped`] /
+//! [`RuntimeError::MessageLate`]) the driver retries: the failed
+//! message is deferred to the back of its sender's queue, the rest is
+//! replanned from the current directory view, and execution resumes at
+//! the failure's modeled time.
+
+use crate::channel::{
+    run_shaped, CheckpointAction, FaultPolicy, FrozenNetwork, ShapedConfig, ShapedOutcome,
+};
+use crate::error::RuntimeError;
+use crate::prober::Prober;
+use crate::trace::RunTrace;
+use crate::transport::{ChannelTransport, Transport};
+use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
+use adaptcomm_directory::DirectoryService;
+use adaptcomm_model::units::{Bytes, Millis};
+use adaptcomm_sim::dynamic::openshop_replan;
+use adaptcomm_sim::executor::TransferRecord;
+use adaptcomm_sim::NetworkEvolution;
+
+/// Adaptation settings for a checkpointed live run.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptSettings {
+    /// When to run the measure/decide/adapt cycle.
+    pub policy: CheckpointPolicy,
+    /// How much drift justifies a replan.
+    pub rule: RescheduleRule,
+    /// Link-failure detection (see [`FaultPolicy`]).
+    pub faults: FaultPolicy,
+    /// Wall-clock pacing passed through to the engine.
+    pub pace_us_per_ms: Option<f64>,
+    /// Physical payload cap passed through to the engine.
+    pub payload_cap: Option<u64>,
+    /// Total attempts (1 = no retry on typed link failures).
+    pub max_attempts: usize,
+}
+
+impl Default for AdaptSettings {
+    fn default() -> Self {
+        AdaptSettings {
+            policy: CheckpointPolicy::Halving,
+            rule: RescheduleRule::default(),
+            faults: FaultPolicy::default(),
+            pace_us_per_ms: None,
+            payload_cap: None,
+            max_attempts: 3,
+        }
+    }
+}
+
+/// What a closed-loop run did.
+#[derive(Debug, Clone)]
+pub struct AdaptReport {
+    /// Concatenated event trace across attempts (wall clocks restart
+    /// per attempt; modeled time is globally monotone).
+    pub trace: RunTrace,
+    /// All committed transfers across attempts, sorted by
+    /// `(finish, src, dst)`.
+    pub records: Vec<TransferRecord>,
+    /// Modeled completion time of the whole exchange.
+    pub makespan: Millis,
+    /// What the initial directory snapshot predicted for the initial
+    /// order.
+    pub planned_makespan: Millis,
+    /// Checkpoints at which the loop ran.
+    pub checkpoints_evaluated: usize,
+    /// Checkpoints that replanned the remaining traffic.
+    pub reschedules: usize,
+    /// Execution attempts (> 1 iff typed link failures were retried).
+    pub attempts: usize,
+    /// Link measurements published into the directory.
+    pub measurements_published: usize,
+    /// Links whose failure forced a retry, in order.
+    pub retried_links: Vec<(usize, usize)>,
+}
+
+/// Drives the closed loop over a directory, sizes, and settings.
+pub struct CheckpointedRun<'a> {
+    directory: &'a DirectoryService,
+    sizes: &'a [Vec<Bytes>],
+    settings: AdaptSettings,
+}
+
+impl<'a> CheckpointedRun<'a> {
+    /// A driver publishing into (and replanning from) `directory`.
+    pub fn new(
+        directory: &'a DirectoryService,
+        sizes: &'a [Vec<Bytes>],
+        settings: AdaptSettings,
+    ) -> Self {
+        assert_eq!(
+            directory.processors(),
+            sizes.len(),
+            "directory and size matrix disagree on processor count"
+        );
+        CheckpointedRun {
+            directory,
+            sizes,
+            settings,
+        }
+    }
+
+    /// What the engine would do on a frozen network: used both for the
+    /// initial plan and for per-attempt progress baselines. Sorted
+    /// completion instants.
+    fn plan_finishes(&self, lists: &[Vec<usize>], start_at: Millis) -> Vec<f64> {
+        let params = self.directory.snapshot().params().clone();
+        let p = params.len();
+        let mut frozen = FrozenNetwork(params);
+        let sink = ChannelTransport::new(p);
+        let config = ShapedConfig {
+            payload_cap: Some(0),
+            start_at,
+            ..Default::default()
+        };
+        let planned = run_shaped(lists, self.sizes, &mut frozen, &sink, config, |_| {
+            CheckpointAction::Continue
+        })
+        .expect("a frozen network cannot fault");
+        let mut finishes: Vec<f64> = planned.records.iter().map(|r| r.finish.as_ms()).collect();
+        finishes.sort_by(f64::total_cmp);
+        finishes
+    }
+
+    /// Runs `lists` once with the live loop attached. Returns the
+    /// engine outcome plus how many measurements the prober published.
+    fn attempt<E, T>(
+        &self,
+        lists: &[Vec<usize>],
+        start_at: Millis,
+        evolution: &mut E,
+        transport: &T,
+    ) -> (Result<ShapedOutcome, crate::channel::ShapedFailure>, usize)
+    where
+        E: NetworkEvolution + Send,
+        T: Transport + ?Sized,
+    {
+        let planned = self.plan_finishes(lists, start_at);
+        let prober = Prober::new(self.directory.snapshot().params().clone());
+        let mut published = 0usize;
+        let mut base_obs = start_at.as_ms();
+        let mut base_plan = start_at.as_ms();
+        let config = ShapedConfig {
+            policy: self.settings.policy,
+            faults: self.settings.faults,
+            pace_us_per_ms: self.settings.pace_us_per_ms,
+            payload_cap: self.settings.payload_cap,
+            start_at,
+        };
+        let rule = self.settings.rule;
+        let result = run_shaped(lists, self.sizes, evolution, transport, config, |view| {
+            // 1. measure + 2. publish: every completed transfer so far is
+            //    a free probe of its link.
+            if let Ok(n) = prober.publish_into(self.directory, view.records, view.now) {
+                published += n;
+            }
+            // 3. decide: segment-relative deviation since the last replan.
+            let seg_obs = view.now.as_ms() - base_obs;
+            let seg_plan = planned[view.completed - 1] - base_plan;
+            if !rule.should_reschedule(seg_plan, seg_obs) {
+                return CheckpointAction::Continue;
+            }
+            base_obs = view.now.as_ms();
+            base_plan = planned[view.completed - 1];
+            // 4. adapt: replan the remainder from the refreshed directory.
+            let fresh = self.directory.snapshot();
+            let remaining: Vec<Vec<usize>> = view
+                .remaining
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect();
+            CheckpointAction::Replan(openshop_replan(
+                &remaining,
+                view.send_busy_until,
+                view.recv_busy_until,
+                view.now.as_ms(),
+                fresh.params(),
+                self.sizes,
+            ))
+        });
+        (result, published)
+    }
+
+    /// Executes `lists` (usually a full `SendOrder`'s `.order`) to
+    /// completion, adapting at checkpoints and retrying around typed
+    /// link failures.
+    pub fn execute<E, T>(
+        &self,
+        lists: &[Vec<usize>],
+        evolution: &mut E,
+        transport: &T,
+    ) -> Result<AdaptReport, RuntimeError>
+    where
+        E: NetworkEvolution + Send,
+        T: Transport + ?Sized,
+    {
+        assert!(self.settings.max_attempts >= 1, "need at least one attempt");
+        let planned_makespan = Millis::new(
+            self.plan_finishes(lists, Millis::ZERO)
+                .last()
+                .copied()
+                .unwrap_or(0.0),
+        );
+        let mut report = AdaptReport {
+            trace: RunTrace::new(),
+            records: Vec::new(),
+            makespan: Millis::ZERO,
+            planned_makespan,
+            checkpoints_evaluated: 0,
+            reschedules: 0,
+            attempts: 0,
+            measurements_published: 0,
+            retried_links: Vec::new(),
+        };
+        let mut lists: Vec<Vec<usize>> = lists.to_vec();
+        let mut start_at = Millis::ZERO;
+        loop {
+            report.attempts += 1;
+            let (result, published) = self.attempt(&lists, start_at, evolution, transport);
+            report.measurements_published += published;
+            match result {
+                Ok(out) => {
+                    report.trace.events.extend(out.trace.events);
+                    report.records.extend(out.records);
+                    report.checkpoints_evaluated += out.checkpoints_evaluated;
+                    report.reschedules += out.reschedules;
+                    report.records.sort_by(|a, b| {
+                        a.finish
+                            .as_ms()
+                            .total_cmp(&b.finish.as_ms())
+                            .then(a.src.cmp(&b.src))
+                            .then(a.dst.cmp(&b.dst))
+                    });
+                    report.makespan = report
+                        .records
+                        .iter()
+                        .map(|r| r.finish)
+                        .fold(Millis::ZERO, Millis::max);
+                    return Ok(report);
+                }
+                Err(failure) => {
+                    let Some((fsrc, fdst)) = failure.error.link() else {
+                        // Environmental transport failure: not retryable
+                        // by rescheduling.
+                        return Err(failure.error);
+                    };
+                    if report.attempts >= self.settings.max_attempts {
+                        return Err(failure.error);
+                    }
+                    report.trace.events.extend(failure.trace.events);
+                    report.records.extend(failure.records);
+                    report.retried_links.push((fsrc, fdst));
+                    // Defer the failed message: replan everything else
+                    // from the current directory view, then queue the
+                    // failed link last so the network has time to heal.
+                    let mut remaining = failure.remaining;
+                    if let Some(pos) = remaining[fsrc].iter().position(|&d| d == fdst) {
+                        remaining[fsrc].remove(pos);
+                    }
+                    let fresh = self.directory.snapshot();
+                    let replanned = openshop_replan(
+                        &remaining,
+                        &failure.send_busy_until,
+                        &failure.recv_busy_until,
+                        failure.at.as_ms(),
+                        fresh.params(),
+                        self.sizes,
+                    );
+                    lists = replanned
+                        .into_iter()
+                        .map(|q| q.into_iter().collect())
+                        .collect();
+                    lists[fsrc].push(fdst);
+                    start_at = failure.at;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::expected_receipts;
+    use adaptcomm_core::algorithms::{OpenShop, Scheduler};
+    use adaptcomm_core::matrix::CommMatrix;
+    use adaptcomm_model::cost::LinkEstimate;
+    use adaptcomm_model::params::NetParams;
+    use adaptcomm_model::units::Bandwidth;
+    use adaptcomm_sim::{Fault, ScriptedFaults};
+
+    fn hetero_net(p: usize) -> NetParams {
+        NetParams::from_fn(p, |src, dst| {
+            LinkEstimate::new(
+                Millis::new(2.0 + (src * p + dst) as f64 * 0.41),
+                Bandwidth::from_kbps(500.0 + (src * 29 + dst * 23) as f64 * 11.0),
+            )
+        })
+    }
+
+    fn sizes(p: usize) -> Vec<Vec<Bytes>> {
+        (0..p)
+            .map(|s| {
+                (0..p)
+                    .map(|d| {
+                        if s == d {
+                            Bytes::ZERO
+                        } else if (s * 7 + d) % 4 == 0 {
+                            Bytes::from_kb(200)
+                        } else {
+                            Bytes::from_kb(20)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn initial_lists(net: &NetParams, sizes: &[Vec<Bytes>]) -> Vec<Vec<usize>> {
+        OpenShop
+            .send_order(&CommMatrix::from_model(net, sizes))
+            .order
+    }
+
+    #[test]
+    fn the_loop_measures_adapts_and_completes_under_drift() {
+        let p = 6;
+        let net = hetero_net(p);
+        let sz = sizes(p);
+        let lists = initial_lists(&net, &sz);
+        // Several links lose most of their bandwidth early on.
+        let mut evolution = ScriptedFaults::new(
+            net.clone(),
+            vec![
+                Fault {
+                    at: Millis::new(50.0),
+                    src: 0,
+                    dst: 1,
+                    factor: 0.2,
+                },
+                Fault {
+                    at: Millis::new(50.0),
+                    src: 3,
+                    dst: 4,
+                    factor: 0.25,
+                },
+            ],
+        );
+        let directory = DirectoryService::new(net);
+        let epoch_before = directory.snapshot().sequence();
+        let transport = ChannelTransport::new(p);
+        let driver = CheckpointedRun::new(
+            &directory,
+            &sz,
+            AdaptSettings {
+                policy: CheckpointPolicy::EveryEvent,
+                rule: RescheduleRule {
+                    deviation_threshold: 0.05,
+                },
+                ..Default::default()
+            },
+        );
+        let report = driver
+            .execute(&lists, &mut evolution, &transport)
+            .expect("drift without faults must complete");
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.records.len(), p * (p - 1));
+        assert!(report.reschedules >= 1, "drift must trigger a replan");
+        assert!(report.measurements_published > 0, "the prober must publish");
+        assert!(
+            directory.snapshot().sequence() > epoch_before,
+            "published measurements must refresh the directory epoch"
+        );
+        assert!(
+            report.makespan.as_ms() > report.planned_makespan.as_ms(),
+            "degraded links must cost real time"
+        );
+        assert_eq!(transport.receipts(), expected_receipts(&sz, None));
+    }
+
+    #[test]
+    fn a_dead_link_is_retried_with_a_reschedule_and_succeeds() {
+        let p = 6;
+        let net = hetero_net(p);
+        let sz = sizes(p);
+        let lists = initial_lists(&net, &sz);
+        // Link 2 -> 4 is dead from the start and heals at t = 400 ms —
+        // well before the exchange's natural end, so the deferred
+        // message finds it alive on the retry.
+        let mut evolution = ScriptedFaults::new(
+            net.clone(),
+            vec![
+                Fault {
+                    at: Millis::ZERO,
+                    src: 2,
+                    dst: 4,
+                    factor: 1e-9,
+                },
+                Fault {
+                    at: Millis::new(400.0),
+                    src: 2,
+                    dst: 4,
+                    factor: 1.0,
+                },
+            ],
+        );
+        let directory = DirectoryService::new(net);
+        let transport = ChannelTransport::new(p);
+        let driver = CheckpointedRun::new(
+            &directory,
+            &sz,
+            AdaptSettings {
+                faults: FaultPolicy {
+                    drop_below_kbps: Some(0.01),
+                    late_factor: None,
+                },
+                max_attempts: 3,
+                ..Default::default()
+            },
+        );
+        let report = driver
+            .execute(&lists, &mut evolution, &transport)
+            .expect("retry must route around the healed link");
+        assert!(report.attempts >= 2, "the dead link must force a retry");
+        assert_eq!(report.retried_links[0], (2, 4));
+        // Every payload arrived exactly once, across all attempts.
+        assert_eq!(transport.receipts(), expected_receipts(&sz, None));
+    }
+
+    #[test]
+    fn a_permanently_dead_link_exhausts_attempts() {
+        let p = 4;
+        let net = hetero_net(p);
+        let sz = sizes(p);
+        let lists = initial_lists(&net, &sz);
+        let mut evolution = ScriptedFaults::new(
+            net.clone(),
+            vec![Fault {
+                at: Millis::ZERO,
+                src: 0,
+                dst: 2,
+                factor: 1e-9,
+            }],
+        );
+        let directory = DirectoryService::new(net);
+        let transport = ChannelTransport::new(p);
+        let driver = CheckpointedRun::new(
+            &directory,
+            &sz,
+            AdaptSettings {
+                faults: FaultPolicy {
+                    drop_below_kbps: Some(0.01),
+                    late_factor: None,
+                },
+                max_attempts: 2,
+                ..Default::default()
+            },
+        );
+        let err = driver
+            .execute(&lists, &mut evolution, &transport)
+            .expect_err("a link that never heals must exhaust retries");
+        assert_eq!(err.link(), Some((0, 2)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Typed runtime failures.
+
+use adaptcomm_model::units::Millis;
+use std::fmt;
+
+/// Why a live run failed.
+///
+/// Unlike the simulator — where a degraded link just makes a transfer
+/// slow — a real transport can *lose* a message outright or hold it past
+/// any useful deadline. Both surface here as typed errors carrying the
+/// failing link, so a driver can reschedule around it and retry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The message was dropped: at send time the link's effective
+    /// bandwidth was at or below the backend's dead-link threshold.
+    MessageDropped {
+        /// Sending processor of the failed transfer.
+        src: usize,
+        /// Receiving processor of the failed transfer.
+        dst: usize,
+        /// Modeled time at which the drop was detected.
+        at: Millis,
+    },
+    /// The message would arrive, but later than the configured lateness
+    /// bound relative to the planning estimate — a flapping link that a
+    /// reschedule should route around rather than wait out.
+    MessageLate {
+        /// Sending processor of the late transfer.
+        src: usize,
+        /// Receiving processor of the late transfer.
+        dst: usize,
+        /// The duration the live network would actually take.
+        observed: Millis,
+        /// The latest acceptable duration (`late_factor` × planned).
+        limit: Millis,
+    },
+    /// A transport-level failure outside the fault model (socket error,
+    /// worker panic, truncated frame).
+    Transport {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl RuntimeError {
+    /// The failing link, when the error identifies one.
+    pub fn link(&self) -> Option<(usize, usize)> {
+        match *self {
+            RuntimeError::MessageDropped { src, dst, .. }
+            | RuntimeError::MessageLate { src, dst, .. } => Some((src, dst)),
+            RuntimeError::Transport { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::MessageDropped { src, dst, at } => {
+                write!(f, "message {src} -> {dst} dropped at {at} (link down)")
+            }
+            RuntimeError::MessageLate {
+                src,
+                dst,
+                observed,
+                limit,
+            } => write!(
+                f,
+                "message {src} -> {dst} late: would take {observed}, limit {limit}"
+            ),
+            RuntimeError::Transport { detail } => write!(f, "transport failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_extraction_and_display() {
+        let e = RuntimeError::MessageDropped {
+            src: 2,
+            dst: 5,
+            at: Millis::new(100.0),
+        };
+        assert_eq!(e.link(), Some((2, 5)));
+        assert!(format!("{e}").contains("2 -> 5"));
+        let l = RuntimeError::MessageLate {
+            src: 1,
+            dst: 0,
+            observed: Millis::new(90.0),
+            limit: Millis::new(30.0),
+        };
+        assert_eq!(l.link(), Some((1, 0)));
+        assert!(format!("{l}").contains("late"));
+        let t = RuntimeError::Transport {
+            detail: "connection refused".into(),
+        };
+        assert_eq!(t.link(), None);
+        assert!(format!("{t}").contains("refused"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Measuring the network from completed transfers.
+//!
+//! The paper's loop needs fresh `(T_ij, B_ij)` estimates between
+//! checkpoints. Rather than probing with extra traffic, the
+//! [`Prober`] treats every completed transfer as a free measurement:
+//! a message of `m` bytes that occupied the link for `d` ms satisfies
+//! `d = T + 8m/B`. With observations at two or more distinct sizes the
+//! prober least-squares-fits both parameters; with one size it keeps
+//! the prior startup and solves for bandwidth; a zero-byte message
+//! measures startup alone. Fitted values go back into the
+//! [`DirectoryService`] through `publish_measurement` — the validated
+//! raw-float boundary — which refreshes the snapshot epoch so the next
+//! scheduling pass sees them.
+
+use adaptcomm_directory::{DirectoryService, PublishError};
+use adaptcomm_model::params::NetParams;
+use adaptcomm_model::units::Millis;
+use adaptcomm_sim::executor::TransferRecord;
+
+/// Smallest duration / bandwidth the fit will report, to keep
+/// downstream cost models finite.
+const EPS_MS: f64 = 1e-6;
+const MIN_KBPS: f64 = 1e-3;
+
+/// One fitted link observation, in the directory's publish units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkMeasurement {
+    /// Sending processor.
+    pub src: usize,
+    /// Receiving processor.
+    pub dst: usize,
+    /// Fitted startup cost, milliseconds.
+    pub startup_ms: f64,
+    /// Fitted bandwidth, kbit/s.
+    pub bandwidth_kbps: f64,
+    /// Transfers the fit is based on.
+    pub samples: usize,
+}
+
+/// Fits per-link estimates from observed transfers.
+#[derive(Debug, Clone)]
+pub struct Prober {
+    prior: NetParams,
+}
+
+impl Prober {
+    /// A prober whose under-determined fits fall back to `prior`.
+    pub fn new(prior: NetParams) -> Self {
+        Prober { prior }
+    }
+
+    /// Fits every link that appears in `records`. Records with
+    /// non-finite or non-positive durations are skipped; every returned
+    /// measurement is finite and positive, ready for
+    /// [`DirectoryService::publish_measurement`].
+    pub fn fit(&self, records: &[TransferRecord]) -> Vec<LinkMeasurement> {
+        let p = self.prior.len();
+        // obs[src*p + dst] = (bits, duration_ms) samples for that link.
+        let mut obs: Vec<Vec<(f64, f64)>> = vec![Vec::new(); p * p];
+        for r in records {
+            if r.src >= p || r.dst >= p || r.src == r.dst {
+                continue;
+            }
+            let dur = r.finish.as_ms() - r.start.as_ms();
+            if !dur.is_finite() || dur <= 0.0 {
+                continue;
+            }
+            obs[r.src * p + r.dst].push((r.bytes.bits() as f64, dur));
+        }
+        let mut out = Vec::new();
+        for src in 0..p {
+            for dst in 0..p {
+                let samples = &obs[src * p + dst];
+                if samples.is_empty() {
+                    continue;
+                }
+                if let Some(m) = self.fit_link(src, dst, samples) {
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+
+    fn fit_link(&self, src: usize, dst: usize, samples: &[(f64, f64)]) -> Option<LinkMeasurement> {
+        let prior = self.prior.estimate(src, dst);
+        let n = samples.len() as f64;
+        let distinct_sizes = {
+            let first = samples[0].0;
+            samples.iter().any(|&(x, _)| x != first)
+        };
+        let (startup_ms, bandwidth_kbps) = if distinct_sizes {
+            // Least squares of duration on bits: slope = 1/B, intercept = T.
+            let sx: f64 = samples.iter().map(|&(x, _)| x).sum();
+            let sy: f64 = samples.iter().map(|&(_, y)| y).sum();
+            let sxx: f64 = samples.iter().map(|&(x, _)| x * x).sum();
+            let sxy: f64 = samples.iter().map(|&(x, y)| x * y).sum();
+            let det = n * sxx - sx * sx;
+            let slope = (n * sxy - sx * sy) / det;
+            if slope > 0.0 && slope.is_finite() {
+                let intercept = (sy - slope * sx) / n;
+                (intercept.max(0.0), 1.0 / slope)
+            } else {
+                // Degenerate (e.g. smaller message took longer): average
+                // out the noise with the single-size estimator below.
+                self.single_size(prior, samples)
+            }
+        } else {
+            self.single_size(prior, samples)
+        };
+        if !startup_ms.is_finite() || !bandwidth_kbps.is_finite() {
+            return None;
+        }
+        Some(LinkMeasurement {
+            src,
+            dst,
+            startup_ms: startup_ms.max(0.0),
+            bandwidth_kbps: bandwidth_kbps.max(MIN_KBPS),
+            samples: samples.len(),
+        })
+    }
+
+    /// One observed size: keep the prior startup, solve for bandwidth
+    /// from the mean duration. Zero-byte messages measure startup only.
+    fn single_size(
+        &self,
+        prior: adaptcomm_model::cost::LinkEstimate,
+        samples: &[(f64, f64)],
+    ) -> (f64, f64) {
+        let mean_bits = samples.iter().map(|&(x, _)| x).sum::<f64>() / samples.len() as f64;
+        let mean_dur = samples.iter().map(|&(_, y)| y).sum::<f64>() / samples.len() as f64;
+        if mean_bits <= 0.0 {
+            (mean_dur, prior.bandwidth.as_kbps())
+        } else {
+            let t0 = prior.startup.as_ms().min(mean_dur);
+            (t0, mean_bits / (mean_dur - t0).max(EPS_MS))
+        }
+    }
+
+    /// Fits `records` and publishes every measurement into `directory`
+    /// stamped `now`, refreshing the snapshot epoch. Returns how many
+    /// links were updated.
+    pub fn publish_into(
+        &self,
+        directory: &DirectoryService,
+        records: &[TransferRecord],
+        now: Millis,
+    ) -> Result<usize, PublishError> {
+        let measurements = self.fit(records);
+        for m in &measurements {
+            directory.publish_measurement(m.src, m.dst, m.startup_ms, m.bandwidth_kbps, now)?;
+        }
+        Ok(measurements.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptcomm_model::units::{Bandwidth, Bytes};
+
+    fn rec(src: usize, dst: usize, bytes: u64, start: f64, finish: f64) -> TransferRecord {
+        TransferRecord {
+            src,
+            dst,
+            bytes: Bytes::new(bytes),
+            start: Millis::new(start),
+            finish: Millis::new(finish),
+        }
+    }
+
+    fn prior(p: usize) -> NetParams {
+        NetParams::uniform(p, Millis::new(10.0), Bandwidth::from_kbps(1_000.0))
+    }
+
+    #[test]
+    fn two_sizes_recover_both_parameters_exactly() {
+        // True link: T = 4 ms, B = 500 kbit/s.
+        let t = 4.0;
+        let b = 500.0;
+        let d = |bytes: f64| t + bytes * 8.0 / b;
+        let records = vec![
+            rec(0, 1, 1_000, 0.0, d(1_000.0)),
+            rec(0, 1, 100_000, 50.0, 50.0 + d(100_000.0)),
+        ];
+        let fits = Prober::new(prior(2)).fit(&records);
+        assert_eq!(fits.len(), 1);
+        let m = fits[0];
+        assert_eq!((m.src, m.dst, m.samples), (0, 1, 2));
+        assert!((m.startup_ms - t).abs() < 1e-6, "startup {}", m.startup_ms);
+        assert!(
+            (m.bandwidth_kbps - b).abs() < 1e-6,
+            "bw {}",
+            m.bandwidth_kbps
+        );
+    }
+
+    #[test]
+    fn single_size_keeps_prior_startup() {
+        // One 10 kB observation at 90 ms on a prior (10 ms, 1000 kbps)
+        // link: bandwidth becomes 80_000 bits / 80 ms = 1000 kbps.
+        let records = vec![rec(0, 1, 10_000, 0.0, 90.0)];
+        let fits = Prober::new(prior(2)).fit(&records);
+        let m = fits[0];
+        assert_eq!(m.startup_ms, 10.0);
+        assert!((m.bandwidth_kbps - 1_000.0).abs() < 1e-6);
+        // A slower observation reads as lower bandwidth.
+        let slow = Prober::new(prior(2)).fit(&[rec(0, 1, 10_000, 0.0, 170.0)]);
+        assert!((slow[0].bandwidth_kbps - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_messages_measure_startup_only() {
+        let fits = Prober::new(prior(2)).fit(&[rec(1, 0, 0, 0.0, 7.5)]);
+        let m = fits[0];
+        assert_eq!(m.startup_ms, 7.5);
+        assert_eq!(m.bandwidth_kbps, 1_000.0);
+    }
+
+    #[test]
+    fn garbage_durations_never_reach_the_directory() {
+        let records = vec![
+            rec(0, 1, 1_000, 5.0, 5.0),       // zero duration
+            rec(1, 0, 1_000, 10.0, f64::NAN), // poisoned finish
+            rec(0, 0, 1_000, 0.0, 9.0),       // diagonal
+        ];
+        assert!(Prober::new(prior(2)).fit(&records).is_empty());
+    }
+
+    #[test]
+    fn publish_into_updates_the_directory_epoch() {
+        let dir = DirectoryService::new(prior(3));
+        let before = dir.snapshot();
+        let n = Prober::new(prior(3))
+            .publish_into(&dir, &[rec(0, 2, 10_000, 0.0, 170.0)], Millis::new(170.0))
+            .expect("valid measurement");
+        assert_eq!(n, 1);
+        let after = dir.snapshot();
+        assert!(after.sequence() > before.sequence());
+        assert_eq!(after.taken_at().as_ms(), 170.0);
+        assert!((after.params().estimate(0, 2).bandwidth.as_kbps() - 500.0).abs() < 1e-6);
+        // Untouched links keep the prior.
+        assert_eq!(after.params().estimate(1, 0).bandwidth.as_kbps(), 1_000.0);
+    }
+}

@@ -111,7 +111,15 @@ pub struct DynamicOutcome {
 /// Replans the remaining messages with the open shop rule: pair the
 /// earliest-available sender with its earliest-available remaining
 /// receiver, repeatedly, using fresh cost estimates.
-fn openshop_replan(
+///
+/// `remaining[src]` lists the not-yet-started destinations of each
+/// sender; `send_busy_until` / `recv_busy_until` give the times each
+/// port frees up (in-flight transfers are never aborted); `now` is the
+/// checkpoint time. Public so the live runtime
+/// (`adaptcomm-runtime`) applies the *same* decision rule as this
+/// simulator — any divergence between the two would otherwise show up
+/// as spurious cross-validation error, not as a scheduling difference.
+pub fn openshop_replan(
     remaining: &[Vec<usize>],
     send_busy_until: &[f64],
     recv_busy_until: &[f64],

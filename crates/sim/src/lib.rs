@@ -53,6 +53,7 @@ pub mod fluid;
 pub mod interleaved;
 pub mod metrics;
 
-pub use dynamic::{AdaptiveConfig, DynamicOutcome};
+pub use dynamic::{run_adaptive, AdaptiveConfig, DynamicOutcome, NetworkEvolution};
 pub use executor::{run_static, TransferRecord};
+pub use faults::{Fault, ScriptedFaults};
 pub use metrics::SimMetrics;

@@ -12,6 +12,7 @@
 //! | [`directory`] | `adaptcomm-directory` | MDS-style directory service |
 //! | [`scheduling`] | `adaptcomm-core` | the paper's total-exchange schedulers |
 //! | [`sim`] | `adaptcomm-sim` | discrete-event execution, §6 model variants |
+//! | [`runtime`] | `adaptcomm-runtime` | live execution: real threads, shaped channels / TCP, §6.4 adapt loop |
 //! | [`collectives`] | `adaptcomm-collectives` | broadcast/scatter/gather/reduce/all-to-some |
 //! | [`staging`] | `adaptcomm-staging` | BADD-style deadline-driven data staging (§2, §6.4) |
 //! | [`mapping`] | `adaptcomm-mapping` | MSHN task mapping: OLB/MET/MCT/min-min/max-min/sufferage (§2) |
@@ -42,6 +43,7 @@ pub use adaptcomm_directory as directory;
 pub use adaptcomm_lap as lap;
 pub use adaptcomm_mapping as mapping;
 pub use adaptcomm_model as model;
+pub use adaptcomm_runtime as runtime;
 pub use adaptcomm_sim as sim;
 pub use adaptcomm_staging as staging;
 pub use adaptcomm_workloads as workloads;
@@ -57,5 +59,9 @@ pub mod prelude {
     pub use adaptcomm_directory::DirectoryService;
     pub use adaptcomm_model::units::{Bandwidth, Bytes, Millis};
     pub use adaptcomm_model::NetParams;
+    pub use adaptcomm_runtime::{
+        execute, execute_adaptive, AdaptSettings, BackendKind, CheckpointedRun, FrozenNetwork,
+        RunReport, RuntimeError, ShapedConfig,
+    };
     pub use adaptcomm_workloads::{Scenario, SizeMatrix};
 }
