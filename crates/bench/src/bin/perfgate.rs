@@ -1,0 +1,168 @@
+//! The scheduler-construction perf gate.
+//!
+//! ```text
+//! perfgate [--quick] [--baseline <path>] [--out <path>] [--factor <F>]
+//! ```
+//!
+//! Times the construction cost (`Scheduler::send_order`) of all five
+//! paper schedulers on GUSTO-guided Figure-10 instances and reports
+//! median/p90 wall milliseconds per `(scheduler, P)` cell:
+//!
+//! * **Full mode** (default): `P ∈ {64, 128, 256, 512, 1024}`, 5 timed
+//!   repetitions after one warm-up, written to `BENCH_sched.json`
+//!   (schema `scheduler → P → {median_ms, p90_ms, reps}`). Also times
+//!   the retained cold-per-round reference for matching-max at `P = 512`
+//!   and prints the warm-start speedup.
+//! * **Quick mode** (`--quick`, the CI smoke step): `P ∈ {64, 128,
+//!   256}`, 1 repetition, no file output. Each measured median must stay
+//!   within `--factor` (default 10×) of the committed baseline's median;
+//!   any violation fails the process. The wide factor absorbs CI machine
+//!   jitter while still catching accidental big-O regressions (the
+//!   linear-scan open shop it guards against was ~40× slower at
+//!   `P = 256`).
+//!
+//! Seeds are fixed per `P`, so every run times the same instances.
+
+use adaptcomm_bench::perf::{PerfReport, PerfStats};
+use adaptcomm_core::algorithms::{all_schedulers, reference, MatchingKind};
+use adaptcomm_workloads::Scenario;
+use std::time::Instant;
+
+const FULL_P: [usize; 5] = [64, 128, 256, 512, 1024];
+const QUICK_P: [usize; 3] = [64, 128, 256];
+const FULL_REPS: usize = 5;
+
+struct Options {
+    quick: bool,
+    baseline: String,
+    out: String,
+    factor: f64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        baseline: "BENCH_sched.json".to_string(),
+        out: "BENCH_sched.json".to_string(),
+        factor: 10.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--baseline" => opts.baseline = take("--baseline"),
+            "--out" => opts.out = take("--out"),
+            "--factor" => {
+                opts.factor = take("--factor").parse().unwrap_or_else(|_| {
+                    eprintln!("--factor needs a number");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unrecognized argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// The benchmark instance for processor count `p`: the Figure-10
+/// workload (uniform 1 MB messages — every pair matters) on a
+/// GUSTO-guided random network with a `P`-derived fixed seed.
+fn instance_matrix(p: usize) -> adaptcomm_core::matrix::CommMatrix {
+    Scenario::Large.instance(p, 42 + p as u64).matrix
+}
+
+/// Times one closure, returning (wall ms, an anti-DCE token).
+fn time_one<F: FnMut() -> usize>(mut f: F) -> (f64, usize) {
+    let clock = Instant::now();
+    let token = f();
+    (clock.elapsed().as_secs_f64() * 1e3, token)
+}
+
+fn main() {
+    let opts = parse_args();
+    let p_values: &[usize] = if opts.quick { &QUICK_P } else { &FULL_P };
+    let reps = if opts.quick { 1 } else { FULL_REPS };
+
+    let mut report = PerfReport::new();
+    let mut sink = 0usize; // keeps the timed work observable
+    for &p in p_values {
+        let matrix = instance_matrix(p);
+        for scheduler in all_schedulers() {
+            if !opts.quick {
+                // One untimed warm-up to page in code and allocator state.
+                sink ^= scheduler.send_order(&matrix).order.len();
+            }
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let (ms, token) = time_one(|| scheduler.send_order(&matrix).order.len());
+                sink ^= token;
+                samples.push(ms);
+            }
+            let stats = PerfStats::from_samples(&samples);
+            println!(
+                "{:<14} P={:<5} median {:>10.3} ms   p90 {:>10.3} ms   ({} reps)",
+                scheduler.name(),
+                p,
+                stats.median_ms,
+                stats.p90_ms,
+                reps
+            );
+            report.insert(scheduler.name(), p, stats);
+        }
+    }
+
+    if opts.quick {
+        let text = std::fs::read_to_string(&opts.baseline).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", opts.baseline);
+            std::process::exit(2);
+        });
+        let baseline = PerfReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {}: {e}", opts.baseline);
+            std::process::exit(2);
+        });
+        let violations = report.gate(&baseline, opts.factor);
+        if violations.is_empty() {
+            println!(
+                "perf gate OK: all cells within {}x of {}",
+                opts.factor, opts.baseline
+            );
+        } else {
+            for v in &violations {
+                eprintln!("perf gate FAIL: {v}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        // The headline comparison behind this gate: warm-started rounds
+        // vs the retained cold-per-round reference at P = 512.
+        let p = 512;
+        let matrix = instance_matrix(p);
+        let (cold_ms, token) =
+            time_one(|| reference::matching_steps(MatchingKind::Max, &matrix).len());
+        sink ^= token;
+        let warm_ms = report
+            .get("matching-max", p)
+            .expect("P=512 was just measured")
+            .median_ms;
+        println!(
+            "matching-max P={p}: cold reference {cold_ms:.1} ms vs warm {warm_ms:.1} ms -> {:.1}x",
+            cold_ms / warm_ms
+        );
+        std::fs::write(&opts.out, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", opts.out);
+            std::process::exit(2);
+        });
+        println!("wrote {}", opts.out);
+    }
+    // Defeat dead-code elimination of the timed closures.
+    assert!(sink != usize::MAX);
+}

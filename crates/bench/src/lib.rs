@@ -13,6 +13,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod experiments;
+pub mod perf;
 pub mod sweep;
 
 pub use experiments::{FigureRow, FigureTable, SummaryStats};

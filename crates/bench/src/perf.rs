@@ -1,0 +1,420 @@
+//! Scheduler-construction performance tracking (the perf gate).
+//!
+//! The §6.2 motivation — "the overhead for repeatedly calculating the
+//! communication schedule at run-time can be expensive" — makes
+//! scheduler construction cost a first-class deliverable, not a
+//! side-effect. This module holds the measurement plumbing for the
+//! `perfgate` binary: wall-clock statistics over repeated runs, a
+//! hand-rolled JSON report (`BENCH_sched.json`, schema
+//! `scheduler → P → {median_ms, p90_ms, reps}`; the workspace has no
+//! serde_json, so emission *and* parsing live here), and the regression
+//! gate comparing a fresh quick run against the committed baseline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Wall-clock statistics for one `(scheduler, P)` cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfStats {
+    /// Median wall time over the repetitions, in milliseconds.
+    pub median_ms: f64,
+    /// 90th-percentile wall time (nearest-rank), in milliseconds.
+    pub p90_ms: f64,
+    /// Number of repetitions measured.
+    pub reps: usize,
+}
+
+impl PerfStats {
+    /// Folds raw per-repetition wall times (ms) into summary statistics.
+    ///
+    /// The percentile uses the nearest-rank method (`⌈q·n⌉`-th smallest),
+    /// so with a single repetition median = p90 = that sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| -> f64 {
+            let n = sorted.len();
+            let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+            sorted[k - 1]
+        };
+        PerfStats {
+            median_ms: rank(0.50),
+            p90_ms: rank(0.90),
+            reps: sorted.len(),
+        }
+    }
+}
+
+/// A full perf report: `scheduler → P → stats`, ordered for stable
+/// serialization (schedulers in insertion order, P ascending).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// Scheduler names in first-seen order (BTreeMap would alphabetize
+    /// and lose the canonical baseline→…→openshop presentation order).
+    order: Vec<String>,
+    cells: BTreeMap<String, BTreeMap<usize, PerfStats>>,
+}
+
+impl PerfReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the stats for one `(scheduler, P)` cell.
+    pub fn insert(&mut self, scheduler: &str, p: usize, stats: PerfStats) {
+        if !self.cells.contains_key(scheduler) {
+            self.order.push(scheduler.to_string());
+        }
+        self.cells
+            .entry(scheduler.to_string())
+            .or_default()
+            .insert(p, stats);
+    }
+
+    /// Looks up one cell.
+    pub fn get(&self, scheduler: &str, p: usize) -> Option<PerfStats> {
+        self.cells.get(scheduler).and_then(|m| m.get(&p)).copied()
+    }
+
+    /// Scheduler names in presentation order.
+    pub fn schedulers(&self) -> &[String] {
+        &self.order
+    }
+
+    /// The `(P, stats)` cells for one scheduler, P ascending.
+    pub fn cells(&self, scheduler: &str) -> Vec<(usize, PerfStats)> {
+        self.cells
+            .get(scheduler)
+            .map(|m| m.iter().map(|(&p, &s)| (p, s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Serializes to the committed `BENCH_sched.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (si, name) in self.order.iter().enumerate() {
+            let _ = writeln!(out, "  {}: {{", json_string(name));
+            let cells = &self.cells[name];
+            for (pi, (p, s)) in cells.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "    \"{}\": {{\"median_ms\": {}, \"p90_ms\": {}, \"reps\": {}}}{}",
+                    p,
+                    json_number(s.median_ms),
+                    json_number(s.p90_ms),
+                    s.reps,
+                    if pi + 1 < cells.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  }}{}",
+                if si + 1 < self.order.len() { "," } else { "" }
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`PerfReport::to_json`].
+    ///
+    /// Accepts the exact schema (object of objects of
+    /// `{median_ms, p90_ms, reps}`); anything else is an error string
+    /// naming the offending position.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut p = JsonParser::new(text);
+        let mut report = PerfReport::new();
+        p.expect('{')?;
+        if !p.peek_is('}') {
+            loop {
+                let scheduler = p.string()?;
+                p.expect(':')?;
+                p.expect('{')?;
+                if !p.peek_is('}') {
+                    loop {
+                        let p_key = p.string()?;
+                        let procs: usize = p_key
+                            .parse()
+                            .map_err(|_| format!("non-numeric P key {p_key:?}"))?;
+                        p.expect(':')?;
+                        let stats = p.stats_object()?;
+                        report.insert(&scheduler, procs, stats);
+                        if !p.comma_or_end('}')? {
+                            break;
+                        }
+                    }
+                }
+                p.expect('}')?;
+                if !p.comma_or_end('}')? {
+                    break;
+                }
+            }
+        }
+        p.expect('}')?;
+        p.end()?;
+        Ok(report)
+    }
+
+    /// The regression gate: every cell of `current` must stay within
+    /// `factor ×` the committed baseline's median. Returns the list of
+    /// violations (empty = gate passes); cells missing from the baseline
+    /// are violations too — a new scheduler must re-baseline.
+    pub fn gate(&self, baseline: &PerfReport, factor: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        for name in &self.order {
+            for (p, stats) in self.cells(name) {
+                match baseline.get(name, p) {
+                    None => violations.push(format!(
+                        "{name} P={p}: no committed baseline cell — re-run perfgate and commit BENCH_sched.json"
+                    )),
+                    Some(base) => {
+                        let budget = base.median_ms * factor;
+                        if stats.median_ms > budget {
+                            violations.push(format!(
+                                "{name} P={p}: {:.2} ms exceeds {factor}x budget {:.2} ms (baseline median {:.2} ms)",
+                                stats.median_ms, budget, base.median_ms
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite f64 so it round-trips through `str::parse::<f64>`.
+fn json_number(x: f64) -> String {
+    assert!(x.is_finite(), "JSON has no NaN/Inf");
+    // `{:?}` on f64 is the shortest representation that round-trips.
+    format!("{x:?}")
+}
+
+/// A minimal recursive-descent parser for exactly the report schema:
+/// objects, double-quoted strings (no escapes needed for our keys, but
+/// the common ones are handled), and plain numbers.
+struct JsonParser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser { text, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.text[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.text[self.pos..].starts_with(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    /// After a value: consumes `,` and returns true, or returns false
+    /// when the closing delimiter is next (without consuming it).
+    fn comma_or_end(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(',') {
+            self.pos += 1;
+            Ok(true)
+        } else if self.text[self.pos..].starts_with(close) {
+            Ok(false)
+        } else {
+            Err(format!("expected ',' or {close:?} at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.text[self.pos..].char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, e)) => return Err(format!("unsupported escape \\{e}")),
+                    None => break,
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        let len = rest
+            .char_indices()
+            .find(|(_, c)| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+            .map_or(rest.len(), |(i, _)| i);
+        let token = &rest[..len];
+        let value: f64 = token
+            .parse()
+            .map_err(|_| format!("bad number {token:?} at byte {}", self.pos))?;
+        self.pos += len;
+        Ok(value)
+    }
+
+    fn stats_object(&mut self) -> Result<PerfStats, String> {
+        self.expect('{')?;
+        let (mut median, mut p90, mut reps) = (None, None, None);
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.number()?;
+            match key.as_str() {
+                "median_ms" => median = Some(value),
+                "p90_ms" => p90 = Some(value),
+                "reps" => reps = Some(value as usize),
+                other => return Err(format!("unknown stats key {other:?}")),
+            }
+            if !self.comma_or_end('}')? {
+                break;
+            }
+        }
+        self.expect('}')?;
+        Ok(PerfStats {
+            median_ms: median.ok_or("missing median_ms")?,
+            p90_ms: p90.ok_or("missing p90_ms")?,
+            reps: reps.ok_or("missing reps")?,
+        })
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.text.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing content at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_samples() {
+        let s = PerfStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median_ms, 3.0);
+        assert_eq!(s.p90_ms, 5.0);
+        assert_eq!(s.reps, 5);
+        let one = PerfStats::from_samples(&[7.5]);
+        assert_eq!(one.median_ms, 7.5);
+        assert_eq!(one.p90_ms, 7.5);
+        assert_eq!(one.reps, 1);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = PerfReport::new();
+        r.insert(
+            "openshop",
+            64,
+            PerfStats {
+                median_ms: 1.25,
+                p90_ms: 2.5,
+                reps: 5,
+            },
+        );
+        r.insert(
+            "openshop",
+            1024,
+            PerfStats {
+                median_ms: 480.062_5,
+                p90_ms: 512.0,
+                reps: 5,
+            },
+        );
+        r.insert(
+            "matching-max",
+            64,
+            PerfStats {
+                median_ms: 0.015_625,
+                p90_ms: 0.031_25,
+                reps: 7,
+            },
+        );
+        let parsed = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // Scheduler presentation order survives the round trip.
+        assert_eq!(parsed.schedulers(), ["openshop", "matching-max"]);
+        assert_eq!(parsed.cells("openshop").len(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(PerfReport::from_json("").is_err());
+        assert!(PerfReport::from_json("{").is_err());
+        assert!(PerfReport::from_json("{} trailing").is_err());
+        assert!(PerfReport::from_json(r#"{"a": {"64": {"median_ms": 1}}}"#).is_err());
+        assert!(
+            PerfReport::from_json(r#"{"a": {"x": {"median_ms": 1, "p90_ms": 1, "reps": 1}}}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn gate_flags_regressions_and_missing_cells() {
+        let cell = |m: f64| PerfStats {
+            median_ms: m,
+            p90_ms: m,
+            reps: 1,
+        };
+        let mut baseline = PerfReport::new();
+        baseline.insert("greedy", 64, cell(10.0));
+        let mut ok = PerfReport::new();
+        ok.insert("greedy", 64, cell(99.0));
+        assert!(ok.gate(&baseline, 10.0).is_empty());
+        let mut slow = PerfReport::new();
+        slow.insert("greedy", 64, cell(101.0));
+        assert_eq!(slow.gate(&baseline, 10.0).len(), 1);
+        let mut unknown = PerfReport::new();
+        unknown.insert("greedy", 128, cell(1.0));
+        assert_eq!(unknown.gate(&baseline, 10.0).len(), 1);
+    }
+}

@@ -410,14 +410,22 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
 fn compare(opts: &args::Options) -> Result<(), String> {
     let matrix = load_matrix(opts)?;
     println!("P = {}, lower bound {}", matrix.len(), matrix.lower_bound());
-    println!("{:>14} {:>14} {:>8}", "algorithm", "completion", "ratio");
+    println!(
+        "{:>14} {:>14} {:>8} {:>12}",
+        "algorithm", "completion", "ratio", "sched-ms"
+    );
     for scheduler in all_schedulers() {
+        // Construction cost is reported alongside quality — the §6.2
+        // concern that run-time scheduling overhead can dominate.
+        let clock = std::time::Instant::now();
         let s = scheduler.schedule(&matrix);
+        let sched_ms = clock.elapsed().as_secs_f64() * 1e3;
         println!(
-            "{:>14} {:>14} {:>8.4}",
+            "{:>14} {:>14} {:>8.4} {:>12.3}",
             scheduler.name(),
             format!("{}", s.completion_time()),
-            s.lb_ratio()
+            s.lb_ratio(),
+            sched_ms
         );
     }
     Ok(())

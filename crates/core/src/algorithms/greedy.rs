@@ -24,49 +24,46 @@ impl Greedy {
     /// The step structure the greedy composition produces. Unlike the
     /// matching steps these may be *incomplete* (idle processors), so the
     /// number of steps can exceed `P−1`.
+    ///
+    /// The per-row argsorts (rank-ordered destination lists) are built
+    /// exactly once up front over [`CommMatrix::row`] slices; each
+    /// sender then consumes its list in place — a claimed destination is
+    /// removed, so later steps never re-scan already-sent prefixes the
+    /// way the retained [`super::reference::greedy_steps`] formulation
+    /// (a `sent` bitmap filter over the full list) does.
     pub fn steps(matrix: &CommMatrix) -> Vec<Vec<Option<usize>>> {
         let p = matrix.len();
         // Rank-ordered destination lists: decreasing cost, ties by lower
-        // destination id for determinism.
-        let ranked: Vec<Vec<usize>> = (0..p)
+        // destination id for determinism. `rank_left[src]` holds the
+        // destinations src still owes, in rank order.
+        let mut rank_left: Vec<Vec<usize>> = (0..p)
             .map(|src| {
+                let row = matrix.row(src);
                 let mut dsts: Vec<usize> = (0..p).filter(|&d| d != src).collect();
-                dsts.sort_by(|&a, &b| {
-                    matrix
-                        .cost(src, b)
-                        .as_ms()
-                        .total_cmp(&matrix.cost(src, a).as_ms())
-                        .then(a.cmp(&b))
-                });
+                dsts.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
                 dsts
             })
             .collect();
 
-        let mut sent = vec![vec![false; p]; p]; // sent[src][dst]
-        let mut remaining: Vec<usize> = vec![p.saturating_sub(1); p];
         let mut priority: Vec<usize> = (0..p).collect();
         let mut steps = Vec::new();
 
-        while remaining.iter().any(|&r| r > 0) {
+        while rank_left.iter().any(|l| !l.is_empty()) {
             let mut step: Vec<Option<usize>> = vec![None; p];
             let mut claimed = vec![false; p];
             let mut idled: Vec<usize> = Vec::new();
             let mut last_picker: Option<usize> = None;
 
             for &src in &priority {
-                if remaining[src] == 0 {
+                if rank_left[src].is_empty() {
                     continue;
                 }
-                let pick = ranked[src]
-                    .iter()
-                    .copied()
-                    .find(|&d| !sent[src][d] && !claimed[d]);
+                let pick = rank_left[src].iter().position(|&d| !claimed[d]);
                 match pick {
-                    Some(d) => {
+                    Some(pos) => {
+                        let d = rank_left[src].remove(pos);
                         step[src] = Some(d);
                         claimed[d] = true;
-                        sent[src][d] = true;
-                        remaining[src] -= 1;
                         last_picker = Some(src);
                     }
                     None => idled.push(src),
@@ -78,7 +75,7 @@ impl Greedy {
                 let idle_set: Vec<usize> = idled
                     .iter()
                     .copied()
-                    .filter(|&s| remaining[s] > 0)
+                    .filter(|&s| !rank_left[s].is_empty())
                     .collect();
                 if !idle_set.is_empty() {
                     let rest: Vec<usize> = priority

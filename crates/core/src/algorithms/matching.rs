@@ -6,8 +6,11 @@
 //! communication step. The algorithm repeatedly extracts a maximum-weight
 //! (or minimum-weight) complete matching and deletes its edges, producing
 //! `P` steps that partition all `P²` events. Each matching is a linear
-//! assignment problem solved in `O(P³)` by [`adaptcomm_lap`], for an
-//! overall `O(P⁴)`.
+//! assignment problem solved by [`adaptcomm_lap`]; the rounds share a
+//! warm-started solver state, so only the first solve pays the full
+//! `O(P³)` cold cost — successive rounds re-augment from the retained
+//! dual potentials (near-`O(P²)` per round in practice, `O(P⁴)`
+//! worst-case overall versus the old always-cold `O(P⁴)` typical cost).
 //!
 //! The intuition for *maximum* matchings: grouping the long events
 //! together in the same step keeps them from serializing behind each
@@ -17,7 +20,7 @@
 use super::Scheduler;
 use crate::matrix::CommMatrix;
 use crate::schedule::SendOrder;
-use adaptcomm_lap::{solve_max, solve_min, DenseCost};
+use adaptcomm_lap::{solve_min_warm, DenseCost, Duals};
 
 /// Whether each round extracts the maximum- or minimum-weight matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,23 +56,48 @@ impl MatchingScheduler {
     /// weight — a real cost may sit arbitrarily close to the sentinel
     /// (CommMatrix only guarantees finite, non-negative entries), so a
     /// float-tolerance check could both miss reuse and fire spuriously.
+    ///
+    /// # Large-`P` fast path
+    ///
+    /// The `P` rounds share one warm-started LAP state
+    /// ([`adaptcomm_lap::Duals`]): each round's solve reuses the column
+    /// potentials and scratch buffers of the previous round instead of
+    /// re-running the full Jonker–Volgenant reduction phases cold. The
+    /// max-weight variant minimizes the *complement* matrix `hi − c`,
+    /// built once and edited in place (the per-round cold path rebuilt
+    /// it from scratch). Both edits only *raise* entries (a deleted edge
+    /// becomes strictly worse), which is exactly the perturbation shape
+    /// warm starts absorb cheaply. The original cold-per-round
+    /// formulation is retained in [`super::reference::matching_steps`]
+    /// and property-tested to emit identical steps.
     pub fn steps(&self, matrix: &CommMatrix) -> Vec<Vec<Option<usize>>> {
         let p = matrix.len();
         // Sentinel strictly dominating any complete matching built from
         // real edges.
         let big = (p as f64 + 1.0) * (matrix.max_cost().as_ms() + 1.0);
+        let hi = matrix.max_cost().as_ms();
+        // The work matrix is always *minimized*: the original weights
+        // for Min, the complement `hi − c` for Max. Matching the cold
+        // path bit-for-bit: there, deletion writes `∓big` into the
+        // weights, so the complement the cold Max path minimizes holds
+        // `hi − (−big) = hi + big` for deleted edges — the exact values
+        // used here.
+        let mut work = match self.kind {
+            MatchingKind::Max => DenseCost::from_fn(p, |src, dst| {
+                let row = matrix.row(src);
+                hi - row[dst]
+            }),
+            MatchingKind::Min => DenseCost::from_fn(p, |src, dst| matrix.row(src)[dst]),
+        };
         let deleted_weight = match self.kind {
-            MatchingKind::Max => -big,
+            MatchingKind::Max => hi + big,
             MatchingKind::Min => big,
         };
-        let mut weights = DenseCost::from_fn(p, |src, dst| matrix.cost(src, dst).as_ms());
         let mut deleted = vec![false; p * p];
+        let mut duals = Duals::new();
         let mut steps = Vec::with_capacity(p);
         for _round in 0..p {
-            let assignment = match self.kind {
-                MatchingKind::Max => solve_max(&weights),
-                MatchingKind::Min => solve_min(&weights),
-            };
+            let assignment = solve_min_warm(&work, &mut duals);
             let mut step = Vec::with_capacity(p);
             for (src, &dst) in assignment.row_to_col.iter().enumerate() {
                 assert!(
@@ -78,7 +106,7 @@ impl MatchingScheduler {
                 );
                 deleted[src * p + dst] = true;
                 step.push(Some(dst));
-                weights.set(src, dst, deleted_weight);
+                work.set(src, dst, deleted_weight);
             }
             steps.push(step);
         }

@@ -13,12 +13,75 @@
 //! completion time is within **twice** the lower bound `t_lb`: any idle
 //! time in the last-finishing sender's schedule is covered by busy time
 //! of its final receiver, so `t_max ≤ (column sum) + (row sum) ≤ 2·t_lb`.
-//! Complexity: `O(P²)` events, `O(P)` scan each → `O(P³)`.
+//!
+//! # Large-`P` fast path
+//!
+//! The original formulation re-scanned the full sender list and the
+//! chosen sender's receiver set on every event — `O(P)` per event,
+//! `O(P³)` total. This module keeps the *same selection rule* but
+//! indexes both scans with ordered structures keyed `(availability
+//! time, processor id)`:
+//!
+//! * **Senders** live in one exact binary heap. A sender's availability
+//!   only changes when it is itself scheduled — and it is popped
+//!   precisely then — so re-pushing it with its new time keeps every
+//!   stored key current.
+//! * **Receivers** live in one *global* ordered set (`BTreeSet`) keyed
+//!   by current `(availability, id)`; each event re-keys exactly the one
+//!   receiver it touched (`O(log P)`). A sender selects its receiver by
+//!   walking the set in order and skipping itself and the receivers it
+//!   has already served (a bitset test): the first survivor is exactly
+//!   the `(recv_avail, id)`-minimum of its owed set, so tie-breaks by
+//!   processor id are preserved bit-for-bit. Per-sender *heaps* would
+//!   not work here: while a sender waits for its next turn, every other
+//!   sender's events advance receiver availabilities, so nearly all of
+//!   its stored keys go stale and lazy correction degenerates to the
+//!   very `O(P³)` (with a worse constant) it was meant to avoid.
+//!
+//! Bookkeeping is `O(P² log P)` total. The selection walk skips only
+//! already-served receivers — sparse in practice because a just-served
+//! receiver's availability was pushed up, sorting it towards the back —
+//! but adversarial instances can make the walk linear, so the
+//! worst-case bound stays `O(P³)` with a far smaller constant than the
+//! reference's double linear scan. The original construction is
+//! retained in [`super::reference::openshop_build`] and property-tested
+//! to emit bit-identical schedules.
+//!
+//! Availability times are finite and non-negative, so the `f64 → u64`
+//! IEEE-bit mapping used for the set keys is strictly monotonic —
+//! ordering by `(to_bits(time), id)` is ordering by `(time, id)`.
 
 use super::Scheduler;
 use crate::matrix::CommMatrix;
 use crate::schedule::{Schedule, ScheduledEvent, SendOrder};
 use adaptcomm_model::units::Millis;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// A `(availability time, processor id)` heap key: earlier times first,
+/// ties to the lower id — the paper's deterministic selection rule.
+#[derive(Debug, Clone, Copy)]
+struct AvailKey {
+    time: f64,
+    id: usize,
+}
+
+impl PartialEq for AvailKey {
+    fn eq(&self, o: &Self) -> bool {
+        self.time.total_cmp(&o.time).is_eq() && self.id == o.id
+    }
+}
+impl Eq for AvailKey {}
+impl PartialOrd for AvailKey {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for AvailKey {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&o.time).then(self.id.cmp(&o.id))
+    }
+}
 
 /// The open shop list scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -30,32 +93,37 @@ impl OpenShop {
         let p = matrix.len();
         let mut send_avail = vec![0.0f64; p];
         let mut recv_avail = vec![0.0f64; p];
-        // Receiver sets: receivers[i] = destinations i still owes.
-        let mut receivers: Vec<Vec<usize>> = (0..p)
-            .map(|i| (0..p).filter(|&j| j != i).collect())
+        // How many receivers each sender still owes.
+        let mut owed = vec![p.saturating_sub(1); p];
+        // Earliest-available sender, exact ("senders that become
+        // available at time t are processed before any senders that
+        // become available at a later time"; ties to the lowest id).
+        let mut senders: BinaryHeap<Reverse<AvailKey>> = (0..p)
+            .filter(|&i| owed[i] > 0)
+            .map(|i| Reverse(AvailKey { time: 0.0, id: i }))
             .collect();
-        let mut remaining: Vec<usize> = if p > 1 { (0..p).collect() } else { Vec::new() };
+        // All receivers in one ordered set keyed by current
+        // (availability, id); re-keyed on every event.
+        let mut avail_order: BTreeSet<(u64, usize)> = if p > 1 {
+            (0..p).map(|j| (0u64, j)).collect()
+        } else {
+            BTreeSet::new()
+        };
+        // served[i * p + j]: sender i has already sent to receiver j.
+        let mut served = vec![false; p * p];
         let mut events = Vec::with_capacity(p * p.saturating_sub(1));
 
-        while !remaining.is_empty() {
-            // Earliest-available sender; ties to the lowest id ("senders
-            // that become available at time t are processed before any
-            // senders that become available at a later time").
-            let (pos, &i) = remaining
+        while let Some(Reverse(AvailKey { id: i, .. })) = senders.pop() {
+            // Earliest-available receiver i still owes: first in global
+            // (avail, id) order that isn't i itself or already served.
+            let j = avail_order
                 .iter()
-                .enumerate()
-                .min_by(|(_, &a), (_, &b)| send_avail[a].total_cmp(&send_avail[b]).then(a.cmp(&b)))
-                .expect("remaining is non-empty");
-
-            // Earliest-available receiver in i's set; ties to lowest id.
-            let (rpos, &j) = receivers[i]
-                .iter()
-                .enumerate()
-                .min_by(|(_, &a), (_, &b)| recv_avail[a].total_cmp(&recv_avail[b]).then(a.cmp(&b)))
-                .expect("sender with no receivers should have been removed");
+                .map(|&(_, j)| j)
+                .find(|&j| j != i && !served[i * p + j])
+                .expect("sender with owed receivers should find one");
 
             let t = send_avail[i].max(recv_avail[j]);
-            let finish = t + matrix.cost(i, j).as_ms();
+            let finish = t + matrix.row(i)[j];
             events.push(ScheduledEvent {
                 src: i,
                 dst: j,
@@ -63,10 +131,16 @@ impl OpenShop {
                 finish: Millis::new(finish),
             });
             send_avail[i] = finish;
+            avail_order.remove(&(recv_avail[j].to_bits(), j));
+            avail_order.insert((finish.to_bits(), j));
             recv_avail[j] = finish;
-            receivers[i].swap_remove(rpos);
-            if receivers[i].is_empty() {
-                remaining.swap_remove(pos);
+            served[i * p + j] = true;
+            owed[i] -= 1;
+            if owed[i] > 0 {
+                senders.push(Reverse(AvailKey {
+                    time: finish,
+                    id: i,
+                }));
             }
         }
         Schedule::new(matrix.clone(), events)

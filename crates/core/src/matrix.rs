@@ -116,6 +116,15 @@ impl CommMatrix {
         Millis::new(self.costs[src * self.p + dst])
     }
 
+    /// One sender's full outgoing-cost row as a raw millisecond slice:
+    /// `row(src)[dst]` equals `cost(src, dst).as_ms()`. Scheduler inner
+    /// loops use this to hoist the row indexing (and its bounds check)
+    /// out of their per-destination scans.
+    #[inline]
+    pub fn row(&self, src: usize) -> &[f64] {
+        &self.costs[src * self.p..(src + 1) * self.p]
+    }
+
     /// The paper's `C_{i,j}`: time of the event from `P_j` to `P_i`.
     #[inline]
     pub fn paper_c(&self, i: usize, j: usize) -> Millis {
@@ -255,6 +264,19 @@ mod tests {
         let m = CommMatrix::from_model(&net, &sizes);
         assert!((m.cost(0, 1).as_ms() - 3.0).abs() < 1e-9); // 1 + 16000/8000
         assert!((m.cost(1, 0).as_ms() - 2.0).abs() < 1e-9); // 1 + 8000/8000
+    }
+
+    #[test]
+    fn row_slice_matches_cost() {
+        let m = sample();
+        for src in 0..3 {
+            let row = m.row(src);
+            assert_eq!(row.len(), 3);
+            for dst in 0..3 {
+                assert_eq!(row[dst], m.cost(src, dst).as_ms());
+            }
+        }
+        assert!(CommMatrix::from_rows(&[]).is_empty());
     }
 
     #[test]

@@ -16,6 +16,22 @@
 //!    each remaining unassigned row, updating the duals so reduced costs
 //!    stay non-negative.
 //!
+//! # Warm starts
+//!
+//! The matching scheduler solves `P` successive LAPs on matrices that
+//! differ in only `P` entries per round (the previously matched edges get
+//! a sentinel weight). [`solve_warm`] exploits that: it keeps the column
+//! potentials `v` and every scratch buffer inside a caller-owned
+//! [`Duals`], skips phases 1–3, and runs only the augmentation phase from
+//! the retained potentials. The augmentation phase is the textbook
+//! successive-shortest-path method and is *correct for any starting `v`*
+//! (row potentials are implicit: with an empty assignment, complementary
+//! slackness holds vacuously, and each augmentation re-establishes it) —
+//! retained potentials only make the Dijkstra searches short. Because the
+//! per-round edits only *increase* costs, the old potentials stay nearly
+//! optimal and most augmentations terminate after scanning a handful of
+//! columns.
+//!
 //! Floating-point note: phase 3 contains a retry loop whose progress
 //! argument relies on strictly positive dual updates; to stay robust to
 //! degenerate float cases we cap retries per pass and defer any row still
@@ -26,19 +42,105 @@ use crate::Assignment;
 
 const NONE: usize = usize::MAX;
 
-/// Solves the minimum-cost assignment problem.
+/// Retained dual potentials and scratch buffers for warm-started solves.
+///
+/// Create one with [`Duals::new`] and pass it to successive
+/// [`solve_warm`] calls over same-dimension matrices; every call reuses
+/// the column potentials of the previous solve and allocates nothing.
+/// Passing a `Duals` sized for a different dimension (including a fresh
+/// one) makes the next solve a cold full-phase run that (re)initialises
+/// it.
+#[derive(Debug, Clone, Default)]
+pub struct Duals {
+    /// Column potentials `v[j]`, retained between solves.
+    v: Vec<f64>,
+    /// Row → column assignment scratch.
+    x: Vec<usize>,
+    /// Column → row assignment scratch.
+    y: Vec<usize>,
+    /// Shortest-path distance scratch.
+    d: Vec<f64>,
+    /// Shortest-path predecessor scratch.
+    pred: Vec<usize>,
+    /// Column scan-order scratch.
+    collist: Vec<usize>,
+    /// Unassigned-row worklist scratch.
+    free: Vec<usize>,
+}
+
+impl Duals {
+    /// An empty, dimensionless state: the first solve through it runs
+    /// cold and sizes everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The dimension of the last solve (0 if never used).
+    pub fn dim(&self) -> usize {
+        self.v.len()
+    }
+
+    /// The retained column potentials of the last solve.
+    pub fn potentials(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Sizes every buffer for dimension `n`, zeroing the potentials.
+    fn reset(&mut self, n: usize) {
+        self.v.clear();
+        self.v.resize(n, 0.0);
+        self.x.clear();
+        self.x.resize(n, NONE);
+        self.y.clear();
+        self.y.resize(n, NONE);
+        self.d.resize(n, 0.0);
+        self.pred.resize(n, 0);
+        self.collist.resize(n, 0);
+        self.free.clear();
+    }
+}
+
+/// Solves the minimum-cost assignment problem (cold: all four phases).
 pub fn solve(costs: &DenseCost) -> Assignment {
+    let mut duals = Duals::new();
+    solve_warm(costs, &mut duals)
+}
+
+/// Solves the minimum-cost assignment problem, reusing the dual
+/// potentials and scratch buffers in `duals` when they match the
+/// instance dimension; otherwise runs a cold solve that initialises
+/// them. See the module docs for why the warm path is exact.
+pub fn solve_warm(costs: &DenseCost, duals: &mut Duals) -> Assignment {
     let n = costs.dim();
     if n == 0 {
+        duals.reset(0);
         return Assignment {
             row_to_col: Vec::new(),
             cost: 0.0,
         };
     }
+    if duals.dim() == n {
+        // Warm start: keep `v`, clear the assignment, augment every row.
+        duals.x.fill(NONE);
+        duals.y.fill(NONE);
+        duals.free.clear();
+        duals.free.extend(0..n);
+    } else {
+        duals.reset(n);
+        reduction_phases(costs, duals);
+    }
+    augment(costs, duals);
+    debug_assert!(duals.x.iter().all(|&j| j != NONE));
+    Assignment::from_permutation(costs, duals.x.clone())
+}
 
-    let mut x = vec![NONE; n]; // row -> col
-    let mut y = vec![NONE; n]; // col -> row
-    let mut v = vec![0.0f64; n];
+/// Phases 1–3: column reduction, reduction transfer and augmenting row
+/// reduction. Leaves the rows still unassigned in `duals.free`.
+fn reduction_phases(costs: &DenseCost, duals: &mut Duals) {
+    let n = costs.dim();
+    let x = &mut duals.x;
+    let y = &mut duals.y;
+    let v = &mut duals.v;
 
     // Phase 1: column reduction.
     let mut matches = vec![0usize; n];
@@ -61,16 +163,17 @@ pub fn solve(costs: &DenseCost) -> Assignment {
     }
 
     // Phase 2: reduction transfer.
-    let mut free: Vec<usize> = Vec::new();
+    let free = &mut duals.free;
     for i in 0..n {
         if matches[i] == 0 {
             free.push(i);
         } else if matches[i] == 1 {
             let j1 = x[i];
+            let row = costs.row(i);
             let mut min = f64::INFINITY;
             for j in 0..n {
                 if j != j1 {
-                    let h = costs.at(i, j) - v[j];
+                    let h = row[j] - v[j];
                     if h < min {
                         min = h;
                     }
@@ -93,12 +196,13 @@ pub fn solve(costs: &DenseCost) -> Assignment {
             let i = free[k];
             k += 1;
             // First and second minima of the reduced row.
+            let row = costs.row(i);
             let mut umin = f64::INFINITY;
             let mut usubmin = f64::INFINITY;
             let mut j1 = 0usize;
             let mut j2 = 0usize;
             for j in 0..n {
-                let h = costs.at(i, j) - v[j];
+                let h = row[j] - v[j];
                 if h < usubmin {
                     if h >= umin {
                         usubmin = h;
@@ -132,26 +236,37 @@ pub fn solve(costs: &DenseCost) -> Assignment {
                 }
             }
         }
-        free = next_free;
+        *free = next_free;
         if free.is_empty() {
             break;
         }
     }
+}
 
-    // Phase 4: shortest augmenting paths for the remaining free rows.
-    //
-    // Clippy note: inside the column scans below, `up` (a partition index
-    // into `collist`) is advanced while iterating `up..n` / `low..up`.
-    // Rust evaluates range bounds once at loop entry, which is exactly
-    // the semantics of the original C code (its loop conditions compare
-    // against `dim`, not `up`), so the mutation is intentional.
-    let mut d = vec![0.0f64; n];
-    let mut pred = vec![0usize; n];
-    let mut collist = vec![0usize; n];
-    #[allow(clippy::mut_range_bound)]
-    for &freerow in &free {
+/// Phase 4: a shortest augmenting path for each row in `duals.free`,
+/// valid for an arbitrary starting potential vector `v`.
+///
+/// Clippy note: inside the column scans below, `up` (a partition index
+/// into `collist`) is advanced while iterating `up..n` / `low..up`.
+/// Rust evaluates range bounds once at loop entry, which is exactly
+/// the semantics of the original C code (its loop conditions compare
+/// against `dim`, not `up`), so the mutation is intentional.
+#[allow(clippy::mut_range_bound)]
+fn augment(costs: &DenseCost, duals: &mut Duals) {
+    let n = costs.dim();
+    let Duals {
+        v,
+        x,
+        y,
+        d,
+        pred,
+        collist,
+        free,
+    } = duals;
+    for &freerow in free.iter() {
+        let free_row_costs = costs.row(freerow);
         for j in 0..n {
-            d[j] = costs.at(freerow, j) - v[j];
+            d[j] = free_row_costs[j] - v[j];
             pred[j] = freerow;
             collist[j] = j;
         }
@@ -190,11 +305,12 @@ pub fn solve(costs: &DenseCost) -> Assignment {
             let j1 = collist[low];
             low += 1;
             let i = y[j1];
-            let h = costs.at(i, j1) - v[j1] - min;
+            let row = costs.row(i);
+            let h = row[j1] - v[j1] - min;
             let mut found = NONE;
             for k in up..n {
                 let j = collist[k];
-                let v2 = costs.at(i, j) - v[j] - h;
+                let v2 = row[j] - v[j] - h;
                 if v2 < d[j] {
                     pred[j] = i;
                     if v2 == min {
@@ -229,9 +345,7 @@ pub fn solve(costs: &DenseCost) -> Assignment {
             }
         }
     }
-
-    debug_assert!(x.iter().all(|&j| j != NONE));
-    Assignment::from_permutation(costs, x)
+    free.clear();
 }
 
 #[cfg(test)]
@@ -312,5 +426,69 @@ mod tests {
             a.cost,
             b.cost
         );
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_across_edits() {
+        // The matching-scheduler access pattern: solve, raise the matched
+        // entries to a sentinel, solve again — P rounds on one Duals.
+        let n = 12;
+        let mut c = DenseCost::from_fn(n, |i, j| {
+            ((i.wrapping_mul(97) ^ j.wrapping_mul(31)) % 1000) as f64 / 7.0
+        });
+        let sentinel = 1e6;
+        let mut duals = Duals::new();
+        for round in 0..n {
+            let warm = solve_warm(&c, &mut duals);
+            let cold = solve(&c);
+            assert!(warm.is_permutation());
+            assert!(
+                (warm.cost - cold.cost).abs() < 1e-9,
+                "round {round}: warm={} cold={}",
+                warm.cost,
+                cold.cost
+            );
+            for (i, &j) in warm.row_to_col.iter().enumerate() {
+                c.set(i, j, sentinel);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_state_resizes_on_dimension_change() {
+        let mut duals = Duals::new();
+        assert_eq!(duals.dim(), 0);
+        let a = solve_warm(
+            &DenseCost::from_fn(3, |i, j| (i * 3 + j) as f64),
+            &mut duals,
+        );
+        assert!(a.is_permutation());
+        assert_eq!(duals.dim(), 3);
+        assert_eq!(duals.potentials().len(), 3);
+        let b = solve_warm(
+            &DenseCost::from_fn(5, |i, j| (i + 2 * j) as f64),
+            &mut duals,
+        );
+        assert!(b.is_permutation());
+        assert_eq!(duals.dim(), 5);
+        // Shrinking back also works (cold re-init).
+        let c = solve_warm(&DenseCost::from_rows(&[vec![7.0]]), &mut duals);
+        assert_eq!(c.cost, 7.0);
+        // And the degenerate empty instance clears the state.
+        let e = solve_warm(&DenseCost::from_rows(&[]), &mut duals);
+        assert_eq!(e.cost, 0.0);
+        assert_eq!(duals.dim(), 0);
+    }
+
+    #[test]
+    fn warm_solve_on_all_equal_costs_terminates() {
+        // Total degeneracy: every augmentation sees nothing but ties.
+        let c = DenseCost::from_fn(9, |_, _| 2.5);
+        let mut duals = Duals::new();
+        for _ in 0..3 {
+            let a = solve_warm(&c, &mut duals);
+            assert!(a.is_permutation());
+            assert_eq!(a.cost, 9.0 * 2.5);
+        }
     }
 }

@@ -48,6 +48,7 @@ pub mod hungarian;
 pub mod jv;
 pub mod matrix;
 
+pub use jv::Duals;
 pub use matrix::DenseCost;
 
 /// A complete assignment of rows to columns.
@@ -96,22 +97,31 @@ impl Assignment {
     }
 }
 
+/// The max↔min complement: every entry subtracted from the matrix
+/// maximum. Every complete assignment sums exactly `n` entries, so
+/// minimizing the complement maximizes the original (and vice versa).
+pub fn complement(costs: &DenseCost) -> DenseCost {
+    let hi = costs.entries().fold(f64::NEG_INFINITY, f64::max);
+    DenseCost::from_fn(costs.dim(), |i, j| hi - costs.at(i, j))
+}
+
 /// Solves the minimum-cost LAP with the production (JV) solver.
 pub fn solve_min(costs: &DenseCost) -> Assignment {
     jv::solve(costs)
 }
 
+/// Like [`solve_min`], but reuses the dual potentials and scratch
+/// buffers in `duals` across successive solves of same-dimension
+/// instances (the matching scheduler's round loop). The first call — or
+/// any call after a dimension change — runs cold and initialises
+/// `duals`; later calls skip the reduction phases entirely.
+pub fn solve_min_warm(costs: &DenseCost, duals: &mut Duals) -> Assignment {
+    jv::solve_warm(costs, duals)
+}
+
 /// Solves the maximum-weight LAP by cost complementation.
 pub fn solve_max(costs: &DenseCost) -> Assignment {
-    if costs.dim() == 0 {
-        return Assignment {
-            row_to_col: Vec::new(),
-            cost: 0.0,
-        };
-    }
-    let hi = costs.entries().fold(f64::NEG_INFINITY, f64::max);
-    let complement = DenseCost::from_fn(costs.dim(), |i, j| hi - costs.at(i, j));
-    let a = jv::solve(&complement);
+    let a = solve_min(&complement(costs));
     Assignment::from_permutation(costs, a.row_to_col)
 }
 
