@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! perfgate [--quick] [--baseline <path>] [--out <path>] [--factor <F>]
+//!          [--history <path>] [--obs <dir>]
 //! ```
 //!
 //! Times the construction cost (`Scheduler::send_order`) of all five
@@ -21,6 +22,17 @@
 //!   linear-scan open shop it guards against was ~40× slower at
 //!   `P = 256`).
 //!
+//! Full mode also appends a dated record (`{"ts_unix", "mode",
+//! "report"}`) to `--history` (default `BENCH_history.jsonl`), so
+//! `BENCH_sched.json` stays "latest" while the JSONL keeps the trend.
+//!
+//! `--obs <dir>` adds an untimed instrumentation pass after the
+//! measurements: each `(scheduler, P)` cell runs once with the global
+//! observability registry enabled and dumps a Chrome trace to
+//! `<dir>/trace_<scheduler>_P<p>.json`. The pass is separate from the
+//! timing loops — and quick mode asserts the registry is disabled
+//! before timing — so the gate always measures the uninstrumented cost.
+//!
 //! Seeds are fixed per `P`, so every run times the same instances.
 
 use adaptcomm_bench::perf::{PerfReport, PerfStats};
@@ -37,6 +49,8 @@ struct Options {
     baseline: String,
     out: String,
     factor: f64,
+    history: String,
+    obs_dir: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -45,6 +59,8 @@ fn parse_args() -> Options {
         baseline: "BENCH_sched.json".to_string(),
         out: "BENCH_sched.json".to_string(),
         factor: 10.0,
+        history: "BENCH_history.jsonl".to_string(),
+        obs_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,6 +74,8 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--baseline" => opts.baseline = take("--baseline"),
             "--out" => opts.out = take("--out"),
+            "--history" => opts.history = take("--history"),
+            "--obs" => opts.obs_dir = Some(take("--obs")),
             "--factor" => {
                 opts.factor = take("--factor").parse().unwrap_or_else(|_| {
                     eprintln!("--factor needs a number");
@@ -87,10 +105,49 @@ fn time_one<F: FnMut() -> usize>(mut f: F) -> (f64, usize) {
     (clock.elapsed().as_secs_f64() * 1e3, token)
 }
 
+/// The untimed `--obs` pass: one instrumented construction per
+/// `(scheduler, P)` cell, each dumped as its own Chrome trace.
+fn obs_pass(dir: &str, p_values: &[usize]) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {dir}: {e}");
+        std::process::exit(2);
+    });
+    let obs = adaptcomm_obs::global();
+    for &p in p_values {
+        let matrix = instance_matrix(p);
+        for scheduler in all_schedulers() {
+            obs.clear();
+            obs.set_enabled(true);
+            let span = obs
+                .span("schedule")
+                .attr("algorithm", scheduler.name())
+                .attr("p", p);
+            let steps = scheduler.send_order(&matrix).order.len();
+            span.attr("steps", steps).end();
+            let snap = obs.snapshot();
+            obs.set_enabled(false);
+            let path = format!("{dir}/trace_{}_P{p}.json", scheduler.name());
+            std::fs::write(&path, snap.to_chrome_trace()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("obs: wrote {path}");
+        }
+    }
+    obs.clear();
+}
+
 fn main() {
     let opts = parse_args();
     let p_values: &[usize] = if opts.quick { &QUICK_P } else { &FULL_P };
     let reps = if opts.quick { 1 } else { FULL_REPS };
+
+    // The gate times the *uninstrumented* cost: recording must be off.
+    // A relaxed load is all the disabled path ever pays.
+    assert!(
+        !adaptcomm_obs::global().is_enabled(),
+        "observability registry must stay disabled during timing"
+    );
 
     let mut report = PerfReport::new();
     let mut sink = 0usize; // keeps the timed work observable
@@ -162,6 +219,21 @@ fn main() {
             std::process::exit(2);
         });
         println!("wrote {}", opts.out);
+        // The committed JSON is always "latest"; the JSONL keeps every
+        // dated run so regressions can be traced back in time.
+        let ts_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let record = adaptcomm_bench::perf::history_record(ts_unix, "full", &report);
+        adaptcomm_bench::perf::append_history(&opts.history, &record).unwrap_or_else(|e| {
+            eprintln!("cannot append {}: {e}", opts.history);
+            std::process::exit(2);
+        });
+        println!("appended {}", opts.history);
+    }
+    if let Some(dir) = &opts.obs_dir {
+        obs_pass(dir, p_values);
     }
     // Defeat dead-code elimination of the timed closures.
     assert!(sink != usize::MAX);

@@ -118,6 +118,35 @@ impl PerfReport {
         out
     }
 
+    /// Serializes to the same schema as [`PerfReport::to_json`] but on
+    /// one line with no whitespace — the form embedded in
+    /// `BENCH_history.jsonl` records. [`PerfReport::from_json`] parses
+    /// both forms.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{");
+        for (si, name) in self.order.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{{", json_string(name));
+            let cells = &self.cells[name];
+            for (pi, (p, s)) in cells.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"median_ms\":{},\"p90_ms\":{},\"reps\":{}}}{}",
+                    p,
+                    json_number(s.median_ms),
+                    json_number(s.p90_ms),
+                    s.reps,
+                    if pi + 1 < cells.len() { "," } else { "" }
+                );
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
     /// Parses a report previously produced by [`PerfReport::to_json`].
     ///
     /// Accepts the exact schema (object of objects of
@@ -183,6 +212,28 @@ impl PerfReport {
         }
         violations
     }
+}
+
+/// One dated `BENCH_history.jsonl` record: the full report embedded in
+/// an envelope carrying the Unix timestamp and the perfgate mode that
+/// produced it. Single line, no trailing newline — ready to append.
+pub fn history_record(ts_unix: u64, mode: &str, report: &PerfReport) -> String {
+    format!(
+        "{{\"ts_unix\":{ts_unix},\"mode\":{},\"report\":{}}}",
+        json_string(mode),
+        report.to_json_line()
+    )
+}
+
+/// Appends `record` (one history line) to the JSONL file at `path`,
+/// creating it on first use.
+pub fn append_history(path: &str, record: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{record}")
 }
 
 fn json_string(s: &str) -> String {
@@ -384,6 +435,56 @@ mod tests {
         // Scheduler presentation order survives the round trip.
         assert_eq!(parsed.schedulers(), ["openshop", "matching-max"]);
         assert_eq!(parsed.cells("openshop").len(), 2);
+    }
+
+    #[test]
+    fn compact_json_round_trips_and_fits_one_line() {
+        let mut r = PerfReport::new();
+        r.insert(
+            "openshop",
+            64,
+            PerfStats {
+                median_ms: 1.25,
+                p90_ms: 2.5,
+                reps: 5,
+            },
+        );
+        r.insert(
+            "greedy",
+            128,
+            PerfStats {
+                median_ms: 0.5,
+                p90_ms: 0.75,
+                reps: 3,
+            },
+        );
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(PerfReport::from_json(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn history_record_embeds_a_parseable_report() {
+        let mut r = PerfReport::new();
+        r.insert(
+            "baseline",
+            64,
+            PerfStats {
+                median_ms: 2.0,
+                p90_ms: 2.0,
+                reps: 1,
+            },
+        );
+        let line = history_record(1_754_000_000, "full", &r);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"ts_unix\":1754000000,\"mode\":\"full\",\"report\":"));
+        // The embedded report is exactly the compact serialization and
+        // parses back to the original.
+        let report_json = line
+            .strip_prefix("{\"ts_unix\":1754000000,\"mode\":\"full\",\"report\":")
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap();
+        assert_eq!(PerfReport::from_json(report_json).unwrap(), r);
     }
 
     #[test]

@@ -50,11 +50,12 @@ USAGE:
       Schedule a total exchange. Algorithms: baseline, matching-max,
       matching-min, greedy, openshop (default).
 
-  adaptcomm compare --matrix <file.csv>
+  adaptcomm compare --matrix <file.csv> [--obs <path>]
       Run every algorithm and print the comparison table.
 
   adaptcomm sweep [--scenario <all|fig9|fig10|fig11|fig12>] [--pmin <N>]
                   [--pmax <N>] [--pstep <N>] [--trials <N>] [--threads <N>]
+                  [--obs <path>]
       Evaluate every algorithm over the (scenario x P x trial) grid on
       the parallel sweep engine and print lb-ratio statistics. Seeds are
       derived from grid coordinates, so any --threads value produces the
@@ -63,7 +64,7 @@ USAGE:
   adaptcomm run [--backend <channel|tcp>] [--p <N>] [--scenario <name>]
                 [--seed <u64>] [--algorithm <name>] [--adapt]
                 [--drift <factor>] [--drift-at <ms>] [--threshold <frac>]
-                [--pace <us-per-ms>] [--trace]
+                [--pace <us-per-ms>] [--trace] [--obs <path>]
       Execute a total exchange live: one OS thread per processor moving
       real bytes through the chosen transport under the paper's port
       model. --adapt attaches the measure -> schedule -> execute ->
@@ -72,8 +73,19 @@ USAGE:
       links' bandwidth by <factor> at --drift-at modeled ms to provoke
       adaptation. --trace dumps the per-event wall/modeled timeline.
 
+  adaptcomm obs-summary --input <path>
+      Summarize an observability dump (JSONL or Chrome trace): per-phase
+      span totals, instants, counters.
+
   adaptcomm help
       This text.
+
+The --obs <path> option on run/compare/sweep enables the in-process
+observability registry for the duration of the command and writes the
+collected metrics when it finishes. The export format follows the file
+extension: `.jsonl` -> JSONL event stream, `.prom`/`.txt` ->
+Prometheus-style text dump, anything else -> Chrome trace_event JSON
+(load in Perfetto / chrome://tracing, or feed to obs-summary).
 ";
 
 fn run() -> Result<(), String> {
@@ -98,6 +110,7 @@ fn run() -> Result<(), String> {
         "compare" => compare(&opts),
         "sweep" => sweep(&opts),
         "run" => run_live(&opts),
+        "obs-summary" => obs_summary(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -132,6 +145,50 @@ fn print_gusto() {
             .collect();
         println!("{:>8}: {}", a.name(), row.join(", "));
     }
+}
+
+/// Arms the global observability registry when `--obs <path>` was
+/// given, returning the export path. The registry starts from a clean
+/// slate so the dump covers exactly this command.
+fn obs_begin(opts: &args::Options) -> Option<String> {
+    let path = opts.get("obs")?;
+    let obs = adaptcomm_obs::global();
+    obs.clear();
+    obs.set_enabled(true);
+    Some(path)
+}
+
+/// Snapshots the global registry, disables it, and writes the dump in
+/// the format implied by the file extension: `.jsonl` → JSONL event
+/// stream, `.prom`/`.txt` → Prometheus text, anything else → Chrome
+/// trace_event JSON.
+fn obs_finish(path: &str) -> Result<(), String> {
+    let obs = adaptcomm_obs::global();
+    let snap = obs.snapshot();
+    obs.set_enabled(false);
+    let text = if path.ends_with(".jsonl") {
+        snap.to_jsonl()
+    } else if path.ends_with(".prom") || path.ends_with(".txt") {
+        snap.to_prometheus()
+    } else {
+        snap.to_chrome_trace()
+    };
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "wrote {path} ({} span(s), {} instant(s), {} counter(s))",
+        snap.spans().count(),
+        snap.instants().count(),
+        snap.counters.len()
+    );
+    Ok(())
+}
+
+fn obs_summary(opts: &args::Options) -> Result<(), String> {
+    let path = opts.require("input")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let summary = adaptcomm_obs::Summary::from_text(&text)?;
+    print!("{}", summary.render());
+    Ok(())
 }
 
 fn scenario_by_name(name: &str, n: usize) -> Result<Scenario, String> {
@@ -259,6 +316,7 @@ fn sweep(opts: &args::Options) -> Result<(), String> {
         cfg: GeneratorConfig::default(),
         seed_fn: summary_seed,
     };
+    let obs_path = obs_begin(opts);
     let clock = std::time::Instant::now();
     let stats = runner.stats(&grid);
     print!("{}", stats.render());
@@ -268,6 +326,9 @@ fn sweep(opts: &args::Options) -> Result<(), String> {
         clock.elapsed().as_secs_f64(),
         runner.threads()
     );
+    if let Some(path) = obs_path {
+        obs_finish(&path)?;
+    }
     Ok(())
 }
 
@@ -292,7 +353,27 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
     let inst = scenario.instance(p, seed);
     let sizes = inst.sizes.to_rows();
     let algorithm = opts.get("algorithm").unwrap_or_else(|| "openshop".into());
+
+    let obs_path = obs_begin(opts);
+    let obs = adaptcomm_obs::global();
+    let run_start_us = obs.now_us();
+
+    // The initial schedule, as its own driver-track span so a Chrome
+    // trace shows scheduling next to the transfers it produced.
+    let sched_start_us = obs.now_us();
     let order = scheduler_by_name(&algorithm)?.send_order(&inst.matrix);
+    if obs.is_enabled() {
+        obs.record_span(adaptcomm_obs::SpanRecord {
+            name: "schedule".to_string(),
+            tid: 0,
+            start_us: sched_start_us,
+            dur_us: obs.now_us().saturating_sub(sched_start_us),
+            attrs: vec![
+                ("algorithm".to_string(), algorithm.as_str().into()),
+                ("p".to_string(), p.into()),
+            ],
+        });
+    }
 
     let adapt = opts.flag("adapt");
     let drift: f64 = opts.parsed_or("drift", if adapt { 0.25 } else { 1.0 })?;
@@ -348,6 +429,23 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
     }
     .map_err(|e| format!("live run failed: {e}"))?;
 
+    if obs.is_enabled() {
+        // Every completed transfer becomes a span on its sender's track;
+        // the whole command is one root span on the driver track.
+        adaptcomm_runtime::obs_bridge::record_transfers(&report.trace, obs);
+        obs.record_span(adaptcomm_obs::SpanRecord {
+            name: "run".to_string(),
+            tid: 0,
+            start_us: run_start_us,
+            dur_us: obs.now_us().saturating_sub(run_start_us),
+            attrs: vec![
+                ("backend".to_string(), report.backend.to_string().into()),
+                ("algorithm".to_string(), algorithm.as_str().into()),
+                ("p".to_string(), p.into()),
+            ],
+        });
+    }
+
     println!(
         "live run: backend {} | {} | P = {} | algorithm {} | seed {}",
         report.backend, scenario_name, p, algorithm, seed
@@ -399,6 +497,9 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
             );
         }
     }
+    if let Some(path) = obs_path {
+        obs_finish(&path)?;
+    }
     if !report.receipts_ok {
         return Err(
             "receipt verification failed: physical delivery does not match the size matrix".into(),
@@ -409,6 +510,8 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
 
 fn compare(opts: &args::Options) -> Result<(), String> {
     let matrix = load_matrix(opts)?;
+    let obs_path = obs_begin(opts);
+    let obs = adaptcomm_obs::global();
     println!("P = {}, lower bound {}", matrix.len(), matrix.lower_bound());
     println!(
         "{:>14} {:>14} {:>8} {:>12}",
@@ -417,9 +520,11 @@ fn compare(opts: &args::Options) -> Result<(), String> {
     for scheduler in all_schedulers() {
         // Construction cost is reported alongside quality — the §6.2
         // concern that run-time scheduling overhead can dominate.
+        let span = obs.span("schedule").attr("algorithm", scheduler.name());
         let clock = std::time::Instant::now();
         let s = scheduler.schedule(&matrix);
         let sched_ms = clock.elapsed().as_secs_f64() * 1e3;
+        span.end();
         println!(
             "{:>14} {:>14} {:>8.4} {:>12.3}",
             scheduler.name(),
@@ -427,6 +532,9 @@ fn compare(opts: &args::Options) -> Result<(), String> {
             s.lb_ratio(),
             sched_ms
         );
+    }
+    if let Some(path) = obs_path {
+        obs_finish(&path)?;
     }
     Ok(())
 }

@@ -98,6 +98,67 @@ fn generate_schedule_compare_round_trip() {
 }
 
 #[test]
+fn obs_dump_and_summary_round_trip() {
+    let trace_path = temp_path("obs-trace.json");
+    let out = bin()
+        .args([
+            "run",
+            "--backend",
+            "channel",
+            "--p",
+            "4",
+            "--adapt",
+            "--obs",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("wrote"));
+
+    // The dump is a Chrome trace document with the driver-track spans.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(text.contains("traceEvents"));
+    assert!(text.contains("\"schedule\""));
+    assert!(text.contains("\"transfer\""));
+
+    let out = bin()
+        .args(["obs-summary", "--input", trace_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8(out.stdout).unwrap();
+    assert!(summary.contains("phase"));
+    assert!(summary.contains("transfer"));
+    assert!(summary.contains("schedule"));
+
+    // JSONL export of the same run parses as a summary too.
+    let jsonl_path = temp_path("obs-trace.jsonl");
+    let out = bin()
+        .args(["run", "--p", "4", "--obs", jsonl_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["obs-summary", "--input", jsonl_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let _ = std::fs::remove_file(trace_path);
+    let _ = std::fs::remove_file(jsonl_path);
+}
+
+#[test]
 fn errors_exit_nonzero_with_message() {
     let out = bin().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());

@@ -96,8 +96,18 @@ impl MatchingScheduler {
         let mut deleted = vec![false; p * p];
         let mut duals = Duals::new();
         let mut steps = Vec::with_capacity(p);
+        // Aggregate LAP stats in locals; one obs record after the loop.
+        let (mut warm_hits, mut cold_solves, mut aug_paths, mut col_scans) = (0u64, 0u64, 0, 0);
         for _round in 0..p {
             let assignment = solve_min_warm(&work, &mut duals);
+            let stats = duals.last_stats();
+            if stats.warm {
+                warm_hits += 1;
+            } else {
+                cold_solves += 1;
+            }
+            aug_paths += stats.aug_paths;
+            col_scans += stats.col_scans;
             let mut step = Vec::with_capacity(p);
             for (src, &dst) in assignment.row_to_col.iter().enumerate() {
                 assert!(
@@ -109,6 +119,14 @@ impl MatchingScheduler {
                 work.set(src, dst, deleted_weight);
             }
             steps.push(step);
+        }
+        let obs = adaptcomm_obs::global();
+        if obs.is_enabled() {
+            obs.add("sched.matching.rounds", p as u64);
+            obs.add("sched.matching.lap_warm_hits", warm_hits);
+            obs.add("sched.matching.lap_cold_solves", cold_solves);
+            obs.add("sched.matching.lap_aug_paths", aug_paths);
+            obs.add("sched.matching.lap_col_scans", col_scans);
         }
         steps
     }

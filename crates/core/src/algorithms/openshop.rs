@@ -112,15 +112,25 @@ impl OpenShop {
         // served[i * p + j]: sender i has already sent to receiver j.
         let mut served = vec![false; p * p];
         let mut events = Vec::with_capacity(p * p.saturating_sub(1));
+        // Aggregate in locals; one obs record after the loop.
+        let (mut heap_rekeys, mut walk_skips) = (0u64, 0u64);
 
         while let Some(Reverse(AvailKey { id: i, .. })) = senders.pop() {
             // Earliest-available receiver i still owes: first in global
             // (avail, id) order that isn't i itself or already served.
+            let mut skipped = 0u64;
             let j = avail_order
                 .iter()
                 .map(|&(_, j)| j)
-                .find(|&j| j != i && !served[i * p + j])
+                .find(|&j| {
+                    let ok = j != i && !served[i * p + j];
+                    if !ok {
+                        skipped += 1;
+                    }
+                    ok
+                })
                 .expect("sender with owed receivers should find one");
+            walk_skips += skipped;
 
             let t = send_avail[i].max(recv_avail[j]);
             let finish = t + matrix.row(i)[j];
@@ -133,6 +143,7 @@ impl OpenShop {
             send_avail[i] = finish;
             avail_order.remove(&(recv_avail[j].to_bits(), j));
             avail_order.insert((finish.to_bits(), j));
+            heap_rekeys += 1;
             recv_avail[j] = finish;
             served[i * p + j] = true;
             owed[i] -= 1;
@@ -142,6 +153,12 @@ impl OpenShop {
                     id: i,
                 }));
             }
+        }
+        let obs = adaptcomm_obs::global();
+        if obs.is_enabled() {
+            obs.add("sched.openshop.events", events.len() as u64);
+            obs.add("sched.openshop.rekeys", heap_rekeys);
+            obs.add("sched.openshop.walk_skips", walk_skips);
         }
         Schedule::new(matrix.clone(), events)
     }

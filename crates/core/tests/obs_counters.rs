@@ -1,0 +1,52 @@
+//! The schedulers feed per-round construction stats into the global
+//! observability registry when (and only when) it is enabled.
+
+use adaptcomm_core::algorithms::{Greedy, MatchingKind, MatchingScheduler, OpenShop, Scheduler};
+use adaptcomm_core::matrix::CommMatrix;
+
+fn heterogeneous(p: usize) -> CommMatrix {
+    CommMatrix::from_fn(p, |s, d| {
+        if s == d {
+            0.0
+        } else {
+            ((s * 31 + d * 17) % 23 + 1) as f64
+        }
+    })
+}
+
+// One test drives all schedulers: the global registry is process-wide,
+// so sequencing inside a single #[test] keeps the assertions race-free.
+#[test]
+fn schedulers_record_construction_stats_when_enabled() {
+    let obs = adaptcomm_obs::global();
+    let m = heterogeneous(8);
+
+    // Disabled (the default): scheduling records nothing.
+    MatchingScheduler::new(MatchingKind::Max).send_order(&m);
+    OpenShop.send_order(&m);
+    Greedy.send_order(&m);
+    assert!(obs.snapshot().counters.is_empty());
+
+    obs.set_enabled(true);
+    MatchingScheduler::new(MatchingKind::Max).send_order(&m);
+    OpenShop.send_order(&m);
+    Greedy.send_order(&m);
+    let snap = obs.snapshot();
+    obs.set_enabled(false);
+    obs.clear();
+
+    // Matching: 8 rounds, one cold then 7 warm solves.
+    assert_eq!(snap.counter("sched.matching.rounds"), Some(8));
+    assert_eq!(snap.counter("sched.matching.lap_cold_solves"), Some(1));
+    assert_eq!(snap.counter("sched.matching.lap_warm_hits"), Some(7));
+    assert!(snap.counter("sched.matching.lap_aug_paths").unwrap() > 0);
+
+    // Open shop: P(P-1) events, each re-keying its receiver once.
+    assert_eq!(snap.counter("sched.openshop.events"), Some(56));
+    assert_eq!(snap.counter("sched.openshop.rekeys"), Some(56));
+    assert!(snap.counter("sched.openshop.walk_skips").is_some());
+
+    // Greedy: every event costs at least one rank-list scan.
+    assert!(snap.counter("sched.greedy.steps").unwrap() >= 7);
+    assert!(snap.counter("sched.greedy.rank_scans").unwrap() >= 56);
+}

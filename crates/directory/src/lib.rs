@@ -42,5 +42,5 @@ pub mod load;
 pub mod service;
 pub mod snapshot;
 
-pub use service::{DirectoryService, PublishError, QueryError};
+pub use service::{DirectoryService, DirectoryStats, PublishError, QueryError};
 pub use snapshot::DirectorySnapshot;

@@ -151,6 +151,8 @@ struct Inner {
     subscribers: Vec<Sender<DirectorySnapshot>>,
     publishes: u64,
     queries: u64,
+    fresh_queries: u64,
+    stale_queries: u64,
 }
 
 impl Inner {
@@ -161,8 +163,26 @@ impl Inner {
         let snap = DirectorySnapshot::new(params, taken_at, seq);
         self.current = snap.clone();
         self.publishes += 1;
+        let obs = adaptcomm_obs::global();
+        if obs.is_enabled() {
+            obs.add("directory.publish", 1);
+        }
         self.subscribers.retain(|tx| tx.send(snap.clone()).is_ok());
     }
+}
+
+/// Service-level counters: how often the directory was written, read,
+/// and how the budgeted reads split between fresh and stale.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectoryStats {
+    /// Snapshots installed (trace advances, publishes, measurements).
+    pub publishes: u64,
+    /// All queries (`snapshot`, `snapshot_fresh`, `query_pair`).
+    pub queries: u64,
+    /// Budgeted queries answered within the staleness budget.
+    pub fresh_queries: u64,
+    /// Budgeted queries rejected as [`QueryError::Stale`].
+    pub stale_queries: u64,
 }
 
 /// A thread-safe, time-aware directory of network performance.
@@ -183,6 +203,8 @@ impl DirectoryService {
                 subscribers: Vec::new(),
                 publishes: 0,
                 queries: 0,
+                fresh_queries: 0,
+                stale_queries: 0,
             }),
         }
     }
@@ -334,8 +356,20 @@ impl DirectoryService {
         let mut inner = self.inner.lock();
         inner.queries += 1;
         let age = inner.current.age_at(inner.clock);
+        let obs = adaptcomm_obs::global();
+        if obs.is_enabled() {
+            obs.gauge_set("directory.epoch_age_ms", age.as_ms());
+        }
         if age.as_ms() > budget.as_ms() {
+            inner.stale_queries += 1;
+            if obs.is_enabled() {
+                obs.add("directory.query.stale", 1);
+            }
             return Err(QueryError::Stale { age, budget });
+        }
+        inner.fresh_queries += 1;
+        if obs.is_enabled() {
+            obs.add("directory.query.fresh", 1);
         }
         Ok(inner.current.clone())
     }
@@ -367,6 +401,18 @@ impl DirectoryService {
     pub fn stats(&self) -> (u64, u64) {
         let inner = self.inner.lock();
         (inner.publishes, inner.queries)
+    }
+
+    /// The full counter set, including the fresh/stale split of budgeted
+    /// queries.
+    pub fn detailed_stats(&self) -> DirectoryStats {
+        let inner = self.inner.lock();
+        DirectoryStats {
+            publishes: inner.publishes,
+            queries: inner.queries,
+            fresh_queries: inner.fresh_queries,
+            stale_queries: inner.stale_queries,
+        }
     }
 }
 
@@ -474,6 +520,31 @@ mod tests {
             .expect("fresh right after the trace republished");
         assert_eq!(snap.sequence(), 1);
         assert_eq!(snap.taken_at().as_ms(), 5_000.0);
+    }
+
+    #[test]
+    fn stale_fresh_publish_counters_track_the_staleness_scenario() {
+        // Same periodic-remeasurement scenario as above, now asserting
+        // the service-level counters stay in lockstep with the outcomes.
+        let trace = VariationTrace::new(params(), VariationConfig::default(), 11);
+        let d = DirectoryService::with_trace_every(trace, Millis::new(5_000.0));
+        assert_eq!(d.detailed_stats(), DirectoryStats::default());
+
+        d.advance_clock(Millis::new(2_000.0));
+        assert!(d.snapshot_fresh(Millis::new(500.0)).is_err()); // stale
+        assert!(d.snapshot_fresh(Millis::new(2_000.0)).is_ok()); // fresh
+        d.advance_clock(Millis::new(5_000.0)); // trace republishes
+        assert!(d.snapshot_fresh(Millis::new(500.0)).is_ok()); // fresh
+
+        let stats = d.detailed_stats();
+        assert_eq!(stats.publishes, 1, "one trace-driven republish");
+        assert_eq!(stats.stale_queries, 1);
+        assert_eq!(stats.fresh_queries, 2);
+        // Unbudgeted reads count as queries but neither fresh nor stale.
+        d.snapshot();
+        let stats = d.detailed_stats();
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.fresh_queries + stats.stale_queries, 3);
     }
 
     #[test]

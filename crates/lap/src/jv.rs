@@ -66,6 +66,24 @@ pub struct Duals {
     collist: Vec<usize>,
     /// Unassigned-row worklist scratch.
     free: Vec<usize>,
+    /// Counters from the most recent solve (observability).
+    stats: SolveStats,
+}
+
+/// Cheap per-solve counters, refreshed by every [`solve_warm`] call.
+/// The matching scheduler forwards them to the observability layer to
+/// make warm-start effectiveness visible (hit rate, path counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Whether the solve reused retained potentials (skipping phases
+    /// 1–3) rather than running cold.
+    pub warm: bool,
+    /// Augmenting paths run in phase 4 (`n` for a warm solve, the
+    /// phase-3 leftovers for a cold one).
+    pub aug_paths: u64,
+    /// Ready-column scans performed across those path searches — the
+    /// actual work metric warm starts are meant to shrink.
+    pub col_scans: u64,
 }
 
 impl Duals {
@@ -83,6 +101,11 @@ impl Duals {
     /// The retained column potentials of the last solve.
     pub fn potentials(&self) -> &[f64] {
         &self.v
+    }
+
+    /// Counters from the most recent solve through this state.
+    pub fn last_stats(&self) -> SolveStats {
+        self.stats
     }
 
     /// Sizes every buffer for dimension `n`, zeroing the potentials.
@@ -114,6 +137,7 @@ pub fn solve_warm(costs: &DenseCost, duals: &mut Duals) -> Assignment {
     let n = costs.dim();
     if n == 0 {
         duals.reset(0);
+        duals.stats = SolveStats::default();
         return Assignment {
             row_to_col: Vec::new(),
             cost: 0.0,
@@ -125,10 +149,14 @@ pub fn solve_warm(costs: &DenseCost, duals: &mut Duals) -> Assignment {
         duals.y.fill(NONE);
         duals.free.clear();
         duals.free.extend(0..n);
+        duals.stats.warm = true;
     } else {
         duals.reset(n);
         reduction_phases(costs, duals);
+        duals.stats.warm = false;
     }
+    duals.stats.aug_paths = duals.free.len() as u64;
+    duals.stats.col_scans = 0;
     augment(costs, duals);
     debug_assert!(duals.x.iter().all(|&j| j != NONE));
     Assignment::from_permutation(costs, duals.x.clone())
@@ -262,6 +290,7 @@ fn augment(costs: &DenseCost, duals: &mut Duals) {
         pred,
         collist,
         free,
+        stats,
     } = duals;
     for &freerow in free.iter() {
         let free_row_costs = costs.row(freerow);
@@ -302,6 +331,7 @@ fn augment(costs: &DenseCost, duals: &mut Duals) {
                 }
             }
             // Scan one ready column.
+            stats.col_scans += 1;
             let j1 = collist[low];
             low += 1;
             let i = y[j1];
@@ -478,6 +508,27 @@ mod tests {
         let e = solve_warm(&DenseCost::from_rows(&[]), &mut duals);
         assert_eq!(e.cost, 0.0);
         assert_eq!(duals.dim(), 0);
+    }
+
+    #[test]
+    fn solve_stats_reflect_warm_and_cold_paths() {
+        let c = DenseCost::from_fn(8, |i, j| ((i * 13 + j * 7) % 11) as f64);
+        let mut duals = Duals::new();
+        solve_warm(&c, &mut duals);
+        let cold = duals.last_stats();
+        assert!(!cold.warm);
+        solve_warm(&c, &mut duals);
+        let warm = duals.last_stats();
+        assert!(warm.warm);
+        // Warm solves augment every row; cold ones only phase-3 leftovers.
+        assert_eq!(warm.aug_paths, 8);
+        assert!(cold.aug_paths <= 8);
+        // Re-solving the *same* matrix warm is the best case: retained
+        // potentials point every search at a free column immediately.
+        assert!(warm.col_scans <= cold.col_scans.max(8));
+        // The empty instance zeroes the stats.
+        solve_warm(&DenseCost::from_rows(&[]), &mut duals);
+        assert_eq!(duals.last_stats(), SolveStats::default());
     }
 
     #[test]

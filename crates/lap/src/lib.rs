@@ -48,7 +48,7 @@ pub mod hungarian;
 pub mod jv;
 pub mod matrix;
 
-pub use jv::Duals;
+pub use jv::{Duals, SolveStats};
 pub use matrix::DenseCost;
 
 /// A complete assignment of rows to columns.

@@ -1,0 +1,569 @@
+//! Point-in-time registry state and the three exporters.
+//!
+//! A [`Snapshot`] is everything a [`crate::Registry`] recorded, frozen:
+//! counters, gauges, histograms, and the ordered event log of spans and
+//! instants. It exports to
+//!
+//! * **JSONL** ([`Snapshot::to_jsonl`]) — one self-describing JSON
+//!   object per line, machine-diffable, parsed back losslessly by
+//!   [`Snapshot::from_jsonl`] (the round-trip the runtime-trace bridge
+//!   tests lean on);
+//! * **Prometheus text** ([`Snapshot::to_prometheus`]) — the standard
+//!   `# TYPE` + sample-line dump, names sanitized to `[a-z0-9_]`;
+//! * **Chrome `trace_event` JSON** ([`Snapshot::to_chrome_trace`]) —
+//!   loadable in `chrome://tracing` / Perfetto. Spans become balanced
+//!   `B`/`E` duration events on their thread track, instants become `i`
+//!   events.
+
+use crate::json::Value;
+use crate::AttrValue;
+
+/// One counter at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One gauge at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Last written value.
+    pub value: f64,
+}
+
+/// One histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Ascending inclusive upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bound bucket counts (`buckets[i]` ≤ `bounds[i]`).
+    pub buckets: Vec<u64>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// A completed span: a named wall-clock interval on a thread track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Phase name (`schedule`, `replan`, `transfer`, …).
+    pub name: String,
+    /// Thread/track id.
+    pub tid: u64,
+    /// Start, microseconds since the registry epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Key/value attributes.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// A point-in-time event on a thread track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantRecord {
+    /// Event name.
+    pub name: String,
+    /// Thread/track id.
+    pub tid: u64,
+    /// Timestamp, microseconds since the registry epoch.
+    pub ts_us: u64,
+    /// Key/value attributes.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// One entry of the ordered event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A completed span.
+    Span(SpanRecord),
+    /// An instant event.
+    Instant(InstantRecord),
+}
+
+/// Everything a registry recorded, frozen for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counters, name-ascending.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, name-ascending.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, name-ascending.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Spans and instants in commit order.
+    pub events: Vec<Event>,
+}
+
+fn attrs_to_json(attrs: &[(String, AttrValue)]) -> Value {
+    Value::Obj(
+        attrs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect(),
+    )
+}
+
+fn attrs_from_json(v: Option<&Value>) -> Result<Vec<(String, AttrValue)>, String> {
+    let Some(Value::Obj(pairs)) = v else {
+        return Ok(Vec::new());
+    };
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            AttrValue::from_json(v)
+                .map(|a| (k.clone(), a))
+                .ok_or_else(|| format!("attr {k:?} has a non-scalar value"))
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The span records of the event log, in commit order.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Span(s) => Some(s),
+            Event::Instant(_) => None,
+        })
+    }
+
+    /// The instant records of the event log, in commit order.
+    pub fn instants(&self) -> impl Iterator<Item = &InstantRecord> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Instant(i) => Some(i),
+            Event::Span(_) => None,
+        })
+    }
+
+    /// Serializes as JSONL: one JSON object per line, each carrying a
+    /// `type` discriminator (`counter`, `gauge`, `histogram`, `span`,
+    /// `instant`).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(
+                &Value::Obj(vec![
+                    ("type".into(), Value::Str("counter".into())),
+                    ("name".into(), Value::Str(c.name.clone())),
+                    ("value".into(), Value::Num(c.value as f64)),
+                ])
+                .to_json(),
+            );
+            out.push('\n');
+        }
+        for g in &self.gauges {
+            out.push_str(
+                &Value::Obj(vec![
+                    ("type".into(), Value::Str("gauge".into())),
+                    ("name".into(), Value::Str(g.name.clone())),
+                    ("value".into(), Value::Num(g.value)),
+                ])
+                .to_json(),
+            );
+            out.push('\n');
+        }
+        for h in &self.histograms {
+            out.push_str(
+                &Value::Obj(vec![
+                    ("type".into(), Value::Str("histogram".into())),
+                    ("name".into(), Value::Str(h.name.clone())),
+                    (
+                        "bounds".into(),
+                        Value::Arr(h.bounds.iter().map(|&b| Value::Num(b)).collect()),
+                    ),
+                    (
+                        "buckets".into(),
+                        Value::Arr(h.buckets.iter().map(|&c| Value::Num(c as f64)).collect()),
+                    ),
+                    ("overflow".into(), Value::Num(h.overflow as f64)),
+                    ("count".into(), Value::Num(h.count as f64)),
+                    ("sum".into(), Value::Num(h.sum)),
+                ])
+                .to_json(),
+            );
+            out.push('\n');
+        }
+        for e in &self.events {
+            let obj = match e {
+                Event::Span(s) => Value::Obj(vec![
+                    ("type".into(), Value::Str("span".into())),
+                    ("name".into(), Value::Str(s.name.clone())),
+                    ("tid".into(), Value::Num(s.tid as f64)),
+                    ("start_us".into(), Value::Num(s.start_us as f64)),
+                    ("dur_us".into(), Value::Num(s.dur_us as f64)),
+                    ("attrs".into(), attrs_to_json(&s.attrs)),
+                ]),
+                Event::Instant(i) => Value::Obj(vec![
+                    ("type".into(), Value::Str("instant".into())),
+                    ("name".into(), Value::Str(i.name.clone())),
+                    ("tid".into(), Value::Num(i.tid as f64)),
+                    ("ts_us".into(), Value::Num(i.ts_us as f64)),
+                    ("attrs".into(), attrs_to_json(&i.attrs)),
+                ]),
+            };
+            out.push_str(&obj.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::to_jsonl`]. Lossless:
+    /// `from_jsonl(snap.to_jsonl()) == snap` up to f64 representability
+    /// of counter values.
+    pub fn from_jsonl(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Value::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = v
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: missing \"type\"", lineno + 1))?;
+            let name = |field: &str| -> Result<String, String> {
+                v.get(field)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("line {}: missing {field:?}", lineno + 1))
+            };
+            let num = |field: &str| -> Result<f64, String> {
+                v.get(field)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("line {}: missing number {field:?}", lineno + 1))
+            };
+            let uint = |field: &str| -> Result<u64, String> {
+                v.get(field)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {}: missing integer {field:?}", lineno + 1))
+            };
+            match kind {
+                "counter" => snap.counters.push(CounterSnapshot {
+                    name: name("name")?,
+                    value: uint("value")?,
+                }),
+                "gauge" => snap.gauges.push(GaugeSnapshot {
+                    name: name("name")?,
+                    value: num("value")?,
+                }),
+                "histogram" => {
+                    let arr = |field: &str| -> Result<Vec<f64>, String> {
+                        v.get(field)
+                            .and_then(Value::as_arr)
+                            .map(|xs| xs.iter().filter_map(Value::as_f64).collect())
+                            .ok_or_else(|| format!("line {}: missing array {field:?}", lineno + 1))
+                    };
+                    snap.histograms.push(HistogramSnapshot {
+                        name: name("name")?,
+                        bounds: arr("bounds")?,
+                        buckets: arr("buckets")?.into_iter().map(|x| x as u64).collect(),
+                        overflow: uint("overflow")?,
+                        count: uint("count")?,
+                        sum: num("sum")?,
+                    });
+                }
+                "span" => snap.events.push(Event::Span(SpanRecord {
+                    name: name("name")?,
+                    tid: uint("tid")?,
+                    start_us: uint("start_us")?,
+                    dur_us: uint("dur_us")?,
+                    attrs: attrs_from_json(v.get("attrs"))?,
+                })),
+                "instant" => snap.events.push(Event::Instant(InstantRecord {
+                    name: name("name")?,
+                    tid: uint("tid")?,
+                    ts_us: uint("ts_us")?,
+                    attrs: attrs_from_json(v.get("attrs"))?,
+                })),
+                other => return Err(format!("line {}: unknown type {other:?}", lineno + 1)),
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Serializes as a Prometheus-style text dump. Counter and gauge
+    /// names are sanitized (`.`/`-` → `_`); histograms use the standard
+    /// `_bucket{le=…}` / `_sum` / `_count` expansion with a `+Inf`
+    /// bucket absorbing the overflow.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.counters {
+            let name = prom_name(&c.name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.value);
+        }
+        for g in &self.gauges {
+            let name = prom_name(&g.name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", fmt_f64(g.value));
+        }
+        for h in &self.histograms {
+            let name = prom_name(&h.name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    fmt_f64(*bound)
+                );
+            }
+            cumulative += h.overflow;
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum));
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Serializes the event log as a Chrome `trace_event` JSON document
+    /// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` and
+    /// Perfetto.
+    ///
+    /// Spans are emitted as **balanced `B`/`E` pairs** per thread track.
+    /// Within a track, spans are laid out by `(start ascending, end
+    /// descending)` and closed with an explicit stack, so properly
+    /// nesting input (what RAII spans guarantee per thread) produces a
+    /// well-formed `B…B…E…E` sequence.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<Value> = Vec::new();
+        // Group span intervals per tid, preserving u64 precision.
+        let mut spans: Vec<&SpanRecord> = self.spans().collect();
+        spans.sort_by(|a, b| {
+            a.tid
+                .cmp(&b.tid)
+                .then(a.start_us.cmp(&b.start_us))
+                .then((b.start_us + b.dur_us).cmp(&(a.start_us + a.dur_us)))
+        });
+        let mut i = 0usize;
+        while i < spans.len() {
+            let tid = spans[i].tid;
+            let mut stack: Vec<&SpanRecord> = Vec::new();
+            while i < spans.len() && spans[i].tid == tid {
+                let s = spans[i];
+                while let Some(top) = stack.last() {
+                    if top.start_us + top.dur_us <= s.start_us {
+                        events.push(chrome_end(top));
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                events.push(chrome_begin(s));
+                stack.push(s);
+                i += 1;
+            }
+            while let Some(top) = stack.pop() {
+                events.push(chrome_end(top));
+            }
+        }
+        for inst in self.instants() {
+            events.push(Value::Obj(vec![
+                ("name".into(), Value::Str(inst.name.clone())),
+                ("ph".into(), Value::Str("i".into())),
+                ("ts".into(), Value::Num(inst.ts_us as f64)),
+                ("pid".into(), Value::Num(1.0)),
+                ("tid".into(), Value::Num(inst.tid as f64)),
+                ("s".into(), Value::Str("t".into())),
+                ("args".into(), attrs_to_json(&inst.attrs)),
+            ]));
+        }
+        Value::Obj(vec![
+            ("traceEvents".into(), Value::Arr(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ])
+        .to_json()
+    }
+}
+
+fn chrome_begin(s: &SpanRecord) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::Str(s.name.clone())),
+        ("ph".into(), Value::Str("B".into())),
+        ("ts".into(), Value::Num(s.start_us as f64)),
+        ("pid".into(), Value::Num(1.0)),
+        ("tid".into(), Value::Num(s.tid as f64)),
+        ("args".into(), attrs_to_json(&s.attrs)),
+    ])
+}
+
+fn chrome_end(s: &SpanRecord) -> Value {
+    Value::Obj(vec![
+        ("ph".into(), Value::Str("E".into())),
+        ("ts".into(), Value::Num((s.start_us + s.dur_us) as f64)),
+        ("pid".into(), Value::Num(1.0)),
+        ("tid".into(), Value::Num(s.tid as f64)),
+    ])
+}
+
+/// Sanitizes a dotted metric name to the Prometheus charset.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' => c,
+            _ => '_',
+        })
+        .collect();
+    if out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Prometheus sample formatting: shortest f64 form that round-trips.
+fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x}")
+    } else {
+        format!("{x:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![CounterSnapshot {
+                name: "sched.matching.rounds".into(),
+                value: 8,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "directory.epoch_age_ms".into(),
+                value: 12.5,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "sim.grant_queue.depth".into(),
+                bounds: vec![1.0, 4.0],
+                buckets: vec![3, 2],
+                overflow: 1,
+                count: 6,
+                sum: 17.0,
+            }],
+            events: vec![
+                Event::Span(SpanRecord {
+                    name: "schedule".into(),
+                    tid: 1,
+                    start_us: 10,
+                    dur_us: 100,
+                    attrs: vec![("algorithm".into(), AttrValue::Str("openshop".into()))],
+                }),
+                Event::Span(SpanRecord {
+                    name: "round".into(),
+                    tid: 1,
+                    start_us: 20,
+                    dur_us: 30,
+                    attrs: vec![("round".into(), AttrValue::U64(0))],
+                }),
+                Event::Instant(InstantRecord {
+                    name: "replan".into(),
+                    tid: 2,
+                    ts_us: 55,
+                    attrs: vec![("deviation".into(), AttrValue::F64(0.25))],
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snap = sample();
+        let text = snap.to_jsonl();
+        assert_eq!(text.lines().count(), 6);
+        let back = Snapshot::from_jsonl(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_dump_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE sched_matching_rounds counter"));
+        assert!(text.contains("sched_matching_rounds 8"));
+        assert!(text.contains("directory_epoch_age_ms 12.5"));
+        // Cumulative buckets: 3, 3+2, 3+2+1.
+        assert!(text.contains("sim_grant_queue_depth_bucket{le=\"1\"} 3"));
+        assert!(text.contains("sim_grant_queue_depth_bucket{le=\"4\"} 5"));
+        assert!(text.contains("sim_grant_queue_depth_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("sim_grant_queue_depth_sum 17"));
+        assert!(text.contains("sim_grant_queue_depth_count 6"));
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_and_nested() {
+        let text = sample().to_chrome_trace();
+        let v = Value::parse(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        // Spans: B(schedule) B(round) E E, then the instant.
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(phases, ["B", "B", "E", "E", "i"]);
+        assert_eq!(
+            events[0].get("name").and_then(Value::as_str),
+            Some("schedule")
+        );
+        assert_eq!(events[1].get("name").and_then(Value::as_str), Some("round"));
+        // The inner span closes first (ts 50 vs 110).
+        assert_eq!(events[2].get("ts").and_then(Value::as_f64), Some(50.0));
+        assert_eq!(events[3].get("ts").and_then(Value::as_f64), Some(110.0));
+    }
+
+    #[test]
+    fn sibling_spans_close_before_the_next_opens() {
+        let snap = Snapshot {
+            events: vec![
+                Event::Span(SpanRecord {
+                    name: "a".into(),
+                    tid: 1,
+                    start_us: 0,
+                    dur_us: 10,
+                    attrs: vec![],
+                }),
+                Event::Span(SpanRecord {
+                    name: "b".into(),
+                    tid: 1,
+                    start_us: 10,
+                    dur_us: 10,
+                    attrs: vec![],
+                }),
+            ],
+            ..Default::default()
+        };
+        let v = Value::parse(&snap.to_chrome_trace()).unwrap();
+        let phases: Vec<&str> = v
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|e| e.get("ph").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(phases, ["B", "E", "B", "E"]);
+    }
+
+    #[test]
+    fn prom_name_sanitization() {
+        assert_eq!(prom_name("a.b-c"), "a_b_c");
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-phase rollups of a recorded trace, for `adaptcomm obs-summary`.
+//!
+//! A [`Summary`] is built from either exporter output — a Chrome
+//! `trace_event` document or a JSONL event stream — and aggregates
+//! spans by name into [`PhaseTotal`] rows (count, total/min/max
+//! duration), alongside any counters the trace carried.
+
+use crate::json::Value;
+use crate::snapshot::Snapshot;
+
+/// Aggregated timing for one span name ("phase").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTotal {
+    /// Span name (`schedule`, `transfer`, …).
+    pub name: String,
+    /// How many spans carried this name.
+    pub count: u64,
+    /// Summed duration, milliseconds.
+    pub total_ms: f64,
+    /// Shortest single span, milliseconds.
+    pub min_ms: f64,
+    /// Longest single span, milliseconds.
+    pub max_ms: f64,
+}
+
+/// A rendered-ready rollup of one trace file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Per-phase totals, descending by total time.
+    pub phases: Vec<PhaseTotal>,
+    /// Counters carried by the trace (JSONL only), name-ascending.
+    pub counters: Vec<(String, u64)>,
+    /// Instant-event counts by name, name-ascending.
+    pub instants: Vec<(String, u64)>,
+}
+
+impl Summary {
+    /// Parses either exporter format: a Chrome `trace_event` JSON
+    /// document (starts with `{` and has a `traceEvents` array) or a
+    /// JSONL event stream.
+    pub fn from_text(text: &str) -> Result<Summary, String> {
+        let trimmed = text.trim_start();
+        if trimmed.starts_with('{') {
+            if let Ok(doc) = Value::parse(text) {
+                if doc.get("traceEvents").is_some() {
+                    return Self::from_chrome(&doc);
+                }
+            }
+        }
+        Ok(Self::from_snapshot(&Snapshot::from_jsonl(text)?))
+    }
+
+    /// Rolls up a parsed snapshot (the JSONL path).
+    pub fn from_snapshot(snap: &Snapshot) -> Summary {
+        let mut summary = Summary::default();
+        for span in snap.spans() {
+            summary.add_span(&span.name, span.dur_us as f64 / 1_000.0);
+        }
+        for inst in snap.instants() {
+            summary.add_instant(&inst.name);
+        }
+        summary.counters = snap
+            .counters
+            .iter()
+            .map(|c| (c.name.clone(), c.value))
+            .collect();
+        summary.finish();
+        summary
+    }
+
+    /// Rolls up a Chrome `trace_event` document by matching `B`/`E`
+    /// pairs per tid (also accepts complete `X` events with `dur`).
+    fn from_chrome(doc: &Value) -> Result<Summary, String> {
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or("missing \"traceEvents\" array")?;
+        let mut summary = Summary::default();
+        // Open-span stack per tid; B pushes, E pops its innermost.
+        let mut open: Vec<(u64, String, f64)> = Vec::new();
+        for e in events {
+            let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+            let tid = e.get("tid").and_then(Value::as_u64).unwrap_or(0);
+            let ts = e.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
+            match ph {
+                "B" => {
+                    let name = e
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    open.push((tid, name, ts));
+                }
+                "E" => {
+                    let idx = open
+                        .iter()
+                        .rposition(|(t, _, _)| *t == tid)
+                        .ok_or_else(|| format!("unbalanced \"E\" on tid {tid}"))?;
+                    let (_, name, start) = open.remove(idx);
+                    summary.add_span(&name, (ts - start) / 1_000.0);
+                }
+                "X" => {
+                    let name = e.get("name").and_then(Value::as_str).unwrap_or("?");
+                    let dur = e.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+                    summary.add_span(name, dur / 1_000.0);
+                }
+                "i" | "I" => {
+                    summary.add_instant(e.get("name").and_then(Value::as_str).unwrap_or("?"));
+                }
+                _ => {}
+            }
+        }
+        if let Some((tid, name, _)) = open.first() {
+            return Err(format!("span {name:?} on tid {tid} never closed"));
+        }
+        summary.finish();
+        Ok(summary)
+    }
+
+    fn add_span(&mut self, name: &str, dur_ms: f64) {
+        match self.phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.count += 1;
+                p.total_ms += dur_ms;
+                p.min_ms = p.min_ms.min(dur_ms);
+                p.max_ms = p.max_ms.max(dur_ms);
+            }
+            None => self.phases.push(PhaseTotal {
+                name: name.to_string(),
+                count: 1,
+                total_ms: dur_ms,
+                min_ms: dur_ms,
+                max_ms: dur_ms,
+            }),
+        }
+    }
+
+    fn add_instant(&mut self, name: &str) {
+        match self.instants.iter_mut().find(|(n, _)| n == name) {
+            Some((_, c)) => *c += 1,
+            None => self.instants.push((name.to_string(), 1)),
+        }
+    }
+
+    fn finish(&mut self) {
+        self.phases
+            .sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+        self.counters.sort();
+        self.instants.sort();
+    }
+
+    /// A fixed-width table of per-phase totals, counters, and instant
+    /// counts — what `adaptcomm obs-summary` prints.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.phases.is_empty() {
+            out.push_str("no spans recorded\n");
+        } else {
+            let width = self
+                .phases
+                .iter()
+                .map(|p| p.name.len())
+                .max()
+                .unwrap_or(5)
+                .max(5);
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>8}  {:>12}  {:>10}  {:>10}",
+                "phase", "count", "total_ms", "min_ms", "max_ms"
+            );
+            for p in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "{:<width$}  {:>8}  {:>12.3}  {:>10.3}  {:>10.3}",
+                    p.name, p.count, p.total_ms, p.min_ms, p.max_ms
+                );
+            }
+        }
+        if !self.instants.is_empty() {
+            out.push('\n');
+            let _ = writeln!(out, "instants:");
+            for (name, count) in &self.instants {
+                let _ = writeln!(out, "  {name}: {count}");
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+            let _ = writeln!(out, "counters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name}: {value}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.add("sched.rounds", 4);
+        for _ in 0..3 {
+            reg.span("transfer").end();
+        }
+        reg.span("schedule").end();
+        reg.mark("replan").emit();
+        reg
+    }
+
+    #[test]
+    fn summarizes_jsonl() {
+        let text = sample_registry().snapshot().to_jsonl();
+        let summary = Summary::from_text(&text).unwrap();
+        let transfer = summary
+            .phases
+            .iter()
+            .find(|p| p.name == "transfer")
+            .unwrap();
+        assert_eq!(transfer.count, 3);
+        assert_eq!(summary.counters, vec![("sched.rounds".to_string(), 4)]);
+        assert_eq!(summary.instants, vec![("replan".to_string(), 1)]);
+        let rendered = summary.render();
+        assert!(rendered.contains("transfer"));
+        assert!(rendered.contains("sched.rounds: 4"));
+    }
+
+    #[test]
+    fn summarizes_chrome_trace() {
+        let text = sample_registry().snapshot().to_chrome_trace();
+        let summary = Summary::from_text(&text).unwrap();
+        let transfer = summary
+            .phases
+            .iter()
+            .find(|p| p.name == "transfer")
+            .unwrap();
+        assert_eq!(transfer.count, 3);
+        assert!(summary.phases.iter().any(|p| p.name == "schedule"));
+        assert_eq!(summary.instants, vec![("replan".to_string(), 1)]);
+    }
+
+    #[test]
+    fn chrome_and_jsonl_agree_on_counts() {
+        let snap = sample_registry().snapshot();
+        let a = Summary::from_text(&snap.to_jsonl()).unwrap();
+        let b = Summary::from_text(&snap.to_chrome_trace()).unwrap();
+        let counts = |s: &Summary| {
+            let mut v: Vec<(String, u64)> =
+                s.phases.iter().map(|p| (p.name.clone(), p.count)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(counts(&a), counts(&b));
+    }
+
+    #[test]
+    fn rejects_unbalanced_chrome_trace() {
+        let text = r#"{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}"#;
+        assert!(Summary::from_text(text).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_render() {
+        let summary = Summary::from_text("").unwrap();
+        assert!(summary.phases.is_empty());
+        assert_eq!(summary.render(), "no spans recorded\n");
+    }
+}

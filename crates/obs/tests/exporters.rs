@@ -1,0 +1,120 @@
+//! Exporter edge cases: empty registries, overflow buckets, concurrent
+//! writers, and Chrome-trace well-formedness.
+
+use adaptcomm_obs::json::Value;
+use adaptcomm_obs::{Registry, Snapshot, MS_BUCKETS};
+
+#[test]
+fn empty_registry_exports_cleanly() {
+    let snap = Registry::new().snapshot();
+    assert_eq!(snap.to_jsonl(), "");
+    assert_eq!(snap.to_prometheus(), "");
+    let trace = snap.to_chrome_trace();
+    let doc = Value::parse(&trace).expect("empty trace must still be valid JSON");
+    assert_eq!(
+        doc.get("traceEvents")
+            .and_then(Value::as_arr)
+            .map(<[_]>::len),
+        Some(0)
+    );
+    assert_eq!(Snapshot::from_jsonl("").unwrap(), snap);
+}
+
+#[test]
+fn histogram_overflow_bucket_survives_export() {
+    let reg = Registry::new();
+    let h = reg.histogram("lat", &[1.0, 10.0]);
+    h.observe(0.5);
+    h.observe(11.0);
+    h.observe(1e9); // far past the last bound
+    let snap = reg.snapshot();
+    assert_eq!(snap.histograms[0].overflow, 2);
+
+    // JSONL round-trips the overflow count.
+    let back = Snapshot::from_jsonl(&snap.to_jsonl()).unwrap();
+    assert_eq!(back.histograms[0].overflow, 2);
+    assert_eq!(back.histograms[0].count, 3);
+
+    // Prometheus folds it into the +Inf cumulative bucket.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("lat_bucket{le=\"+Inf\"} 3"));
+    assert!(prom.contains("lat_bucket{le=\"10\"} 1"));
+}
+
+#[test]
+fn concurrent_counter_increments_do_not_lose_updates() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let reg = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let reg = reg.clone();
+            scope.spawn(move || {
+                let c = reg.counter("shared.hits");
+                let h = reg.histogram("shared.lat", MS_BUCKETS);
+                for i in 0..PER_THREAD {
+                    c.incr();
+                    if i % 100 == 0 {
+                        h.observe(1.0);
+                    }
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter("shared.hits"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+    assert_eq!(
+        snap.histograms[0].count,
+        THREADS as u64 * (PER_THREAD / 100)
+    );
+}
+
+#[test]
+fn chrome_trace_has_balanced_phases_per_tid() {
+    let reg = Registry::new();
+    // Spans from several threads, nested on each.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let reg = reg.clone();
+            scope.spawn(move || {
+                let _outer = reg.span("outer");
+                for _ in 0..3 {
+                    reg.span("inner").end();
+                }
+            });
+        }
+    });
+    reg.mark("tick").emit();
+
+    let trace = reg.snapshot().to_chrome_trace();
+    let doc = Value::parse(&trace).expect("trace must be valid JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+
+    // Every tid's B/E sequence must be balanced and never go negative.
+    let mut depth: std::collections::BTreeMap<u64, i64> = Default::default();
+    let (mut begins, mut ends, mut instants) = (0, 0, 0);
+    for e in events {
+        let tid = e.get("tid").and_then(Value::as_u64).unwrap();
+        match e.get("ph").and_then(Value::as_str).unwrap() {
+            "B" => {
+                begins += 1;
+                *depth.entry(tid).or_default() += 1;
+            }
+            "E" => {
+                ends += 1;
+                let d = depth.entry(tid).or_default();
+                *d -= 1;
+                assert!(*d >= 0, "E without matching B on tid {tid}");
+            }
+            "i" => instants += 1,
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(begins, 16); // 4 threads x (1 outer + 3 inner)
+    assert_eq!(begins, ends);
+    assert_eq!(instants, 1);
+    assert!(depth.values().all(|&d| d == 0), "unclosed span at EOF");
+}

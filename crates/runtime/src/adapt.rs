@@ -167,7 +167,11 @@ impl<'a> CheckpointedRun<'a> {
             start_at,
         };
         let rule = self.settings.rule;
+        let obs = adaptcomm_obs::global();
         let result = run_shaped(lists, self.sizes, evolution, transport, config, |view| {
+            if obs.is_enabled() {
+                obs.add("runtime.checkpoints", 1);
+            }
             // 1. measure + 2. publish: every completed transfer so far is
             //    a free probe of its link.
             if let Ok(n) = prober.publish_into(self.directory, view.records, view.now) {
@@ -179,9 +183,19 @@ impl<'a> CheckpointedRun<'a> {
             if !rule.should_reschedule(seg_plan, seg_obs) {
                 return CheckpointAction::Continue;
             }
+            if obs.is_enabled() {
+                obs.add("runtime.replans", 1);
+                obs.mark("runtime.replan")
+                    .attr("now_ms", view.now.as_ms())
+                    .attr("seg_plan_ms", seg_plan)
+                    .attr("seg_obs_ms", seg_obs)
+                    .attr("cost_delta_ms", seg_obs - seg_plan)
+                    .emit();
+            }
             base_obs = view.now.as_ms();
             base_plan = planned[view.completed - 1];
             // 4. adapt: replan the remainder from the refreshed directory.
+            let _replan_span = obs.span("replan").attr("now_ms", view.now.as_ms());
             let fresh = self.directory.snapshot();
             let remaining: Vec<Vec<usize>> = view
                 .remaining

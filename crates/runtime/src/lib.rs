@@ -55,6 +55,7 @@
 pub mod adapt;
 pub mod channel;
 pub mod error;
+pub mod obs_bridge;
 pub mod prober;
 pub mod run;
 pub mod tcp;

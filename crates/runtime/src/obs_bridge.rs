@@ -1,0 +1,214 @@
+//! Bridging [`RunTrace`] events into the observability layer.
+//!
+//! The runtime's own trace ([`crate::trace`]) is the source of truth
+//! for what a live run did; this module projects it into an
+//! [`adaptcomm_obs::Registry`] so one Chrome-trace file shows the
+//! schedule/replan spans *and* every transfer on its sender's track:
+//!
+//! * each `Grant` → `Complete` pair becomes a `transfer` span on track
+//!   `src + 1` (track 0 belongs to the driver), spanning the wall-clock
+//!   interval and carrying `src`/`dst`/`bytes`/`modeled_ms` attributes;
+//! * each `Request` becomes a `request` instant on the same track.
+//!
+//! It also round-trips a full [`RunTrace`] through the obs JSONL format
+//! ([`trace_to_jsonl`] / [`trace_from_jsonl`]): every runtime event —
+//! including grants and events that never completed — is encoded
+//! losslessly as an instant record, so a trace can be archived next to
+//! the metrics and reconstructed bit-for-bit.
+
+use crate::trace::{EventKind, RunTrace, RuntimeEvent};
+use adaptcomm_model::units::{Bytes, Millis};
+use adaptcomm_obs::{InstantRecord, Registry, Snapshot, SpanRecord};
+
+/// The obs track a sender's transfers land on (track 0 is the driver).
+fn track(src: usize) -> u64 {
+    src as u64 + 1
+}
+
+/// Projects `trace` into `registry` as `transfer` spans (one per
+/// completed grant/complete pair, on the sender's track) plus `request`
+/// instants. Returns the number of spans recorded.
+pub fn record_transfers(trace: &RunTrace, registry: &Registry) -> usize {
+    if !registry.is_enabled() {
+        return 0;
+    }
+    let mut spans = 0usize;
+    for e in &trace.events {
+        match e.kind {
+            EventKind::Request => registry.record_instant(InstantRecord {
+                name: "request".to_string(),
+                tid: track(e.src),
+                ts_us: e.wall_us,
+                attrs: vec![
+                    ("src".to_string(), e.src.into()),
+                    ("dst".to_string(), e.dst.into()),
+                ],
+            }),
+            EventKind::Grant => {}
+            EventKind::Complete => {
+                // Pair with the matching grant the way `to_records` does.
+                let start_us = trace
+                    .events
+                    .iter()
+                    .find(|g| g.kind == EventKind::Grant && g.src == e.src && g.dst == e.dst)
+                    .map(|g| g.wall_us)
+                    .unwrap_or(e.wall_us);
+                registry.record_span(SpanRecord {
+                    name: "transfer".to_string(),
+                    tid: track(e.src),
+                    start_us,
+                    dur_us: e.wall_us.saturating_sub(start_us),
+                    attrs: vec![
+                        ("src".to_string(), e.src.into()),
+                        ("dst".to_string(), e.dst.into()),
+                        ("bytes".to_string(), e.bytes.as_u64().into()),
+                        ("modeled_ms".to_string(), e.modeled.as_ms().into()),
+                    ],
+                });
+                spans += 1;
+            }
+        }
+    }
+    spans
+}
+
+fn kind_name(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Request => "request",
+        EventKind::Grant => "grant",
+        EventKind::Complete => "complete",
+    }
+}
+
+/// Serializes every runtime event as one obs-JSONL instant record —
+/// lossless, unlike the span projection (which drops unpaired grants).
+pub fn trace_to_jsonl(trace: &RunTrace) -> String {
+    let snap = Snapshot {
+        events: trace
+            .events
+            .iter()
+            .map(|e| {
+                adaptcomm_obs::Event::Instant(InstantRecord {
+                    name: format!("runtime.{}", kind_name(e.kind)),
+                    tid: track(e.src),
+                    ts_us: e.wall_us,
+                    attrs: vec![
+                        ("src".to_string(), e.src.into()),
+                        ("dst".to_string(), e.dst.into()),
+                        ("bytes".to_string(), e.bytes.as_u64().into()),
+                        ("modeled_ms".to_string(), e.modeled.as_ms().into()),
+                    ],
+                })
+            })
+            .collect(),
+        ..Default::default()
+    };
+    snap.to_jsonl()
+}
+
+/// The inverse of [`trace_to_jsonl`]: reconstructs the exact event
+/// sequence, erroring on anything that is not a bridged runtime event.
+pub fn trace_from_jsonl(text: &str) -> Result<RunTrace, String> {
+    let snap = Snapshot::from_jsonl(text)?;
+    let mut events = Vec::new();
+    for inst in snap.instants() {
+        let kind = match inst.name.as_str() {
+            "runtime.request" => EventKind::Request,
+            "runtime.grant" => EventKind::Grant,
+            "runtime.complete" => EventKind::Complete,
+            other => return Err(format!("not a bridged runtime event: {other:?}")),
+        };
+        let attr = |key: &str| -> Result<f64, String> {
+            inst.attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| match v {
+                    adaptcomm_obs::AttrValue::U64(u) => Some(*u as f64),
+                    adaptcomm_obs::AttrValue::F64(x) => Some(*x),
+                    adaptcomm_obs::AttrValue::Str(_) => None,
+                })
+                .ok_or_else(|| format!("event {:?} lacks attr {key:?}", inst.name))
+        };
+        events.push(RuntimeEvent {
+            kind,
+            src: attr("src")? as usize,
+            dst: attr("dst")? as usize,
+            bytes: Bytes::new(attr("bytes")? as u64),
+            modeled: Millis::new(attr("modeled_ms")?),
+            wall_us: inst.ts_us,
+        });
+    }
+    Ok(RunTrace { events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RunTrace {
+        let ev = |kind, src, dst, modeled: f64, wall_us| RuntimeEvent {
+            kind,
+            src,
+            dst,
+            bytes: Bytes::from_kb(20),
+            modeled: Millis::new(modeled),
+            wall_us,
+        };
+        RunTrace {
+            events: vec![
+                ev(EventKind::Request, 0, 1, 0.0, 10),
+                ev(EventKind::Grant, 0, 1, 0.0, 20),
+                ev(EventKind::Request, 2, 1, 0.0, 15),
+                ev(EventKind::Complete, 0, 1, 5.25, 520),
+                ev(EventKind::Grant, 2, 1, 5.25, 530),
+                ev(EventKind::Complete, 2, 1, 11.5, 1_030),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_the_event_sequence() {
+        let trace = sample_trace();
+        let text = trace_to_jsonl(&trace);
+        let back = trace_from_jsonl(&text).expect("bridged JSONL must parse");
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn transfers_become_spans_on_sender_tracks() {
+        let reg = Registry::new();
+        let spans = record_transfers(&sample_trace(), &reg);
+        assert_eq!(spans, 2);
+        let snap = reg.snapshot();
+        let spans: Vec<&SpanRecord> = snap.spans().collect();
+        assert_eq!(spans.len(), 2);
+        // 0 -> 1 transfer: track 1, wall 20..520.
+        assert_eq!(spans[0].tid, 1);
+        assert_eq!(spans[0].start_us, 20);
+        assert_eq!(spans[0].dur_us, 500);
+        // 2 -> 1 transfer: track 3.
+        assert_eq!(spans[1].tid, 3);
+        assert_eq!(spans[1].dur_us, 500);
+        // Requests arrive as instants on the same tracks.
+        assert_eq!(snap.instants().count(), 2);
+        // The trace exports as a valid Chrome document.
+        let doc = adaptcomm_obs::json::Value::parse(&snap.to_chrome_trace()).unwrap();
+        assert!(doc.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn disabled_registry_receives_nothing() {
+        let reg = Registry::disabled();
+        assert_eq!(record_transfers(&sample_trace(), &reg), 0);
+        assert!(reg.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn foreign_jsonl_is_rejected() {
+        assert!(
+            trace_from_jsonl("{\"type\":\"instant\",\"name\":\"x\",\"tid\":1,\"ts_us\":0}")
+                .is_err()
+        );
+        assert!(trace_from_jsonl("not json").is_err());
+    }
+}

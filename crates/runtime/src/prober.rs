@@ -35,6 +35,11 @@ pub struct LinkMeasurement {
     pub bandwidth_kbps: f64,
     /// Transfers the fit is based on.
     pub samples: usize,
+    /// Mean absolute residual of the fit, milliseconds: how far the
+    /// observed durations sit from `T + bits/B` under the fitted
+    /// parameters. Large residuals mean the link misbehaves (contention,
+    /// drift) and the estimate should be trusted less.
+    pub residual_ms: f64,
 }
 
 /// Fits per-link estimates from observed transfers.
@@ -79,6 +84,14 @@ impl Prober {
                 }
             }
         }
+        let obs = adaptcomm_obs::global();
+        if obs.is_enabled() {
+            obs.add("runtime.prober.fits", out.len() as u64);
+            let hist = obs.histogram("runtime.prober.residual_ms", adaptcomm_obs::MS_BUCKETS);
+            for m in &out {
+                hist.observe(m.residual_ms);
+            }
+        }
         out
     }
 
@@ -111,12 +124,22 @@ impl Prober {
         if !startup_ms.is_finite() || !bandwidth_kbps.is_finite() {
             return None;
         }
+        let startup_ms = startup_ms.max(0.0);
+        let bandwidth_kbps = bandwidth_kbps.max(MIN_KBPS);
+        // Mean absolute residual against the fitted model. With B in
+        // kbit/s (= bits/ms), predicted duration is `T + bits/B` ms.
+        let residual_ms = samples
+            .iter()
+            .map(|&(bits, dur)| (dur - (startup_ms + bits / bandwidth_kbps)).abs())
+            .sum::<f64>()
+            / n;
         Some(LinkMeasurement {
             src,
             dst,
-            startup_ms: startup_ms.max(0.0),
-            bandwidth_kbps: bandwidth_kbps.max(MIN_KBPS),
+            startup_ms,
+            bandwidth_kbps,
             samples: samples.len(),
+            residual_ms,
         })
     }
 
@@ -192,6 +215,26 @@ mod tests {
             (m.bandwidth_kbps - b).abs() < 1e-6,
             "bw {}",
             m.bandwidth_kbps
+        );
+        assert!(m.residual_ms < 1e-6, "exact fit has ~zero residual");
+    }
+
+    #[test]
+    fn noisy_observations_report_a_residual() {
+        // Two same-size observations with different durations cannot both
+        // sit on the fitted line: the residual reflects the spread.
+        let records = vec![
+            rec(0, 1, 10_000, 0.0, 80.0),
+            rec(0, 1, 10_000, 100.0, 200.0),
+        ];
+        let fits = Prober::new(prior(2)).fit(&records);
+        assert_eq!(fits.len(), 1);
+        // Mean duration 90 ms; observations at 80 and 100 → mean abs
+        // residual exactly 10 ms.
+        assert!(
+            (fits[0].residual_ms - 10.0).abs() < 1e-6,
+            "residual {}",
+            fits[0].residual_ms
         );
     }
 

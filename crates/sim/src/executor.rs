@@ -116,7 +116,13 @@ pub fn run_static<M: CostModel>(order: &SendOrder, network: &M, sizes: &[Vec<Byt
         }};
     }
 
+    // Event-loop stats aggregated in locals; recorded once after the
+    // drain so the hot loop stays untouched when obs is disabled.
+    let (mut grants_immediate, mut grants_queued, mut max_queue_depth, mut loop_events) =
+        (0u64, 0u64, 0usize, 0u64);
+
     while let Some((now, _, ev)) = cal.pop_next() {
+        loop_events += 1;
         match ev {
             Ev::SenderReady(src) => {
                 let idx = next_idx[src];
@@ -126,7 +132,10 @@ pub fn run_static<M: CostModel>(order: &SendOrder, network: &M, sizes: &[Vec<Byt
                 let dst = order.order[src][idx];
                 if busy[dst] {
                     pending[dst].push(Reverse(ArrivalKey { time: now, src }));
+                    grants_queued += 1;
+                    max_queue_depth = max_queue_depth.max(pending[dst].len());
                 } else {
+                    grants_immediate += 1;
                     begin!(src, dst, now);
                 }
             }
@@ -137,6 +146,18 @@ pub fn run_static<M: CostModel>(order: &SendOrder, network: &M, sizes: &[Vec<Byt
                 }
             }
         }
+    }
+
+    let obs = adaptcomm_obs::global();
+    if obs.is_enabled() {
+        obs.add("sim.events", loop_events);
+        obs.add("sim.grants.immediate", grants_immediate);
+        obs.add("sim.grants.queued", grants_queued);
+        obs.observe(
+            "sim.grant_queue.max_depth",
+            adaptcomm_obs::DEPTH_BUCKETS,
+            max_queue_depth as f64,
+        );
     }
 
     records.sort_by(|a, b| {

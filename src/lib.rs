@@ -7,6 +7,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`obs`] | `adaptcomm-obs` | counters/histograms/spans with JSONL, Prometheus and Chrome-trace exporters |
 //! | [`model`] | `adaptcomm-model` | cost model `T_ij + m/B_ij`, GUSTO data, topology, drift traces |
 //! | [`lap`] | `adaptcomm-lap` | Jonker–Volgenant / Hungarian assignment solvers |
 //! | [`directory`] | `adaptcomm-directory` | MDS-style directory service |
@@ -43,6 +44,7 @@ pub use adaptcomm_directory as directory;
 pub use adaptcomm_lap as lap;
 pub use adaptcomm_mapping as mapping;
 pub use adaptcomm_model as model;
+pub use adaptcomm_obs as obs;
 pub use adaptcomm_runtime as runtime;
 pub use adaptcomm_sim as sim;
 pub use adaptcomm_staging as staging;
