@@ -8,7 +8,7 @@ use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
 use adaptcomm_directory::DirectoryService;
 use adaptcomm_runtime::channel::{run_shaped, CheckpointAction, FrozenNetwork, ShapedConfig};
 use adaptcomm_runtime::transport::ChannelTransport;
-use adaptcomm_runtime::{execute_adaptive, AdaptSettings, BackendKind};
+use adaptcomm_runtime::{execute_adaptive, AdaptSettings, BackendKind, ReplanTrigger};
 use adaptcomm_sim::run_static;
 use adaptcomm_workloads::Scenario;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
                     BackendKind::Channel,
                     AdaptSettings {
                         policy: CheckpointPolicy::Halving,
-                        rule: RescheduleRule::default(),
+                        trigger: ReplanTrigger::Deviation(RescheduleRule::default()),
                         payload_cap: Some(64),
                         ..Default::default()
                     },

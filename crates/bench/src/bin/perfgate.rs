@@ -1,8 +1,8 @@
 //! The scheduler-construction perf gate.
 //!
 //! ```text
-//! perfgate [--quick] [--baseline <path>] [--out <path>] [--factor <F>]
-//!          [--history <path>] [--obs <dir>]
+//! perfgate [--quick | --check-history] [--baseline <path>] [--out <path>]
+//!          [--factor <F>] [--history <path>] [--obs <dir>]
 //! ```
 //!
 //! Times the construction cost (`Scheduler::send_order`) of all five
@@ -26,6 +26,14 @@
 //! "report"}`) to `--history` (default `BENCH_history.jsonl`), so
 //! `BENCH_sched.json` stays "latest" while the JSONL keeps the trend.
 //!
+//! **History mode** (`--check-history`): runs no benchmarks at all.
+//! Parses the `--history` file and compares the latest full-mode
+//! record against the median of all prior full-mode records, failing
+//! on any `(scheduler, P)` cell whose median regressed by more than
+//! `--factor` (default 1.25×, i.e. 25 %). With fewer than two full
+//! records it reports "nothing to compare yet" and passes — the gate
+//! arms itself as the trend file grows.
+//!
 //! `--obs <dir>` adds an untimed instrumentation pass after the
 //! measurements: each `(scheduler, P)` cell runs once with the global
 //! observability registry enabled and dumps a Chrome trace to
@@ -35,7 +43,7 @@
 //!
 //! Seeds are fixed per `P`, so every run times the same instances.
 
-use adaptcomm_bench::perf::{PerfReport, PerfStats};
+use adaptcomm_bench::perf::{check_history, parse_history, HistoryCheck, PerfReport, PerfStats};
 use adaptcomm_core::algorithms::{all_schedulers, reference, MatchingKind};
 use adaptcomm_workloads::Scenario;
 use std::time::Instant;
@@ -46,9 +54,13 @@ const FULL_REPS: usize = 5;
 
 struct Options {
     quick: bool,
+    check_history: bool,
     baseline: String,
     out: String,
-    factor: f64,
+    /// `None` = the mode's default: 10× for `--quick` (absorbs CI
+    /// jitter), 1.25× for `--check-history` (full-mode medians are
+    /// stable enough to gate tightly).
+    factor: Option<f64>,
     history: String,
     obs_dir: Option<String>,
 }
@@ -56,9 +68,10 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
+        check_history: false,
         baseline: "BENCH_sched.json".to_string(),
         out: "BENCH_sched.json".to_string(),
-        factor: 10.0,
+        factor: None,
         history: "BENCH_history.jsonl".to_string(),
         obs_dir: None,
     };
@@ -72,15 +85,16 @@ fn parse_args() -> Options {
         };
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--check-history" => opts.check_history = true,
             "--baseline" => opts.baseline = take("--baseline"),
             "--out" => opts.out = take("--out"),
             "--history" => opts.history = take("--history"),
             "--obs" => opts.obs_dir = Some(take("--obs")),
             "--factor" => {
-                opts.factor = take("--factor").parse().unwrap_or_else(|_| {
+                opts.factor = Some(take("--factor").parse().unwrap_or_else(|_| {
                     eprintln!("--factor needs a number");
                     std::process::exit(2);
-                })
+                }))
             }
             other => {
                 eprintln!("unrecognized argument: {other}");
@@ -137,8 +151,47 @@ fn obs_pass(dir: &str, p_values: &[usize]) {
     obs.clear();
 }
 
+/// The `--check-history` entry point: a pure file check, no timing.
+fn run_history_check(opts: &Options) {
+    let factor = opts.factor.unwrap_or(1.25);
+    let text = std::fs::read_to_string(&opts.history).unwrap_or_else(|e| {
+        eprintln!("cannot read history {}: {e}", opts.history);
+        std::process::exit(2);
+    });
+    let records = parse_history(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", opts.history);
+        std::process::exit(2);
+    });
+    match check_history(&records, factor) {
+        HistoryCheck::NotEnoughHistory { full_records } => {
+            println!(
+                "history gate: {} holds {full_records} full-mode record(s); \
+                 nothing to compare yet",
+                opts.history
+            );
+        }
+        HistoryCheck::Compared { priors, violations } => {
+            if violations.is_empty() {
+                println!(
+                    "history gate OK: latest full run within {factor}x of the \
+                     median of {priors} prior full run(s)"
+                );
+            } else {
+                for v in &violations {
+                    eprintln!("history gate FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.check_history {
+        run_history_check(&opts);
+        return;
+    }
     let p_values: &[usize] = if opts.quick { &QUICK_P } else { &FULL_P };
     let reps = if opts.quick { 1 } else { FULL_REPS };
 
@@ -186,11 +239,12 @@ fn main() {
             eprintln!("cannot parse baseline {}: {e}", opts.baseline);
             std::process::exit(2);
         });
-        let violations = report.gate(&baseline, opts.factor);
+        let factor = opts.factor.unwrap_or(10.0);
+        let violations = report.gate(&baseline, factor);
         if violations.is_empty() {
             println!(
-                "perf gate OK: all cells within {}x of {}",
-                opts.factor, opts.baseline
+                "perf gate OK: all cells within {factor}x of {}",
+                opts.baseline
             );
         } else {
             for v in &violations {

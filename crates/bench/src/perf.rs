@@ -154,6 +154,15 @@ impl PerfReport {
     /// naming the offending position.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let mut p = JsonParser::new(text);
+        let report = Self::parse_object(&mut p)?;
+        p.end()?;
+        Ok(report)
+    }
+
+    /// Parses one report object starting at the parser's cursor — the
+    /// shared body behind [`PerfReport::from_json`] and the `"report"`
+    /// value inside `BENCH_history.jsonl` envelopes.
+    fn parse_object(p: &mut JsonParser) -> Result<Self, String> {
         let mut report = PerfReport::new();
         p.expect('{')?;
         if !p.peek_is('}') {
@@ -182,7 +191,6 @@ impl PerfReport {
             }
         }
         p.expect('}')?;
-        p.end()?;
         Ok(report)
     }
 
@@ -234,6 +242,123 @@ pub fn append_history(path: &str, record: &str) -> std::io::Result<()> {
         .append(true)
         .open(path)?;
     writeln!(file, "{record}")
+}
+
+/// One parsed `BENCH_history.jsonl` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Unix timestamp at which the record was appended.
+    pub ts_unix: u64,
+    /// The perfgate mode that produced it (only `"full"` records carry
+    /// stable 5-rep medians, so only those participate in the trend).
+    pub mode: String,
+    /// The embedded report.
+    pub report: PerfReport,
+}
+
+/// Parses a whole history file: one envelope per line, blank lines
+/// skipped. Errors name the offending line, so a truncated append is
+/// diagnosable.
+pub fn parse_history(text: &str) -> Result<Vec<HistoryRecord>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_history_line(line).map_err(|e| format!("history line {}: {e}", idx + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_history_line(line: &str) -> Result<HistoryRecord, String> {
+    let mut p = JsonParser::new(line);
+    p.expect('{')?;
+    let (mut ts_unix, mut mode, mut report) = (None, None, None);
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        match key.as_str() {
+            "ts_unix" => ts_unix = Some(p.number()? as u64),
+            "mode" => mode = Some(p.string()?),
+            "report" => report = Some(PerfReport::parse_object(&mut p)?),
+            other => return Err(format!("unknown history key {other:?}")),
+        }
+        if !p.comma_or_end('}')? {
+            break;
+        }
+    }
+    p.expect('}')?;
+    p.end()?;
+    Ok(HistoryRecord {
+        ts_unix: ts_unix.ok_or("missing ts_unix")?,
+        mode: mode.ok_or("missing mode")?,
+        report: report.ok_or("missing report")?,
+    })
+}
+
+/// The outcome of the history trend gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoryCheck {
+    /// Fewer than two full-mode records: there is no trend to gate
+    /// against yet, which is not a failure.
+    NotEnoughHistory {
+        /// How many full-mode records the file holds (0 or 1).
+        full_records: usize,
+    },
+    /// The latest full-mode record was compared cell by cell.
+    Compared {
+        /// How many earlier full-mode records formed the trend.
+        priors: usize,
+        /// Violations (empty = gate passes).
+        violations: Vec<String>,
+    },
+}
+
+/// The trend gate behind `perfgate --check-history`: each
+/// `(scheduler, P)` median of the *latest* full-mode record must stay
+/// within `factor ×` the median-of-medians of the same cell across all
+/// prior full-mode records. Quick-mode records are ignored (1 rep on a
+/// possibly loaded CI machine), and cells with no prior observation
+/// pass — a new scheduler or P has no trend to regress against.
+pub fn check_history(records: &[HistoryRecord], factor: f64) -> HistoryCheck {
+    let full: Vec<&HistoryRecord> = records.iter().filter(|r| r.mode == "full").collect();
+    let Some((latest, priors)) = full.split_last() else {
+        return HistoryCheck::NotEnoughHistory { full_records: 0 };
+    };
+    if priors.is_empty() {
+        return HistoryCheck::NotEnoughHistory { full_records: 1 };
+    }
+    let mut violations = Vec::new();
+    for name in latest.report.schedulers() {
+        for (p, stats) in latest.report.cells(name) {
+            let mut medians: Vec<f64> = priors
+                .iter()
+                .filter_map(|r| r.report.get(name, p))
+                .map(|s| s.median_ms)
+                .collect();
+            if medians.is_empty() {
+                continue;
+            }
+            medians.sort_by(f64::total_cmp);
+            // Nearest-rank median, consistent with `PerfStats`.
+            let k = ((0.5 * medians.len() as f64).ceil() as usize).clamp(1, medians.len());
+            let trend = medians[k - 1];
+            let budget = trend * factor;
+            if stats.median_ms > budget {
+                violations.push(format!(
+                    "{name} P={p}: {:.3} ms exceeds {factor}x trend budget {budget:.3} ms \
+                     (median of {} prior full run(s): {trend:.3} ms)",
+                    stats.median_ms,
+                    medians.len(),
+                ));
+            }
+        }
+    }
+    HistoryCheck::Compared {
+        priors: priors.len(),
+        violations,
+    }
 }
 
 fn json_string(s: &str) -> String {
@@ -485,6 +610,123 @@ mod tests {
             .and_then(|s| s.strip_suffix('}'))
             .unwrap();
         assert_eq!(PerfReport::from_json(report_json).unwrap(), r);
+    }
+
+    #[test]
+    fn history_parses_and_rejects_bad_lines() {
+        let cell = |m: f64| PerfStats {
+            median_ms: m,
+            p90_ms: m,
+            reps: 5,
+        };
+        let mut a = PerfReport::new();
+        a.insert("greedy", 64, cell(2.0));
+        let mut b = PerfReport::new();
+        b.insert("greedy", 64, cell(2.1));
+        let text = format!(
+            "{}\n\n{}\n",
+            history_record(100, "full", &a),
+            history_record(200, "quick", &b)
+        );
+        let records = parse_history(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].ts_unix, 100);
+        assert_eq!(records[0].mode, "full");
+        assert_eq!(records[0].report, a);
+        assert_eq!(records[1].mode, "quick");
+
+        let err = parse_history("{\"ts_unix\":1}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(parse_history("{\"nope\":1}").is_err());
+        // The error names the line, not just the record.
+        let two = format!("{}\n{{broken", history_record(1, "full", &a));
+        assert!(parse_history(&two).unwrap_err().contains("line 2"));
+    }
+
+    #[test]
+    fn history_gate_needs_two_full_records() {
+        let mut r = PerfReport::new();
+        r.insert(
+            "greedy",
+            64,
+            PerfStats {
+                median_ms: 1.0,
+                p90_ms: 1.0,
+                reps: 5,
+            },
+        );
+        assert_eq!(
+            check_history(&[], 1.25),
+            HistoryCheck::NotEnoughHistory { full_records: 0 }
+        );
+        let one = HistoryRecord {
+            ts_unix: 1,
+            mode: "full".into(),
+            report: r.clone(),
+        };
+        assert_eq!(
+            check_history(std::slice::from_ref(&one), 1.25),
+            HistoryCheck::NotEnoughHistory { full_records: 1 }
+        );
+        // Quick records never count toward the trend.
+        let quick = HistoryRecord {
+            ts_unix: 2,
+            mode: "quick".into(),
+            report: r,
+        };
+        assert_eq!(
+            check_history(&[one, quick], 1.25),
+            HistoryCheck::NotEnoughHistory { full_records: 1 }
+        );
+    }
+
+    #[test]
+    fn history_gate_flags_regressions_against_the_prior_median() {
+        let cell = |m: f64| PerfStats {
+            median_ms: m,
+            p90_ms: m,
+            reps: 5,
+        };
+        let record = |ts: u64, m: f64| {
+            let mut r = PerfReport::new();
+            r.insert("greedy", 64, cell(m));
+            HistoryRecord {
+                ts_unix: ts,
+                mode: "full".into(),
+                report: r,
+            }
+        };
+        // Priors 10, 12, 11 → nearest-rank median 11, budget 13.75.
+        let mut records = vec![record(1, 10.0), record(2, 12.0), record(3, 11.0)];
+
+        records.push(record(4, 13.0));
+        match check_history(&records, 1.25) {
+            HistoryCheck::Compared { priors, violations } => {
+                assert_eq!(priors, 3);
+                assert!(violations.is_empty(), "{violations:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        *records.last_mut().unwrap() = record(4, 14.0);
+        match check_history(&records, 1.25) {
+            HistoryCheck::Compared { violations, .. } => {
+                assert_eq!(violations.len(), 1);
+                assert!(violations[0].contains("greedy P=64"), "{}", violations[0]);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // A brand-new cell in the latest record has no trend: passes.
+        let mut latest = record(5, 1.0);
+        latest.report.insert("newcomer", 1024, cell(500.0));
+        records.push(latest);
+        match check_history(&records, 1.25) {
+            HistoryCheck::Compared { violations, .. } => {
+                assert!(violations.is_empty(), "{violations:?}")
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

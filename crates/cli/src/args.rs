@@ -10,7 +10,7 @@ pub struct Options {
 }
 
 /// Keys that take no value.
-const FLAG_KEYS: &[&str] = &["diagram", "events", "adapt", "trace"];
+const FLAG_KEYS: &[&str] = &["diagram", "events", "adapt", "trace", "once"];
 
 impl Options {
     /// Parses the argument list following the subcommand.

@@ -15,6 +15,7 @@
 
 mod args;
 mod csv;
+mod top;
 
 use adaptcomm_core::algorithms::{all_schedulers, Scheduler};
 use adaptcomm_core::matrix::CommMatrix;
@@ -64,14 +65,33 @@ USAGE:
   adaptcomm run [--backend <channel|tcp>] [--p <N>] [--scenario <name>]
                 [--seed <u64>] [--algorithm <name>] [--adapt]
                 [--drift <factor>] [--drift-at <ms>] [--threshold <frac>]
+                [--trigger <deviation|detector>] [--status <path>]
                 [--pace <us-per-ms>] [--trace] [--obs <path>]
       Execute a total exchange live: one OS thread per processor moving
       real bytes through the chosen transport under the paper's port
       model. --adapt attaches the measure -> schedule -> execute ->
       adapt loop (probe, publish to the directory, replan at
-      checkpoints when drift exceeds --threshold). --drift scales a few
-      links' bandwidth by <factor> at --drift-at modeled ms to provoke
-      adaptation. --trace dumps the per-event wall/modeled timeline.
+      checkpoints). --trigger picks the replan decision: `deviation`
+      (progress slips past --threshold) or `detector` (per-link CUSUM
+      change detection). --drift scales a few links' bandwidth by
+      <factor> at --drift-at modeled ms to provoke adaptation. --status
+      publishes a live JSON status file at every checkpoint for
+      `adaptcomm top` to poll. --trace dumps the per-event wall/modeled
+      timeline.
+
+  adaptcomm top --input <status.json> [--interval <ms>] [--frames <N>]
+                [--once]
+      Watch a running `run --adapt --status <path>` live in the
+      terminal: progress, replan events, grant-queue depth, and
+      per-link health with sparkline bandwidth history. Refreshes every
+      --interval ms (default 250) until the run reports `done`; --once
+      renders a single frame and exits (non-interactive / CI).
+
+  adaptcomm report --input <obs dump> --html <out.html> [--title <text>]
+      Render an observability dump (JSONL or Chrome trace) as a
+      self-contained HTML dashboard: inline SVG time-series charts,
+      per-phase span table, and a link-health matrix. No external
+      assets — the file opens anywhere.
 
   adaptcomm obs-summary --input <path>
       Summarize an observability dump (JSONL or Chrome trace): per-phase
@@ -110,6 +130,8 @@ fn run() -> Result<(), String> {
         "compare" => compare(&opts),
         "sweep" => sweep(&opts),
         "run" => run_live(&opts),
+        "top" => top_live(&opts),
+        "report" => report_html(&opts),
         "obs-summary" => obs_summary(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -180,6 +202,57 @@ fn obs_finish(path: &str) -> Result<(), String> {
         snap.instants().count(),
         snap.counters.len()
     );
+    Ok(())
+}
+
+/// `adaptcomm top`: poll a status file and render frames until the run
+/// reports `done` (or `--once` / `--frames` bounds the watch).
+fn top_live(opts: &args::Options) -> Result<(), String> {
+    let path = opts.require("input")?;
+    let once = opts.flag("once");
+    let interval_ms: u64 = opts.parsed_or("interval", 250)?;
+    let max_frames: u64 = opts.parsed_or("frames", 0)?; // 0 = until done
+    let mut rendered = 0u64;
+    loop {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if once => return Err(format!("reading {path}: {e}")),
+            // The run may not have reached its first checkpoint yet.
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                continue;
+            }
+        };
+        let doc = adaptcomm_obs::json::Value::parse(&text)
+            .map_err(|e| format!("{path} is not a status document: {e}"))?;
+        let frame = top::render_frame(&doc)?;
+        if !once {
+            // Clear and home, so the frame repaints in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        rendered += 1;
+        let done = doc
+            .get("state")
+            .and_then(adaptcomm_obs::json::Value::as_str)
+            == Some("done");
+        if once || done || (max_frames > 0 && rendered >= max_frames) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// `adaptcomm report`: observability dump → self-contained HTML
+/// dashboard.
+fn report_html(opts: &args::Options) -> Result<(), String> {
+    let input = opts.require("input")?;
+    let out_path = opts.require("html")?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    let title = opts.get("title").unwrap_or_else(|| input.clone());
+    let html = adaptcomm_obs::report::html_report(&text, &title)?;
+    std::fs::write(&out_path, &html).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("wrote {out_path} ({} bytes)", html.len());
     Ok(())
 }
 
@@ -336,7 +409,10 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
     use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
     use adaptcomm_directory::DirectoryService;
     use adaptcomm_model::units::Millis;
-    use adaptcomm_runtime::{execute, execute_adaptive, AdaptSettings, BackendKind, ShapedConfig};
+    use adaptcomm_runtime::{
+        execute, execute_adaptive_monitored, AdaptSettings, BackendKind, DetectorSettings,
+        ReplanTrigger, ShapedConfig,
+    };
     use adaptcomm_sim::{Fault, ScriptedFaults};
 
     let backend: BackendKind = opts
@@ -402,23 +478,35 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
     let faulted = !script.is_empty();
     let mut evolution = ScriptedFaults::new(inst.network.clone(), script);
 
+    let trigger_name = opts.get("trigger").unwrap_or_else(|| "deviation".into());
+    let trigger = match trigger_name.as_str() {
+        "deviation" => ReplanTrigger::Deviation(RescheduleRule {
+            deviation_threshold: threshold,
+        }),
+        "detector" => ReplanTrigger::Detector(DetectorSettings::default()),
+        other => return Err(format!("unknown trigger `{other}` (deviation|detector)")),
+    };
+    let status_path = opts.get("status");
+    if (status_path.is_some() || opts.get("trigger").is_some()) && !adapt {
+        return Err("--status and --trigger require --adapt".into());
+    }
+
     let report = if adapt {
         let directory = DirectoryService::new(inst.network.clone());
         let settings = AdaptSettings {
             policy: CheckpointPolicy::EveryEvent,
-            rule: RescheduleRule {
-                deviation_threshold: threshold,
-            },
+            trigger,
             pace_us_per_ms: pace,
             ..Default::default()
         };
-        execute_adaptive(
+        execute_adaptive_monitored(
             &order.order,
             &sizes,
             &mut evolution,
             &directory,
             backend,
             settings,
+            status_path.as_deref().map(std::path::Path::new),
         )
     } else {
         let config = ShapedConfig {
@@ -474,7 +562,7 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
     }
     if adapt {
         println!(
-            "  loop: {} checkpoint(s), {} reschedule(s), {} attempt(s), {} measurement(s) published",
+            "  loop: trigger {trigger_name} | {} checkpoint(s), {} reschedule(s), {} attempt(s), {} measurement(s) published",
             report.checkpoints_evaluated,
             report.reschedules,
             report.attempts,

@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod health;
 pub mod load;
 pub mod service;
 pub mod snapshot;
 
+pub use health::{HealthView, LinkStatus};
 pub use service::{DirectoryService, DirectoryStats, PublishError, QueryError};
 pub use snapshot::DirectorySnapshot;

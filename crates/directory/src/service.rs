@@ -9,6 +9,7 @@
 //! attached [`VariationTrace`] that evolves the network whenever the
 //! simulated clock advances.
 
+use crate::health::{HealthMonitor, HealthView};
 use crate::snapshot::DirectorySnapshot;
 use adaptcomm_model::cost::LinkEstimate;
 use adaptcomm_model::params::NetParams;
@@ -149,6 +150,7 @@ struct Inner {
     /// advance (a directory that measures continuously).
     publish_interval: Option<Millis>,
     subscribers: Vec<Sender<DirectorySnapshot>>,
+    health: HealthMonitor,
     publishes: u64,
     queries: u64,
     fresh_queries: u64,
@@ -201,6 +203,7 @@ impl DirectoryService {
                 trace: None,
                 publish_interval: None,
                 subscribers: Vec::new(),
+                health: HealthMonitor::new(),
                 publishes: 0,
                 queries: 0,
                 fresh_queries: 0,
@@ -340,8 +343,20 @@ impl DirectoryService {
             inner.clock = now;
         }
         let taken_at = inner.clock;
+        inner
+            .health
+            .observe(src, dst, startup_ms, bandwidth_kbps, now);
         inner.install(params, taken_at);
         Ok(())
+    }
+
+    /// Per-link health over everything fed through
+    /// [`DirectoryService::publish_measurement`]: a CUSUM on each link's
+    /// bandwidth log-ratio plus hysteresis (see [`crate::health`]).
+    /// Links never measured individually are absent — the directory only
+    /// vouches for what it has observed.
+    pub fn health_view(&self) -> HealthView {
+        self.inner.lock().health.view()
     }
 
     /// The freshest snapshot.
@@ -655,6 +670,33 @@ mod tests {
                 size: 4
             })
         );
+    }
+
+    #[test]
+    fn health_view_tracks_published_measurements() {
+        use adaptcomm_obs::HealthState;
+        let d = DirectoryService::new(params());
+        assert!(d.health_view().links.is_empty(), "nothing measured yet");
+        // Steady measurements on (0,1); a collapsing link on (2,3).
+        for i in 0..10 {
+            let t = Millis::new(i as f64 * 100.0);
+            d.publish_measurement(0, 1, 10.0, 500.0, t).unwrap();
+            let bw = if i < 3 { 500.0 } else { 50.0 };
+            d.publish_measurement(2, 3, 10.0, bw, t).unwrap();
+        }
+        let view = d.health_view();
+        assert_eq!(view.links.len(), 2);
+        assert_eq!(view.link(0, 1).unwrap().state, HealthState::Healthy);
+        let bad = view.link(2, 3).unwrap();
+        assert_eq!(bad.state, HealthState::Dead);
+        assert_eq!(bad.bandwidth_kbps, 50.0);
+        assert_eq!(bad.updated_at_ms, 900.0);
+        // Worst link sorts first.
+        assert_eq!((view.links[0].src, view.links[0].dst), (2, 3));
+        // Rejected measurements never reach the monitor.
+        let before = d.health_view();
+        let _ = d.publish_measurement(0, 1, 1.0, f64::NAN, Millis::new(1_000.0));
+        assert_eq!(d.health_view(), before);
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! Online change detection: EWMA smoothing, two-sided CUSUM, and the
+//! per-link health state machine.
+//!
+//! The paper's adaptive loop needs to know *when a link changed*, not
+//! just its latest sample. A [`Cusum`] accumulates standardized
+//! deviations from a reference level and fires once the cumulative
+//! evidence crosses a threshold — the classic sequential test that
+//! detects small sustained shifts far sooner than any single-sample
+//! rule, while a properly chosen threshold keeps the false-alarm rate on
+//! stationary noise near zero (property-tested in
+//! `tests/detect_prop.rs`). An [`Ewma`] smooths noisy series for
+//! display and scoring, and [`LinkHealth`] folds detector verdicts into
+//! a hysteresis-guarded healthy / degraded / dead state per link.
+
+/// Exponentially weighted moving average: `v ← α·x + (1-α)·v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// An EWMA with smoothing factor `alpha` in `(0, 1]` (1 = no
+    /// smoothing). The first sample seeds the average.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0 && alpha.is_finite(),
+            "alpha must be in (0, 1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds one sample, returning the updated average. Non-finite
+    /// samples are ignored (the current average is returned unchanged,
+    /// or the sample's NaN-free default 0 when nothing was seen yet).
+    pub fn update(&mut self, x: f64) -> f64 {
+        if x.is_finite() {
+            self.value = Some(match self.value {
+                None => x,
+                Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+            });
+        }
+        self.value.unwrap_or(0.0)
+    }
+
+    /// The current average, if any sample arrived.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// CUSUM tuning knobs, in units of the reference standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CusumConfig {
+    /// Per-sample allowance `k`: deviation a sample must exceed before
+    /// it contributes evidence. Half the smallest shift worth detecting.
+    pub drift: f64,
+    /// Decision threshold `h`: cumulative evidence that fires an alarm.
+    /// Larger values trade detection delay for false-alarm resistance.
+    pub threshold: f64,
+}
+
+impl Default for CusumConfig {
+    /// `k = 0.5σ, h = 8σ`: tuned to detect ≥ 1σ sustained shifts within
+    /// roughly `h / (δ − k)` samples while keeping the stationary
+    /// false-alarm rate negligible over the series lengths the runtime
+    /// sees (ARL₀ on the order of e^{2kh} ≈ 3000 samples).
+    fn default() -> Self {
+        CusumConfig {
+            drift: 0.5,
+            threshold: 8.0,
+        }
+    }
+}
+
+/// Which direction a detected shift went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftDirection {
+    /// The level shifted up (e.g. durations grew — a link degraded).
+    Up,
+    /// The level shifted down (e.g. durations shrank — a link healed).
+    Down,
+}
+
+/// Floor on the reference standard deviation, so an exactly-constant
+/// warmup (modeled runs are bit-deterministic) cannot divide by zero.
+const MIN_STD: f64 = 1e-9;
+
+/// A two-sided CUSUM change detector.
+///
+/// Samples are standardized against a reference `(mean, std)` — given
+/// explicitly ([`Cusum::with_reference`]) or learned from the first
+/// `warmup` samples ([`Cusum::self_tuning`]) — and accumulated into an
+/// upper and a lower sum:
+///
+/// ```text
+/// g⁺ ← max(0, g⁺ + z − k)       g⁻ ← max(0, g⁻ − z − k)
+/// ```
+///
+/// An alarm fires when either exceeds `h`, after which the detector
+/// resets (and a self-tuning detector re-learns its reference, since
+/// the level genuinely moved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cusum {
+    cfg: CusumConfig,
+    mean: f64,
+    std: f64,
+    /// 0 = reference is fixed/ready; > 0 = samples still to learn from.
+    warmup_left: usize,
+    warmup_len: usize,
+    warm_n: f64,
+    warm_mean: f64,
+    warm_m2: f64,
+    pos: f64,
+    neg: f64,
+}
+
+impl Cusum {
+    /// A detector standardizing against a fixed `(mean, std)` reference.
+    /// `std` is floored to keep standardization finite.
+    pub fn with_reference(cfg: CusumConfig, mean: f64, std: f64) -> Self {
+        assert!(cfg.drift >= 0.0 && cfg.threshold > 0.0, "bad CUSUM config");
+        Cusum {
+            cfg,
+            mean,
+            std: std.abs().max(MIN_STD),
+            warmup_left: 0,
+            warmup_len: 0,
+            warm_n: 0.0,
+            warm_mean: 0.0,
+            warm_m2: 0.0,
+            pos: 0.0,
+            neg: 0.0,
+        }
+    }
+
+    /// A detector that learns its reference from the first `warmup`
+    /// samples (Welford's online mean/variance); no alarms can fire
+    /// until the warmup completes.
+    pub fn self_tuning(cfg: CusumConfig, warmup: usize) -> Self {
+        assert!(warmup >= 2, "warmup needs at least two samples");
+        let mut c = Cusum::with_reference(cfg, 0.0, 1.0);
+        c.warmup_left = warmup;
+        c.warmup_len = warmup;
+        c
+    }
+
+    /// Feeds one sample; `Some(direction)` when the cumulative evidence
+    /// crossed the threshold (the detector resets itself afterwards).
+    /// Non-finite samples are ignored.
+    pub fn update(&mut self, x: f64) -> Option<DriftDirection> {
+        if !x.is_finite() {
+            return None;
+        }
+        if self.warmup_left > 0 {
+            self.warm_n += 1.0;
+            let delta = x - self.warm_mean;
+            self.warm_mean += delta / self.warm_n;
+            self.warm_m2 += delta * (x - self.warm_mean);
+            self.warmup_left -= 1;
+            if self.warmup_left == 0 {
+                self.mean = self.warm_mean;
+                self.std = (self.warm_m2 / (self.warm_n - 1.0)).sqrt().max(MIN_STD);
+            }
+            return None;
+        }
+        let z = (x - self.mean) / self.std;
+        self.pos = (self.pos + z - self.cfg.drift).max(0.0);
+        self.neg = (self.neg - z - self.cfg.drift).max(0.0);
+        if self.pos > self.cfg.threshold {
+            self.reset();
+            Some(DriftDirection::Up)
+        } else if self.neg > self.cfg.threshold {
+            self.reset();
+            Some(DriftDirection::Down)
+        } else {
+            None
+        }
+    }
+
+    /// Clears the cumulative sums; a self-tuning detector also re-enters
+    /// warmup, re-learning the (presumably shifted) reference level.
+    pub fn reset(&mut self) {
+        self.pos = 0.0;
+        self.neg = 0.0;
+        if self.warmup_len > 0 {
+            self.warmup_left = self.warmup_len;
+            self.warm_n = 0.0;
+            self.warm_mean = 0.0;
+            self.warm_m2 = 0.0;
+        }
+    }
+
+    /// The current cumulative sums `(g⁺, g⁻)` — how close each side is
+    /// to firing.
+    pub fn evidence(&self) -> (f64, f64) {
+        (self.pos, self.neg)
+    }
+
+    /// True while a self-tuning detector is still learning its
+    /// reference.
+    pub fn warming_up(&self) -> bool {
+        self.warmup_left > 0
+    }
+}
+
+/// Discrete link condition, worst to best: `Dead < Degraded < Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// The link is effectively unusable.
+    Dead,
+    /// The link misbehaves but still moves bytes.
+    Degraded,
+    /// The link performs as modeled.
+    Healthy,
+}
+
+impl HealthState {
+    /// Short lowercase name (`healthy` / `degraded` / `dead`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Dead => "dead",
+        }
+    }
+
+    /// Numeric encoding for gauges and dumps: 0 = healthy, 1 = degraded,
+    /// 2 = dead.
+    pub fn code(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Dead => 2,
+        }
+    }
+
+    /// The inverse of [`HealthState::code`] (anything above 2 is dead).
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            _ => HealthState::Dead,
+        }
+    }
+}
+
+/// Hysteresis thresholds for [`LinkHealth`] transitions, in consecutive
+/// observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkHealthConfig {
+    /// Consecutive alarmed observations before `Healthy → Degraded`.
+    pub degrade_after: u32,
+    /// Consecutive alarmed observations before `Degraded → Dead`
+    /// (counted from the first alarm, so must exceed `degrade_after`).
+    pub dead_after: u32,
+    /// Consecutive quiet observations before stepping one level up
+    /// (`Dead → Degraded → Healthy`).
+    pub recover_after: u32,
+}
+
+impl Default for LinkHealthConfig {
+    fn default() -> Self {
+        LinkHealthConfig {
+            degrade_after: 1,
+            dead_after: 3,
+            recover_after: 3,
+        }
+    }
+}
+
+/// Per-link health: detector verdicts in, hysteresis-guarded state out.
+///
+/// Feed one boolean per observation window (`true` = the link's change
+/// detector fired / the link misbehaved). Demotion needs
+/// `degrade_after` / `dead_after` *consecutive* bad observations,
+/// promotion needs `recover_after` consecutive good ones — so a single
+/// noisy sample can neither kill a link nor resurrect one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkHealth {
+    cfg: LinkHealthConfig,
+    state: HealthState,
+    bad_streak: u32,
+    good_streak: u32,
+    score: Ewma,
+}
+
+impl Default for LinkHealth {
+    fn default() -> Self {
+        Self::new(LinkHealthConfig::default())
+    }
+}
+
+impl LinkHealth {
+    /// A healthy link with the given hysteresis thresholds.
+    pub fn new(cfg: LinkHealthConfig) -> Self {
+        assert!(
+            cfg.degrade_after >= 1 && cfg.dead_after > cfg.degrade_after && cfg.recover_after >= 1,
+            "need 1 <= degrade_after < dead_after and recover_after >= 1"
+        );
+        LinkHealth {
+            cfg,
+            state: HealthState::Healthy,
+            bad_streak: 0,
+            good_streak: 0,
+            score: Ewma::new(0.3),
+        }
+    }
+
+    /// Feeds one observation (`alarmed` = the link misbehaved in this
+    /// window) and returns the possibly-updated state.
+    pub fn observe(&mut self, alarmed: bool) -> HealthState {
+        self.score.update(if alarmed { 1.0 } else { 0.0 });
+        if alarmed {
+            self.bad_streak += 1;
+            self.good_streak = 0;
+            if self.state == HealthState::Healthy && self.bad_streak >= self.cfg.degrade_after {
+                self.state = HealthState::Degraded;
+            }
+            if self.state == HealthState::Degraded && self.bad_streak >= self.cfg.dead_after {
+                self.state = HealthState::Dead;
+            }
+        } else {
+            self.good_streak += 1;
+            self.bad_streak = 0;
+            if self.good_streak >= self.cfg.recover_after {
+                self.good_streak = 0;
+                self.state = match self.state {
+                    HealthState::Dead => HealthState::Degraded,
+                    _ => HealthState::Healthy,
+                };
+            }
+        }
+        self.state
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Smoothed badness in `[0, 1]`: an EWMA (α = 0.3) of the alarm
+    /// indicator. 0 = consistently quiet, 1 = consistently alarmed.
+    pub fn score(&self) -> f64 {
+        self.score.value().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_smooths_toward_the_level() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.update(0.0), 5.0);
+        assert_eq!(e.update(5.0), 5.0);
+        // Non-finite samples are ignored.
+        assert_eq!(e.update(f64::NAN), 5.0);
+        assert_eq!(e.value(), Some(5.0));
+    }
+
+    #[test]
+    fn cusum_fires_up_on_a_step_and_resets() {
+        let mut c = Cusum::with_reference(CusumConfig::default(), 0.0, 1.0);
+        for _ in 0..100 {
+            assert_eq!(c.update(0.0), None, "no drift, no alarm");
+        }
+        // A +3σ step: expected delay ≈ h/(δ−k) = 8/2.5 ≈ 4 samples.
+        let mut fired_at = None;
+        for i in 0..20 {
+            if let Some(dir) = c.update(3.0) {
+                assert_eq!(dir, DriftDirection::Up);
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let delay = fired_at.expect("a 3σ step must fire") + 1;
+        assert!(delay <= 8, "fired after {delay} samples");
+        // The alarm reset the evidence.
+        assert_eq!(c.evidence(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn cusum_is_two_sided() {
+        let mut c = Cusum::with_reference(CusumConfig::default(), 10.0, 1.0);
+        let mut down = None;
+        for _ in 0..20 {
+            if let Some(dir) = c.update(6.0) {
+                down = Some(dir);
+                break;
+            }
+        }
+        assert_eq!(down, Some(DriftDirection::Down));
+    }
+
+    #[test]
+    fn self_tuning_learns_then_detects() {
+        let mut c = Cusum::self_tuning(CusumConfig::default(), 4);
+        assert!(c.warming_up());
+        for x in [10.0, 10.1, 9.9, 10.0] {
+            assert_eq!(c.update(x), None);
+        }
+        assert!(!c.warming_up());
+        // Level and spread were learned; a far excursion fires quickly.
+        let mut fired = false;
+        for _ in 0..10 {
+            if c.update(12.0).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        // After the alarm the detector re-enters warmup.
+        assert!(c.warming_up());
+    }
+
+    #[test]
+    fn constant_series_never_alarms_even_with_zero_variance() {
+        let mut c = Cusum::self_tuning(CusumConfig::default(), 3);
+        for _ in 0..200 {
+            assert_eq!(c.update(5.0), None);
+        }
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut c = Cusum::with_reference(CusumConfig::default(), 0.0, 1.0);
+        assert_eq!(c.update(f64::NAN), None);
+        assert_eq!(c.update(f64::INFINITY), None);
+        assert_eq!(c.evidence(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn health_degrades_and_dies_with_hysteresis() {
+        let mut h = LinkHealth::new(LinkHealthConfig {
+            degrade_after: 2,
+            dead_after: 4,
+            recover_after: 2,
+        });
+        assert_eq!(h.observe(true), HealthState::Healthy, "one alarm is noise");
+        assert_eq!(h.observe(true), HealthState::Degraded);
+        assert_eq!(h.observe(true), HealthState::Degraded);
+        assert_eq!(h.observe(true), HealthState::Dead);
+        // Recovery steps up one level per quiet streak.
+        assert_eq!(h.observe(false), HealthState::Dead);
+        assert_eq!(h.observe(false), HealthState::Degraded);
+        assert_eq!(h.observe(false), HealthState::Degraded);
+        assert_eq!(h.observe(false), HealthState::Healthy);
+        assert!(h.score() < 0.5, "quiet streak must drain the score");
+    }
+
+    #[test]
+    fn an_interrupted_bad_streak_does_not_demote() {
+        let mut h = LinkHealth::new(LinkHealthConfig {
+            degrade_after: 3,
+            dead_after: 5,
+            recover_after: 2,
+        });
+        for _ in 0..5 {
+            assert_eq!(h.observe(true), HealthState::Healthy);
+            assert_eq!(h.observe(false), HealthState::Healthy);
+        }
+    }
+
+    #[test]
+    fn health_state_codes_round_trip() {
+        for s in [
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::Dead,
+        ] {
+            assert_eq!(HealthState::from_code(s.code()), s);
+        }
+        assert_eq!(HealthState::Healthy.name(), "healthy");
+        assert!(HealthState::Dead < HealthState::Degraded);
+    }
+}

@@ -53,6 +53,17 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+/// One time series at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Ring-buffer capacity of the live series.
+    pub capacity: usize,
+    /// Retained `(timestamp, value)` points, oldest first.
+    pub points: Vec<(f64, f64)>,
+}
+
 /// A completed span: a named wall-clock interval on a thread track.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
@@ -99,6 +110,8 @@ pub struct Snapshot {
     pub gauges: Vec<GaugeSnapshot>,
     /// Histograms, name-ascending.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Time series, name-ascending.
+    pub series: Vec<SeriesSnapshot>,
     /// Spans and instants in commit order.
     pub events: Vec<Event>,
 }
@@ -151,9 +164,14 @@ impl Snapshot {
         })
     }
 
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
     /// Serializes as JSONL: one JSON object per line, each carrying a
-    /// `type` discriminator (`counter`, `gauge`, `histogram`, `span`,
-    /// `instant`).
+    /// `type` discriminator (`counter`, `gauge`, `histogram`, `series`,
+    /// `span`, `instant`).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for c in &self.counters {
@@ -194,6 +212,26 @@ impl Snapshot {
                     ("overflow".into(), Value::Num(h.overflow as f64)),
                     ("count".into(), Value::Num(h.count as f64)),
                     ("sum".into(), Value::Num(h.sum)),
+                ])
+                .to_json(),
+            );
+            out.push('\n');
+        }
+        for s in &self.series {
+            out.push_str(
+                &Value::Obj(vec![
+                    ("type".into(), Value::Str("series".into())),
+                    ("name".into(), Value::Str(s.name.clone())),
+                    ("capacity".into(), Value::Num(s.capacity as f64)),
+                    (
+                        "points".into(),
+                        Value::Arr(
+                            s.points
+                                .iter()
+                                .map(|&(t, v)| Value::Arr(vec![Value::Num(t), Value::Num(v)]))
+                                .collect(),
+                        ),
+                    ),
                 ])
                 .to_json(),
             );
@@ -276,6 +314,26 @@ impl Snapshot {
                         overflow: uint("overflow")?,
                         count: uint("count")?,
                         sum: num("sum")?,
+                    });
+                }
+                "series" => {
+                    let points = v
+                        .get("points")
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| format!("line {}: missing array \"points\"", lineno + 1))?
+                        .iter()
+                        .map(|p| {
+                            let pair = p.as_arr().filter(|a| a.len() == 2)?;
+                            Some((pair[0].as_f64()?, pair[1].as_f64()?))
+                        })
+                        .collect::<Option<Vec<(f64, f64)>>>()
+                        .ok_or_else(|| {
+                            format!("line {}: points must be [ts, value] pairs", lineno + 1)
+                        })?;
+                    snap.series.push(SeriesSnapshot {
+                        name: name("name")?,
+                        capacity: uint("capacity")? as usize,
+                        points,
                     });
                 }
                 "span" => snap.events.push(Event::Span(SpanRecord {
@@ -386,6 +444,25 @@ impl Snapshot {
                 ("args".into(), attrs_to_json(&inst.attrs)),
             ]));
         }
+        // Series points become Chrome counter ("C") events, so a trace
+        // viewer plots them as a track and `report` can recover the
+        // series from a Chrome dump (timestamps are carried verbatim —
+        // series clocks are caller-defined, not necessarily µs).
+        for s in &self.series {
+            for &(ts, value) in &s.points {
+                events.push(Value::Obj(vec![
+                    ("name".into(), Value::Str(s.name.clone())),
+                    ("ph".into(), Value::Str("C".into())),
+                    ("ts".into(), Value::Num(ts)),
+                    ("pid".into(), Value::Num(1.0)),
+                    ("tid".into(), Value::Num(0.0)),
+                    (
+                        "args".into(),
+                        Value::Obj(vec![("value".into(), Value::Num(value))]),
+                    ),
+                ]));
+            }
+        }
         Value::Obj(vec![
             ("traceEvents".into(), Value::Arr(events)),
             ("displayTimeUnit".into(), Value::Str("ms".into())),
@@ -414,7 +491,9 @@ fn chrome_end(s: &SpanRecord) -> Value {
     ])
 }
 
-/// Sanitizes a dotted metric name to the Prometheus charset.
+/// Sanitizes a dotted metric name to the Prometheus charset. Never
+/// returns an empty name: a nameless metric would produce an
+/// unparsable exposition line.
 fn prom_name(name: &str) -> String {
     let mut out: String = name
         .chars()
@@ -423,7 +502,7 @@ fn prom_name(name: &str) -> String {
             _ => '_',
         })
         .collect();
-    if out.starts_with(|c: char| c.is_ascii_digit()) {
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
         out.insert(0, '_');
     }
     out
@@ -460,6 +539,11 @@ mod tests {
                 count: 6,
                 sum: 17.0,
             }],
+            series: vec![SeriesSnapshot {
+                name: "link.0-1.bandwidth_kbps".into(),
+                capacity: 64,
+                points: vec![(0.0, 1000.0), (50.5, 980.25)],
+            }],
             events: vec![
                 Event::Span(SpanRecord {
                     name: "schedule".into(),
@@ -489,9 +573,22 @@ mod tests {
     fn jsonl_round_trips() {
         let snap = sample();
         let text = snap.to_jsonl();
-        assert_eq!(text.lines().count(), 6);
+        assert_eq!(text.lines().count(), 7);
         let back = Snapshot::from_jsonl(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn series_lookup_and_lossless_points() {
+        let snap = sample();
+        let s = snap.series("link.0-1.bandwidth_kbps").unwrap();
+        assert_eq!(s.capacity, 64);
+        assert_eq!(s.points[1], (50.5, 980.25));
+        assert!(snap.series("nope").is_none());
+        // Fractional timestamps and values survive the JSONL round trip
+        // bit-exactly.
+        let back = Snapshot::from_jsonl(&snap.to_jsonl()).unwrap();
+        assert_eq!(back.series, snap.series);
     }
 
     #[test]
@@ -513,12 +610,24 @@ mod tests {
         let text = sample().to_chrome_trace();
         let v = Value::parse(&text).unwrap();
         let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
-        // Spans: B(schedule) B(round) E E, then the instant.
+        // Spans: B(schedule) B(round) E E, the instant, then the series'
+        // two counter samples.
         let phases: Vec<&str> = events
             .iter()
             .map(|e| e.get("ph").and_then(Value::as_str).unwrap())
             .collect();
-        assert_eq!(phases, ["B", "B", "E", "E", "i"]);
+        assert_eq!(phases, ["B", "B", "E", "E", "i", "C", "C"]);
+        let c = &events[5];
+        assert_eq!(
+            c.get("name").and_then(Value::as_str),
+            Some("link.0-1.bandwidth_kbps")
+        );
+        assert_eq!(
+            c.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Value::as_f64),
+            Some(1000.0)
+        );
         assert_eq!(
             events[0].get("name").and_then(Value::as_str),
             Some("schedule")
@@ -565,5 +674,6 @@ mod tests {
     fn prom_name_sanitization() {
         assert_eq!(prom_name("a.b-c"), "a_b_c");
         assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name(""), "_");
     }
 }

@@ -1,8 +1,12 @@
 //! Exporter edge cases: empty registries, overflow buckets, concurrent
-//! writers, and Chrome-trace well-formedness.
+//! writers, Chrome-trace well-formedness, and pathological names that
+//! punish any unescaped emitter.
 
 use adaptcomm_obs::json::Value;
-use adaptcomm_obs::{Registry, Snapshot, MS_BUCKETS};
+use adaptcomm_obs::snapshot::{
+    CounterSnapshot, Event, GaugeSnapshot, InstantRecord, SeriesSnapshot, SpanRecord,
+};
+use adaptcomm_obs::{AttrValue, Registry, Snapshot, MS_BUCKETS};
 
 #[test]
 fn empty_registry_exports_cleanly() {
@@ -70,6 +74,132 @@ fn concurrent_counter_increments_do_not_lose_updates() {
         snap.histograms[0].count,
         THREADS as u64 * (PER_THREAD / 100)
     );
+}
+
+/// Names chosen to punish naive emitters: quotes, backslashes, every
+/// flavor of control character, JSON look-alikes, and non-ASCII.
+const PATHOLOGICAL: &[&str] = &[
+    "quote\"inside",
+    "back\\slash\\",
+    "new\nline and\ttab and\rreturn",
+    "ctrl\u{1}\u{8}\u{c}\u{1f}chars",
+    "ünïcode.链路.🚀",
+    "{\"looks\":\"like json\",\"n\":[1,2]}",
+    "",
+];
+
+/// A snapshot exercising every record type with every pathological
+/// name, including attribute keys and values.
+fn pathological_snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    for (i, &name) in PATHOLOGICAL.iter().enumerate() {
+        snap.counters.push(CounterSnapshot {
+            name: name.into(),
+            value: i as u64,
+        });
+        snap.gauges.push(GaugeSnapshot {
+            name: name.into(),
+            value: i as f64 + 0.5,
+        });
+        snap.series.push(SeriesSnapshot {
+            name: name.into(),
+            capacity: 8,
+            points: vec![(i as f64, -1.25)],
+        });
+        snap.events.push(Event::Span(SpanRecord {
+            name: name.into(),
+            tid: 1,
+            start_us: 10 * i as u64,
+            dur_us: 5,
+            attrs: vec![(name.into(), AttrValue::Str(name.into()))],
+        }));
+        snap.events.push(Event::Instant(InstantRecord {
+            name: name.into(),
+            tid: 2,
+            ts_us: 10 * i as u64,
+            attrs: vec![(name.into(), AttrValue::Str(name.into()))],
+        }));
+    }
+    snap
+}
+
+#[test]
+fn pathological_names_round_trip_through_jsonl() {
+    let snap = pathological_snapshot();
+    let text = snap.to_jsonl();
+    // The format contract: one record per line, no raw control bytes.
+    assert_eq!(text.lines().count(), 5 * PATHOLOGICAL.len());
+    assert!(
+        text.bytes().all(|b| b == b'\n' || !b.is_ascii_control()),
+        "control characters must be escaped, never emitted raw"
+    );
+    let back = Snapshot::from_jsonl(&text).expect("pathological JSONL must parse");
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn pathological_names_survive_the_chrome_exporter() {
+    let snap = pathological_snapshot();
+    let trace = snap.to_chrome_trace();
+    let doc = Value::parse(&trace).expect("pathological trace must be valid JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+    // Every span begin, instant, and series counter event carries its
+    // name verbatim — escaping must be lossless, not lossy.
+    for &name in PATHOLOGICAL {
+        let carriers = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .count();
+        // One B event, one instant, one series point.
+        assert_eq!(carriers, 3, "name {name:?} mangled by the Chrome exporter");
+    }
+    // Attribute keys and values survive too.
+    let args_hit = events
+        .iter()
+        .filter_map(|e| e.get("args"))
+        .filter(|a| a.get(PATHOLOGICAL[0]).and_then(Value::as_str) == Some(PATHOLOGICAL[0]))
+        .count();
+    assert_eq!(args_hit, 2, "span + instant args must carry the attr");
+}
+
+#[test]
+fn pathological_names_keep_prometheus_line_discipline() {
+    let text = pathological_snapshot().to_prometheus();
+    // Prometheus is not a round-trip format — names are sanitized — but
+    // a hostile metric name must never smuggle a newline or control
+    // byte into the exposition, and every sample line must scan.
+    assert!(text
+        .bytes()
+        .all(|b| b == b'\n' || (!b.is_ascii_control() && b.is_ascii())));
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample = `name value`");
+        assert!(!name.is_empty());
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_{}=\"+.".contains(c)),
+            "unsanitized sample name {name:?}"
+        );
+        assert!(value.parse::<f64>().is_ok(), "bad sample value {value:?}");
+    }
+}
+
+#[test]
+fn registry_accepts_pathological_metric_names_end_to_end() {
+    // The same hostile names pushed through the public Registry API
+    // rather than hand-built snapshots.
+    let reg = Registry::new();
+    for &name in PATHOLOGICAL {
+        reg.counter(name).incr();
+        reg.series_append(name, 4, 1.0, 2.0);
+        reg.span(name).attr(name, name).end();
+    }
+    let snap = reg.snapshot();
+    let back = Snapshot::from_jsonl(&snap.to_jsonl()).unwrap();
+    assert_eq!(back, snap);
+    assert!(Value::parse(&snap.to_chrome_trace()).is_ok());
 }
 
 #[test]

@@ -28,22 +28,86 @@ use crate::channel::{
 };
 use crate::error::RuntimeError;
 use crate::prober::Prober;
+use crate::telemetry::Telemetry;
 use crate::trace::RunTrace;
 use crate::transport::{ChannelTransport, Transport};
 use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
 use adaptcomm_directory::DirectoryService;
 use adaptcomm_model::units::{Bytes, Millis};
+use adaptcomm_obs::{Cusum, CusumConfig};
 use adaptcomm_sim::dynamic::openshop_replan;
 use adaptcomm_sim::executor::TransferRecord;
 use adaptcomm_sim::NetworkEvolution;
+use std::path::PathBuf;
+
+/// Tuning for [`ReplanTrigger::Detector`], in absolute log-ratio units
+/// (the CUSUM standardizes each transfer as `ln(observed / planned)`
+/// against a fixed `(0, 1)` reference).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorSettings {
+    /// Per-sample allowance `k`: log-ratio magnitude a transfer must
+    /// exceed before it contributes evidence. The default 0.1 ignores
+    /// sustained deviations under ~10 %.
+    pub drift: f64,
+    /// Decision threshold `h`: accumulated evidence that fires a replan.
+    /// The default 0.25 lets a single grossly late transfer (≥ ~42 %
+    /// over plan) fire immediately while mild drift needs several.
+    pub threshold: f64,
+}
+
+impl Default for DetectorSettings {
+    fn default() -> Self {
+        DetectorSettings {
+            drift: 0.1,
+            threshold: 0.25,
+        }
+    }
+}
+
+/// CUSUM tuning for the detector trigger's aggregate schedule-slip
+/// signal `ln(seg_obs / seg_plan)`. Calibrated so that
+/// `drift + threshold < ln(1.15)`: any single checkpoint deviant enough
+/// to trip the *default* [`RescheduleRule`] (15 %) contributes
+/// `|x| - drift > threshold` on its own and fires this CUSUM too, while
+/// persistent sub-threshold slip accumulates — so the detector trigger
+/// reacts no later than the default deviation rule, and on slow-burn
+/// drift earlier.
+const SLIP_CUSUM: CusumConfig = CusumConfig {
+    drift: 0.05,
+    threshold: 0.085,
+};
+
+/// How the checkpoint loop decides a replan is worth it.
+#[derive(Debug, Clone, Copy)]
+pub enum ReplanTrigger {
+    /// Segment-relative deviation of observed vs planned progress — the
+    /// simulator's rule, blind to *which* link drifted.
+    Deviation(RescheduleRule),
+    /// Statistically grounded change detection on two signals: a
+    /// per-link two-sided CUSUM on each completed transfer's
+    /// `ln(observed / planned)` duration ratio (so one misbehaving link
+    /// is caught even while aggregate progress still looks fine), plus a
+    /// [`SLIP_CUSUM`] on the same segment-relative progress ratio the
+    /// deviation rule thresholds. Planned durations come from the
+    /// directory snapshot the current plan was built from, so a run that
+    /// matches its plan exactly feeds every CUSUM an exact zero and can
+    /// never fire.
+    Detector(DetectorSettings),
+}
+
+impl Default for ReplanTrigger {
+    fn default() -> Self {
+        ReplanTrigger::Deviation(RescheduleRule::default())
+    }
+}
 
 /// Adaptation settings for a checkpointed live run.
 #[derive(Debug, Clone, Copy)]
 pub struct AdaptSettings {
     /// When to run the measure/decide/adapt cycle.
     pub policy: CheckpointPolicy,
-    /// How much drift justifies a replan.
-    pub rule: RescheduleRule,
+    /// How the loop decides a replan is justified.
+    pub trigger: ReplanTrigger,
     /// Link-failure detection (see [`FaultPolicy`]).
     pub faults: FaultPolicy,
     /// Wall-clock pacing passed through to the engine.
@@ -58,7 +122,7 @@ impl Default for AdaptSettings {
     fn default() -> Self {
         AdaptSettings {
             policy: CheckpointPolicy::Halving,
-            rule: RescheduleRule::default(),
+            trigger: ReplanTrigger::default(),
             faults: FaultPolicy::default(),
             pace_us_per_ms: None,
             payload_cap: None,
@@ -91,6 +155,22 @@ pub struct AdaptReport {
     pub measurements_published: usize,
     /// Links whose failure forced a retry, in order.
     pub retried_links: Vec<(usize, usize)>,
+    /// 1-based global ordinal of the first checkpoint that replanned
+    /// (`None` if the run never replanned) — the yardstick for comparing
+    /// trigger reaction times on the same scenario.
+    pub first_replan_checkpoint: Option<usize>,
+}
+
+/// What one [`CheckpointedRun::attempt`] pass did, beyond the engine
+/// outcome.
+struct AttemptStats {
+    /// Link measurements published into the directory.
+    published: usize,
+    /// Checkpoints the closure saw (counted even when the attempt
+    /// fails, which [`ShapedOutcome`] cannot report).
+    checkpoints: usize,
+    /// 1-based ordinal *within this attempt* of the first replan.
+    first_replan: Option<usize>,
 }
 
 /// Drives the closed loop over a directory, sizes, and settings.
@@ -98,6 +178,7 @@ pub struct CheckpointedRun<'a> {
     directory: &'a DirectoryService,
     sizes: &'a [Vec<Bytes>],
     settings: AdaptSettings,
+    status_path: Option<PathBuf>,
 }
 
 impl<'a> CheckpointedRun<'a> {
@@ -116,7 +197,15 @@ impl<'a> CheckpointedRun<'a> {
             directory,
             sizes,
             settings,
+            status_path: None,
         }
+    }
+
+    /// Publishes a live status file (see [`crate::telemetry`]) at every
+    /// checkpoint, for `adaptcomm top` to poll.
+    pub fn with_status_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.status_path = Some(path.into());
+        self
     }
 
     /// What the engine would do on a frozen network: used both for the
@@ -142,21 +231,34 @@ impl<'a> CheckpointedRun<'a> {
     }
 
     /// Runs `lists` once with the live loop attached. Returns the
-    /// engine outcome plus how many measurements the prober published.
+    /// engine outcome plus what the loop did along the way.
     fn attempt<E, T>(
         &self,
         lists: &[Vec<usize>],
         start_at: Millis,
         evolution: &mut E,
         transport: &T,
-    ) -> (Result<ShapedOutcome, crate::channel::ShapedFailure>, usize)
+        telemetry: &mut Option<Telemetry>,
+    ) -> (
+        Result<ShapedOutcome, crate::channel::ShapedFailure>,
+        AttemptStats,
+    )
     where
         E: NetworkEvolution + Send,
         T: Transport + ?Sized,
     {
         let planned = self.plan_finishes(lists, start_at);
-        let prober = Prober::new(self.directory.snapshot().params().clone());
-        let mut published = 0usize;
+        // The reference the detector judges transfers against: the
+        // directory view the current plan was priced from. Replaced on
+        // every replan, so "planned" always means "under the plan now
+        // executing".
+        let mut ref_params = self.directory.snapshot().params().clone();
+        let prober = Prober::new(ref_params.clone());
+        let mut stats = AttemptStats {
+            published: 0,
+            checkpoints: 0,
+            first_replan: None,
+        };
         let mut base_obs = start_at.as_ms();
         let mut base_plan = start_at.as_ms();
         let config = ShapedConfig {
@@ -166,23 +268,81 @@ impl<'a> CheckpointedRun<'a> {
             payload_cap: self.settings.payload_cap,
             start_at,
         };
-        let rule = self.settings.rule;
+        let trigger = self.settings.trigger;
+        let p = self.sizes.len();
+        // Per-link CUSUM state for ReplanTrigger::Detector, created on a
+        // link's first observed transfer.
+        let mut cusums: Vec<Option<Cusum>> = vec![None; p * p];
+        let mut slip_cusum = Cusum::with_reference(SLIP_CUSUM, 0.0, 1.0);
+        let mut seen = 0usize;
         let obs = adaptcomm_obs::global();
+        let stats_ref = &mut stats;
         let result = run_shaped(lists, self.sizes, evolution, transport, config, |view| {
+            stats_ref.checkpoints += 1;
             if obs.is_enabled() {
                 obs.add("runtime.checkpoints", 1);
             }
             // 1. measure + 2. publish: every completed transfer so far is
             //    a free probe of its link.
             if let Ok(n) = prober.publish_into(self.directory, view.records, view.now) {
-                published += n;
+                stats_ref.published += n;
             }
-            // 3. decide: segment-relative deviation since the last replan.
+            // 3. decide.
             let seg_obs = view.now.as_ms() - base_obs;
             let seg_plan = planned[view.completed - 1] - base_plan;
-            if !rule.should_reschedule(seg_plan, seg_obs) {
+            let replan = match trigger {
+                // Segment-relative deviation since the last replan.
+                ReplanTrigger::Deviation(rule) => rule.should_reschedule(seg_plan, seg_obs),
+                // Feed each newly completed transfer's log-ratio to its
+                // link's CUSUM; any alarm justifies a replan.
+                ReplanTrigger::Detector(ds) => {
+                    let cfg = CusumConfig {
+                        drift: ds.drift,
+                        threshold: ds.threshold,
+                    };
+                    let mut fired = false;
+                    for r in &view.records[seen..] {
+                        if r.src >= p || r.dst >= p || r.src == r.dst {
+                            continue;
+                        }
+                        let est = ref_params.estimate(r.src, r.dst);
+                        let planned_dur =
+                            est.startup.as_ms() + r.bytes.bits() as f64 / est.bandwidth.as_kbps();
+                        let observed = r.finish.as_ms() - r.start.as_ms();
+                        if planned_dur <= 0.0 || observed <= 0.0 {
+                            continue;
+                        }
+                        let cell = cusums[r.src * p + r.dst]
+                            .get_or_insert_with(|| Cusum::with_reference(cfg, 0.0, 1.0));
+                        if cell.update((observed / planned_dur).ln()).is_some() {
+                            fired = true;
+                        }
+                    }
+                    seen = view.records.len();
+                    if seg_plan > 0.0
+                        && seg_obs > 0.0
+                        && slip_cusum.update((seg_obs / seg_plan).ln()).is_some()
+                    {
+                        fired = true;
+                    }
+                    fired
+                }
+            };
+            if let Some(t) = telemetry.as_mut() {
+                let remaining: usize = view.remaining.iter().map(|q| q.len()).sum();
+                t.checkpoint(
+                    view.now.as_ms(),
+                    view.completed,
+                    view.total,
+                    remaining,
+                    &self.directory.health_view(),
+                    replan,
+                );
+            }
+            if !replan {
                 return CheckpointAction::Continue;
             }
+            stats_ref.first_replan.get_or_insert(stats_ref.checkpoints);
             if obs.is_enabled() {
                 obs.add("runtime.replans", 1);
                 obs.mark("runtime.replan")
@@ -202,16 +362,24 @@ impl<'a> CheckpointedRun<'a> {
                 .iter()
                 .map(|q| q.iter().copied().collect())
                 .collect();
-            CheckpointAction::Replan(openshop_replan(
+            let new_plan = openshop_replan(
                 &remaining,
                 view.send_busy_until,
                 view.recv_busy_until,
                 view.now.as_ms(),
                 fresh.params(),
                 self.sizes,
-            ))
+            );
+            // The old plan is gone: judge future transfers against the
+            // estimates the new one was priced from, with fresh evidence.
+            ref_params = fresh.params().clone();
+            for c in cusums.iter_mut().flatten() {
+                c.reset();
+            }
+            slip_cusum.reset();
+            CheckpointAction::Replan(new_plan)
         });
-        (result, published)
+        (result, stats)
     }
 
     /// Executes `lists` (usually a full `SendOrder`'s `.order`) to
@@ -244,13 +412,26 @@ impl<'a> CheckpointedRun<'a> {
             attempts: 0,
             measurements_published: 0,
             retried_links: Vec::new(),
+            first_replan_checkpoint: None,
         };
+        let mut telemetry = self
+            .status_path
+            .as_ref()
+            .map(|p| Telemetry::new(p, self.sizes.len()));
         let mut lists: Vec<Vec<usize>> = lists.to_vec();
         let mut start_at = Millis::ZERO;
+        // Checkpoints seen by earlier (failed) attempts, so
+        // first_replan_checkpoint is a global ordinal across retries.
+        let mut checkpoint_offset = 0usize;
         loop {
             report.attempts += 1;
-            let (result, published) = self.attempt(&lists, start_at, evolution, transport);
-            report.measurements_published += published;
+            let (result, stats) =
+                self.attempt(&lists, start_at, evolution, transport, &mut telemetry);
+            report.measurements_published += stats.published;
+            if report.first_replan_checkpoint.is_none() {
+                report.first_replan_checkpoint = stats.first_replan.map(|n| checkpoint_offset + n);
+            }
+            checkpoint_offset += stats.checkpoints;
             match result {
                 Ok(out) => {
                     report.trace.events.extend(out.trace.events);
@@ -269,6 +450,9 @@ impl<'a> CheckpointedRun<'a> {
                         .iter()
                         .map(|r| r.finish)
                         .fold(Millis::ZERO, Millis::max);
+                    if let Some(t) = telemetry.as_mut() {
+                        t.finish(report.makespan.as_ms(), &self.directory.health_view());
+                    }
                     return Ok(report);
                 }
                 Err(failure) => {
@@ -387,9 +571,9 @@ mod tests {
             &sz,
             AdaptSettings {
                 policy: CheckpointPolicy::EveryEvent,
-                rule: RescheduleRule {
+                trigger: ReplanTrigger::Deviation(RescheduleRule {
                     deviation_threshold: 0.05,
-                },
+                }),
                 ..Default::default()
             },
         );
@@ -399,6 +583,10 @@ mod tests {
         assert_eq!(report.attempts, 1);
         assert_eq!(report.records.len(), p * (p - 1));
         assert!(report.reschedules >= 1, "drift must trigger a replan");
+        assert!(
+            report.first_replan_checkpoint.is_some_and(|n| n >= 1),
+            "a replanning run must record when it first replanned"
+        );
         assert!(report.measurements_published > 0, "the prober must publish");
         assert!(
             directory.snapshot().sequence() > epoch_before,

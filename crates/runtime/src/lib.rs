@@ -59,17 +59,19 @@ pub mod obs_bridge;
 pub mod prober;
 pub mod run;
 pub mod tcp;
+pub mod telemetry;
 pub mod trace;
 pub mod transport;
 
-pub use adapt::{AdaptReport, AdaptSettings, CheckpointedRun};
+pub use adapt::{AdaptReport, AdaptSettings, CheckpointedRun, DetectorSettings, ReplanTrigger};
 pub use channel::{
     run_shaped, CheckpointAction, CheckpointView, FaultPolicy, FrozenNetwork, ShapedConfig,
     ShapedFailure, ShapedOutcome,
 };
 pub use error::RuntimeError;
 pub use prober::{LinkMeasurement, Prober};
-pub use run::{execute, execute_adaptive, BackendKind, RunReport};
+pub use run::{execute, execute_adaptive, execute_adaptive_monitored, BackendKind, RunReport};
 pub use tcp::TcpTransport;
+pub use telemetry::Telemetry;
 pub use trace::{EventKind, RunTrace, RuntimeEvent};
 pub use transport::{ChannelTransport, ReceiptSummary, Transport};

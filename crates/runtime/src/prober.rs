@@ -22,6 +22,10 @@ use adaptcomm_sim::executor::TransferRecord;
 const EPS_MS: f64 = 1e-6;
 const MIN_KBPS: f64 = 1e-3;
 
+/// Ring-buffer capacity of the per-link `link.<src>-<dst>.*` metric
+/// series published on every measurement.
+const SERIES_CAP: usize = 64;
+
 /// One fitted link observation, in the directory's publish units.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkMeasurement {
@@ -170,8 +174,26 @@ impl Prober {
         now: Millis,
     ) -> Result<usize, PublishError> {
         let measurements = self.fit(records);
+        let obs = adaptcomm_obs::global();
         for m in &measurements {
             directory.publish_measurement(m.src, m.dst, m.startup_ms, m.bandwidth_kbps, now)?;
+            if obs.is_enabled() {
+                let ts = now.as_ms();
+                let link = format!("link.{}-{}", m.src, m.dst);
+                obs.series_append(&format!("{link}.startup_ms"), SERIES_CAP, ts, m.startup_ms);
+                obs.series_append(
+                    &format!("{link}.bandwidth_kbps"),
+                    SERIES_CAP,
+                    ts,
+                    m.bandwidth_kbps,
+                );
+                obs.series_append(
+                    &format!("{link}.residual_ms"),
+                    SERIES_CAP,
+                    ts,
+                    m.residual_ms,
+                );
+            }
         }
         Ok(measurements.len())
     }

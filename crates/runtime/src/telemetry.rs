@@ -1,0 +1,234 @@
+//! Live status publishing for `adaptcomm top`.
+//!
+//! A [`Telemetry`] sits inside the adaptive loop and, at every
+//! checkpoint, rewrites one small JSON status file describing the run
+//! right now: progress, grant-queue depth, replan events, and per-link
+//! health with a bounded recent bandwidth series. The file is replaced
+//! atomically (write to a sibling temp file, then rename), so an
+//! external viewer polling it — `adaptcomm top` — always reads a
+//! complete document and never a half-written one.
+//!
+//! The schema is deliberately flat:
+//!
+//! ```json
+//! {"p": 6, "state": "running", "now_ms": 104.2, "completed": 11,
+//!  "total": 30, "checkpoints": 11,
+//!  "replans": [{"checkpoint": 7, "now_ms": 61.0}],
+//!  "queue_depth": [[8.3, 29], [14.1, 28]],
+//!  "links": [{"src": 0, "dst": 1, "state": "degraded", "score": 0.61,
+//!             "bandwidth_kbps": 180.5, "startup_ms": 2.1,
+//!             "series": [[8.3, 510.0], [14.1, 180.5]]}]}
+//! ```
+
+use adaptcomm_directory::HealthView;
+use adaptcomm_obs::json::Value;
+use adaptcomm_obs::TimeSeries;
+use std::path::{Path, PathBuf};
+
+/// Points of recent history kept per link (and for the queue depth).
+const SERIES_CAP: usize = 64;
+
+/// Writes the live status file the adaptive loop feeds and
+/// `adaptcomm top` reads.
+pub struct Telemetry {
+    path: PathBuf,
+    p: usize,
+    checkpoints: usize,
+    now_ms: f64,
+    completed: usize,
+    total: usize,
+    /// `(checkpoint ordinal, modeled time)` of every replan so far.
+    replans: Vec<(usize, f64)>,
+    queue_depth: TimeSeries,
+    /// Per-link recent bandwidth, keyed `(src, dst)`, insertion order.
+    links: Vec<((usize, usize), TimeSeries)>,
+}
+
+impl Telemetry {
+    /// A publisher writing to `path` for a `p`-processor run. Nothing is
+    /// written until the first checkpoint.
+    pub fn new(path: impl Into<PathBuf>, p: usize) -> Self {
+        Telemetry {
+            path: path.into(),
+            p,
+            checkpoints: 0,
+            now_ms: 0.0,
+            completed: 0,
+            total: 0,
+            replans: Vec::new(),
+            queue_depth: TimeSeries::new(SERIES_CAP),
+            links: Vec::new(),
+        }
+    }
+
+    /// Records one checkpoint and rewrites the status file
+    /// (`state: "running"`). `remaining` is the total grant-queue depth
+    /// across senders; `health` is the directory's current per-link
+    /// view; `replanned` marks checkpoints that replaced the plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn checkpoint(
+        &mut self,
+        now_ms: f64,
+        completed: usize,
+        total: usize,
+        remaining: usize,
+        health: &HealthView,
+        replanned: bool,
+    ) {
+        self.checkpoints += 1;
+        self.now_ms = now_ms;
+        self.completed = completed;
+        self.total = total;
+        if replanned {
+            self.replans.push((self.checkpoints, now_ms));
+        }
+        self.queue_depth.push(now_ms, remaining as f64);
+        for link in &health.links {
+            let key = (link.src, link.dst);
+            let series = match self.links.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, s)) => s,
+                None => {
+                    self.links.push((key, TimeSeries::new(SERIES_CAP)));
+                    &mut self.links.last_mut().unwrap().1
+                }
+            };
+            series.push(now_ms, link.bandwidth_kbps);
+        }
+        self.write("running", health);
+    }
+
+    /// Marks the run complete and rewrites the status file one last time
+    /// (`state: "done"`, `now_ms` = the final makespan).
+    pub fn finish(&mut self, makespan_ms: f64, health: &HealthView) {
+        self.now_ms = makespan_ms;
+        self.completed = self.total;
+        self.write("done", health);
+    }
+
+    /// The status file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write(&self, state: &str, health: &HealthView) {
+        let points = |s: &TimeSeries| {
+            Value::Arr(
+                s.points()
+                    .map(|(t, v)| Value::Arr(vec![Value::Num(t), Value::Num(v)]))
+                    .collect(),
+            )
+        };
+        let links = health
+            .links
+            .iter()
+            .map(|l| {
+                let series = self
+                    .links
+                    .iter()
+                    .find(|(k, _)| *k == (l.src, l.dst))
+                    .map(|(_, s)| points(s))
+                    .unwrap_or(Value::Arr(Vec::new()));
+                Value::Obj(vec![
+                    ("src".into(), Value::Num(l.src as f64)),
+                    ("dst".into(), Value::Num(l.dst as f64)),
+                    ("state".into(), Value::Str(l.state.name().into())),
+                    ("score".into(), Value::Num(l.score)),
+                    ("bandwidth_kbps".into(), Value::Num(l.bandwidth_kbps)),
+                    ("startup_ms".into(), Value::Num(l.startup_ms)),
+                    ("series".into(), series),
+                ])
+            })
+            .collect();
+        let replans = self
+            .replans
+            .iter()
+            .map(|&(ckpt, at)| {
+                Value::Obj(vec![
+                    ("checkpoint".into(), Value::Num(ckpt as f64)),
+                    ("now_ms".into(), Value::Num(at)),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("p".into(), Value::Num(self.p as f64)),
+            ("state".into(), Value::Str(state.into())),
+            ("now_ms".into(), Value::Num(self.now_ms)),
+            ("completed".into(), Value::Num(self.completed as f64)),
+            ("total".into(), Value::Num(self.total as f64)),
+            ("checkpoints".into(), Value::Num(self.checkpoints as f64)),
+            ("replans".into(), Value::Arr(replans)),
+            ("queue_depth".into(), points(&self.queue_depth)),
+            ("links".into(), Value::Arr(links)),
+        ]);
+        // Atomic replacement: a reader polling `path` sees either the
+        // previous complete document or this one, never a torn write.
+        // Status publishing is best-effort — an unwritable path must not
+        // kill the run it is describing.
+        let tmp = self.path.with_extension("tmp");
+        if std::fs::write(&tmp, doc.to_json()).is_ok() {
+            let _ = std::fs::rename(&tmp, &self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptcomm_directory::{HealthView, LinkStatus};
+    use adaptcomm_obs::HealthState;
+
+    fn view() -> HealthView {
+        HealthView {
+            links: vec![LinkStatus {
+                src: 0,
+                dst: 1,
+                state: HealthState::Degraded,
+                score: 0.5,
+                bandwidth_kbps: 240.0,
+                startup_ms: 2.0,
+                updated_at_ms: 10.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn status_file_is_complete_json_every_checkpoint() {
+        let dir = std::env::temp_dir().join("adaptcomm-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("status.json");
+        let mut t = Telemetry::new(&path, 4);
+        t.checkpoint(10.0, 3, 12, 9, &view(), false);
+        t.checkpoint(20.0, 5, 12, 7, &view(), true);
+        let doc = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("state").and_then(Value::as_str), Some("running"));
+        assert_eq!(doc.get("completed").and_then(Value::as_u64), Some(5));
+        assert_eq!(doc.get("checkpoints").and_then(Value::as_u64), Some(2));
+        let replans = doc.get("replans").and_then(Value::as_arr).unwrap();
+        assert_eq!(replans.len(), 1);
+        assert_eq!(
+            replans[0].get("checkpoint").and_then(Value::as_u64),
+            Some(2)
+        );
+        let links = doc.get("links").and_then(Value::as_arr).unwrap();
+        assert_eq!(
+            links[0].get("state").and_then(Value::as_str),
+            Some("degraded")
+        );
+        let series = links[0].get("series").and_then(Value::as_arr).unwrap();
+        assert_eq!(series.len(), 2, "one bandwidth point per checkpoint");
+        // Finishing flips the state and completes the progress count.
+        t.finish(42.5, &view());
+        let doc = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("state").and_then(Value::as_str), Some("done"));
+        assert_eq!(doc.get("completed").and_then(Value::as_u64), Some(12));
+        assert_eq!(doc.get("now_ms").and_then(Value::as_f64), Some(42.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unwritable_path_is_survived() {
+        let mut t = Telemetry::new("/nonexistent-dir/status.json", 2);
+        t.checkpoint(1.0, 1, 2, 1, &view(), false); // must not panic
+        assert_eq!(t.path(), Path::new("/nonexistent-dir/status.json"));
+    }
+}

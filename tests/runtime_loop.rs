@@ -110,7 +110,7 @@ fn closed_loop_adapts_and_cross_validates() {
         BackendKind::Channel,
         AdaptSettings {
             policy,
-            rule,
+            trigger: ReplanTrigger::Deviation(rule),
             faults: FaultPolicy::default(),
             ..Default::default()
         },
