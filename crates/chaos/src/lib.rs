@@ -1,0 +1,41 @@
+//! Chaos harness: deterministic fault injection for the closed loop.
+//!
+//! The runtime's recovery machinery (park → backoff-probe →
+//! merge-and-replan in `adaptcomm_runtime::adapt`, measurement trust in
+//! `adaptcomm_runtime::prober`) is only worth having if something
+//! exercises it. This crate injects the three fault classes the paper's
+//! setting actually suffers — processor crashes mid-collective, network
+//! partitions with scheduled heals, and links that lie about their
+//! bandwidth — from one seeded, deterministic [`ChaosPlan`]:
+//!
+//! * [`ChaosEvolution`] realizes the plan physically: blocked links
+//!   collapse to a dead floor, lying links slow to `1/factor`;
+//! * [`ChaosTransport`] wraps any byte transport and loses deliveries
+//!   that land inside a fault window (the in-flight casualty case);
+//! * the plan itself is a
+//!   [`MeasurementTamper`](adaptcomm_runtime::prober::MeasurementTamper):
+//!   lying links inflate their published fits by `factor`, which is
+//!   exactly what the trust cross-check quarantines;
+//! * [`run_chaos`] grades a run against its fault-free control —
+//!   completion SLO ([`SLO_FACTOR`]), exactly-once receipts, per-fault
+//!   recovery times.
+//!
+//! Determinism is load-bearing: same plan, same seed, same network —
+//! same recovery, bit for bit. That is what lets integration tests
+//! assert SLOs instead of eyeballing flaky reruns.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod evolution;
+pub mod plan;
+pub mod runner;
+pub mod transport;
+
+pub use evolution::{ChaosEvolution, DEAD_SCALE};
+pub use plan::{ChaosEvent, ChaosPlan};
+pub use runner::{
+    chaos_settings, fault_free_makespan, run_chaos, run_plan, run_plan_with, ChaosReport,
+    FaultSummary, CHAOS_ATTEMPTS, CHAOS_DROP_KBPS, SLO_FACTOR,
+};
+pub use transport::ChaosTransport;

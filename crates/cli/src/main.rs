@@ -79,6 +79,18 @@ USAGE:
       `adaptcomm top` to poll. --trace dumps the per-event wall/modeled
       timeline.
 
+  adaptcomm chaos [--scenario <crash|partition|liar|mixed|spec>] [--p <N>]
+                  [--seed <u64>] [--workload <name>] [--obs <path>]
+      Inject faults into a live total exchange and grade the recovery.
+      --scenario names a generated fault class (seeded from --seed and
+      scaled to the workload's fault-free makespan) or gives an explicit
+      plan spec: `;`-separated `crash:PROC@AT..RESTART`,
+      `partition:N,N,..@AT..HEAL`, `liar:SRC-DST@FROMxFACTOR` with times
+      in modeled ms (e.g. 'crash:2@120..400;liar:1-3@50x4'). Prints the
+      per-fault recovery report, the quarantine roster, the
+      recovery-time histogram, and a final `SLO:` verdict line; exits
+      nonzero when the SLO is blown or a message was lost or duplicated.
+
   adaptcomm top --input <status.json> [--interval <ms>] [--frames <N>]
                 [--once]
       Watch a running `run --adapt --status <path>` live in the
@@ -130,6 +142,7 @@ fn run() -> Result<(), String> {
         "compare" => compare(&opts),
         "sweep" => sweep(&opts),
         "run" => run_live(&opts),
+        "chaos" => chaos_run(&opts),
         "top" => top_live(&opts),
         "report" => report_html(&opts),
         "obs-summary" => obs_summary(&opts),
@@ -592,6 +605,100 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
         return Err(
             "receipt verification failed: physical delivery does not match the size matrix".into(),
         );
+    }
+    Ok(())
+}
+
+/// `adaptcomm chaos`: inject a seeded fault plan into a live exchange
+/// and grade the recovery against the fault-free control.
+fn chaos_run(opts: &args::Options) -> Result<(), String> {
+    use adaptcomm_chaos::{fault_free_makespan, run_chaos, ChaosPlan, SLO_FACTOR};
+
+    let p: usize = opts.parsed_or("p", 8)?;
+    if p < 2 {
+        return Err("--p must be at least 2".into());
+    }
+    let seed: u64 = opts.parsed_or("seed", 0)?;
+    let scenario = opts.get("scenario").unwrap_or_else(|| "mixed".into());
+    let workload_name = opts.get("workload").unwrap_or_else(|| "mixed".into());
+    let inst = scenario_by_name(&workload_name, p * 8)?.instance(p, seed);
+    let sizes = inst.sizes.to_rows();
+
+    let obs_path = obs_begin(opts);
+    let horizon = fault_free_makespan(&inst.network, &sizes)
+        .map_err(|e| format!("fault-free control failed: {e}"))?;
+    let plan = match scenario.as_str() {
+        class @ ("crash" | "partition" | "liar" | "mixed") => {
+            ChaosPlan::generate(class, p, seed, horizon)?
+        }
+        spec => ChaosPlan::parse(p, spec)?,
+    };
+    let report = run_chaos(&inst.network, &sizes, &plan)
+        .map_err(|e| format!("the run did not recover: {e}"))?;
+
+    println!("chaos run: scenario {scenario} | workload {workload_name} | P = {p} | seed {seed}");
+    let events: Vec<String> = plan.events.iter().map(|e| e.to_string()).collect();
+    println!("  plan: {}", events.join("; "));
+    println!(
+        "  fault-free {:>10.2} ms   chaotic {:>10.2} ms   attempts {}   reschedules {}",
+        report.fault_free_ms, report.chaos_ms, report.attempts, report.reschedules
+    );
+    if report.faults.is_empty() {
+        println!("  faults: none detected");
+    } else {
+        println!("  faults:");
+        for f in &report.faults {
+            let recovered = f
+                .recovery_ms
+                .map(|t| format!("{t:>10.2} ms"))
+                .unwrap_or_else(|| "   (never)".into());
+            println!(
+                "    {:>9}  link {}->{}  detected {:>10.2} ms  recovered {recovered}  parked {:>3}  probes {}",
+                f.kind, f.link.0, f.link.1, f.detected_ms, f.parked, f.probes
+            );
+        }
+    }
+    if report.quarantined.is_empty() {
+        println!("  quarantined: none");
+    } else {
+        let links: Vec<String> = report
+            .quarantined
+            .iter()
+            .map(|(s, d)| format!("{s}->{d}"))
+            .collect();
+        println!("  quarantined: {}", links.join(", "));
+    }
+    let measured: usize = report.histogram.iter().map(|&(_, n)| n).sum();
+    if measured > 0 {
+        println!("  recovery-time histogram (ms):");
+        for &(bound, n) in report.histogram.iter().filter(|&&(_, n)| n > 0) {
+            if bound.is_finite() {
+                println!("    <= {bound:>8.2}: {n}");
+            } else {
+                println!("    >  (last)  : {n}");
+            }
+        }
+    }
+    println!(
+        "  receipts: {}",
+        if report.receipts_ok {
+            "verified (every payload exactly once)"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!("{}", report.slo_line());
+    if let Some(path) = obs_path {
+        obs_finish(&path)?;
+    }
+    if !report.receipts_ok {
+        return Err("receipt verification failed: a message was lost or duplicated".into());
+    }
+    if !report.slo_ok() {
+        return Err(format!(
+            "recovery blew the SLO: {:.2}x fault-free exceeds the {SLO_FACTOR:.2}x limit",
+            report.slowdown()
+        ));
     }
     Ok(())
 }

@@ -57,6 +57,11 @@ pub struct LinkStatus {
     pub startup_ms: f64,
     /// Directory time of the last measurement for this link.
     pub updated_at_ms: f64,
+    /// True while the link is quarantined by the trust layer: its
+    /// published estimates disagreed with realized transfer times, so
+    /// its claims are excluded from replanning until released. A
+    /// quarantined link always reports [`HealthState::Dead`].
+    pub quarantined: bool,
 }
 
 /// A frozen copy of every measured link's health, worst links first.
@@ -142,6 +147,58 @@ impl HealthMonitor {
         entry.health.observe(alarmed);
     }
 
+    /// Quarantines a directed link: the trust layer caught its published
+    /// estimates disagreeing with realized transfer times. The link is
+    /// created if it was never measured (a liar may be caught on its
+    /// very first publish). `startup_ms` / `bandwidth_kbps` record the
+    /// *realized* fit that contradicted the claim.
+    pub fn quarantine(
+        &mut self,
+        src: usize,
+        dst: usize,
+        startup_ms: f64,
+        bandwidth_kbps: f64,
+        now: Millis,
+    ) {
+        let entry = match self.links.iter_mut().find(|l| l.src == src && l.dst == dst) {
+            Some(e) => e,
+            None => {
+                self.links.push(LinkEntry {
+                    src,
+                    dst,
+                    baseline_kbps: bandwidth_kbps,
+                    cusum: Cusum::with_reference(BW_CUSUM, 0.0, 1.0),
+                    health: LinkHealth::default(),
+                    last_bandwidth_kbps: bandwidth_kbps,
+                    last_startup_ms: startup_ms,
+                    updated_at: now,
+                });
+                self.links.last_mut().expect("just pushed")
+            }
+        };
+        entry.updated_at = now;
+        entry.health.quarantine();
+    }
+
+    /// True if the directed link is currently quarantined.
+    pub fn is_quarantined(&self, src: usize, dst: usize) -> bool {
+        self.links
+            .iter()
+            .any(|l| l.src == src && l.dst == dst && l.health.quarantined())
+    }
+
+    /// All currently quarantined links, ordered by `(src, dst)`.
+    pub fn quarantined(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .links
+            .iter()
+            .filter(|l| l.health.quarantined())
+            .map(|l| (l.src, l.dst))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// The current per-link verdicts, worst state first.
     pub fn view(&self) -> HealthView {
         let mut links: Vec<LinkStatus> = self
@@ -155,6 +212,7 @@ impl HealthMonitor {
                 bandwidth_kbps: l.last_bandwidth_kbps,
                 startup_ms: l.last_startup_ms,
                 updated_at_ms: l.updated_at.as_ms(),
+                quarantined: l.health.quarantined(),
             })
             .collect();
         links.sort_by(|a, b| {
@@ -221,6 +279,25 @@ mod tests {
             feed(&mut m, 1000.0, i as f64);
         }
         assert_ne!(m.view().link(0, 1).unwrap().state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn quarantine_creates_the_link_and_pins_it_dead() {
+        let mut m = HealthMonitor::new();
+        assert!(!m.is_quarantined(0, 1));
+        m.quarantine(0, 1, 2.0, 300.0, Millis::new(5.0));
+        assert!(m.is_quarantined(0, 1));
+        assert_eq!(m.quarantined(), vec![(0, 1)]);
+        let view = m.view();
+        let link = view.link(0, 1).unwrap();
+        assert!(link.quarantined);
+        assert_eq!(link.state, HealthState::Dead);
+        assert_eq!(link.bandwidth_kbps, 300.0);
+        // Clean measurements do not lift a quarantine.
+        for i in 0..10 {
+            m.observe(0, 1, 2.0, 300.0, Millis::new(6.0 + i as f64));
+        }
+        assert!(m.is_quarantined(0, 1));
     }
 
     #[test]

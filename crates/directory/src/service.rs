@@ -359,6 +359,41 @@ impl DirectoryService {
         self.inner.lock().health.view()
     }
 
+    /// Quarantines a directed link (see [`HealthMonitor::quarantine`]):
+    /// the trust layer caught the link's published estimates disagreeing
+    /// with realized transfer times. `startup_ms` / `bandwidth_kbps`
+    /// record the realized fit that contradicted the claim. Quarantined
+    /// links report [`adaptcomm_obs::HealthState::Dead`] in the health
+    /// view and stay so until the trust layer releases them; the obs
+    /// counter `directory.quarantine` tracks impositions.
+    pub fn quarantine_link(
+        &self,
+        src: usize,
+        dst: usize,
+        startup_ms: f64,
+        bandwidth_kbps: f64,
+        now: Millis,
+    ) {
+        let mut inner = self.inner.lock();
+        inner
+            .health
+            .quarantine(src, dst, startup_ms, bandwidth_kbps, now);
+        let obs = adaptcomm_obs::global();
+        if obs.is_enabled() {
+            obs.add("directory.quarantine", 1);
+        }
+    }
+
+    /// True if the directed link is currently quarantined.
+    pub fn is_quarantined(&self, src: usize, dst: usize) -> bool {
+        self.inner.lock().health.is_quarantined(src, dst)
+    }
+
+    /// All currently quarantined links, ordered by `(src, dst)`.
+    pub fn quarantined_links(&self) -> Vec<(usize, usize)> {
+        self.inner.lock().health.quarantined()
+    }
+
     /// The freshest snapshot.
     pub fn snapshot(&self) -> DirectorySnapshot {
         let mut inner = self.inner.lock();

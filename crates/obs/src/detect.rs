@@ -283,6 +283,7 @@ pub struct LinkHealth {
     bad_streak: u32,
     good_streak: u32,
     score: Ewma,
+    quarantined: bool,
 }
 
 impl Default for LinkHealth {
@@ -304,7 +305,29 @@ impl LinkHealth {
             bad_streak: 0,
             good_streak: 0,
             score: Ewma::new(0.3),
+            quarantined: false,
         }
+    }
+
+    /// Quarantines the link: an out-of-band trust verdict (the link's
+    /// published estimates disagree with realized transfer times) that
+    /// pins the reported state at [`HealthState::Dead`] regardless of
+    /// subsequent detector observations, until explicitly released.
+    /// Unlike `observe`, this is not a statistical input — hysteresis
+    /// does not apply to a link caught lying.
+    pub fn quarantine(&mut self) {
+        self.quarantined = true;
+    }
+
+    /// Lifts a quarantine; the underlying hysteresis state resumes
+    /// reporting.
+    pub fn release_quarantine(&mut self) {
+        self.quarantined = false;
+    }
+
+    /// True while the link is quarantined.
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
     }
 
     /// Feeds one observation (`alarmed` = the link misbehaved in this
@@ -331,12 +354,16 @@ impl LinkHealth {
                 };
             }
         }
-        self.state
+        self.state()
     }
 
-    /// The current state.
+    /// The current state. Quarantine overrides the hysteresis verdict.
     pub fn state(&self) -> HealthState {
-        self.state
+        if self.quarantined {
+            HealthState::Dead
+        } else {
+            self.state
+        }
     }
 
     /// Smoothed badness in `[0, 1]`: an EWMA (α = 0.3) of the alarm
@@ -463,6 +490,21 @@ mod tests {
             assert_eq!(h.observe(true), HealthState::Healthy);
             assert_eq!(h.observe(false), HealthState::Healthy);
         }
+    }
+
+    #[test]
+    fn quarantine_pins_the_state_dead_until_released() {
+        let mut h = LinkHealth::default();
+        assert_eq!(h.state(), HealthState::Healthy);
+        h.quarantine();
+        assert!(h.quarantined());
+        assert_eq!(h.state(), HealthState::Dead);
+        // Quiet observations cannot talk their way out of quarantine.
+        for _ in 0..10 {
+            assert_eq!(h.observe(false), HealthState::Dead);
+        }
+        h.release_quarantine();
+        assert_eq!(h.state(), HealthState::Healthy);
     }
 
     #[test]

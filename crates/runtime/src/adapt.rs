@@ -17,22 +17,33 @@
 //!    [`openshop_replan`] — the identical decision rule the simulator
 //!    uses, so live and simulated adaptation can be cross-validated.
 //!
-//! On a typed link failure ([`RuntimeError::MessageDropped`] /
-//! [`RuntimeError::MessageLate`]) the driver retries: the failed
-//! message is deferred to the back of its sender's queue, the rest is
-//! replanned from the current directory view, and execution resumes at
-//! the failure's modeled time.
+//! On a typed link failure ([`RuntimeError::MessageDropped`],
+//! [`RuntimeError::MessageLate`], [`RuntimeError::ProcessorCrashed`],
+//! [`RuntimeError::LinkPartitioned`]) the driver recovers instead of
+//! blindly retrying: it probes the live network at the failure instant,
+//! floor-publishes dead links into the directory, computes the
+//! reachable component over the surviving links, **parks** every
+//! message whose link is dead or crosses the cut, and replans only the
+//! reachable remainder. After the reachable traffic drains, parked
+//! links are probed with exponential backoff
+//! ([`AdaptSettings::backoff_base_ms`] × factor^k) until they heal —
+//! then the parked traffic is merged back and replanned — or until the
+//! probe budget ([`AdaptSettings::max_attempts`]) is exhausted. Each
+//! fault becomes a [`RecoveryEvent`] in the [`AdaptReport`], with the
+//! measured recovery time backfilled from the record that finally
+//! crossed the healed link.
 
 use crate::channel::{
     run_shaped, CheckpointAction, FaultPolicy, FrozenNetwork, ShapedConfig, ShapedOutcome,
 };
 use crate::error::RuntimeError;
-use crate::prober::Prober;
+use crate::prober::{MeasurementTamper, Prober, TrustPolicy};
 use crate::telemetry::Telemetry;
 use crate::trace::RunTrace;
 use crate::transport::{ChannelTransport, Transport};
 use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
 use adaptcomm_directory::DirectoryService;
+use adaptcomm_model::params::NetParams;
 use adaptcomm_model::units::{Bytes, Millis};
 use adaptcomm_obs::{Cusum, CusumConfig};
 use adaptcomm_sim::dynamic::openshop_replan;
@@ -114,8 +125,19 @@ pub struct AdaptSettings {
     pub pace_us_per_ms: Option<f64>,
     /// Physical payload cap passed through to the engine.
     pub payload_cap: Option<u64>,
-    /// Total attempts (1 = no retry on typed link failures).
+    /// Total execution attempts, and also the probe budget when parked
+    /// traffic waits for a link to heal (1 = no retry on typed link
+    /// failures).
     pub max_attempts: usize,
+    /// First wait before probing a parked link, milliseconds of modeled
+    /// time past the point the reachable traffic drained.
+    pub backoff_base_ms: f64,
+    /// Multiplier applied to the wait after each unsuccessful probe
+    /// (`wait_k = backoff_base_ms × backoff_factor^k`).
+    pub backoff_factor: f64,
+    /// Trust cross-check applied to every published measurement (see
+    /// [`TrustPolicy`]).
+    pub trust: TrustPolicy,
 }
 
 impl Default for AdaptSettings {
@@ -127,7 +149,77 @@ impl Default for AdaptSettings {
             pace_us_per_ms: None,
             payload_cap: None,
             max_attempts: 3,
+            backoff_base_ms: 50.0,
+            backoff_factor: 2.0,
+            trust: TrustPolicy::default(),
         }
+    }
+}
+
+/// What class of fault a [`RecoveryEvent`] recovered from, derived from
+/// the engine's typed error (a chaos harness that knows the injected
+/// scenario may reclassify).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A processor crashed mid-collective
+    /// ([`RuntimeError::ProcessorCrashed`]).
+    Crash,
+    /// A link was partitioned ([`RuntimeError::LinkPartitioned`]).
+    Partition,
+    /// A link's estimate collapsed below the drop threshold
+    /// ([`RuntimeError::MessageDropped`]).
+    DeadLink,
+    /// A transfer blew its lateness budget
+    /// ([`RuntimeError::MessageLate`]).
+    LateLink,
+}
+
+impl FaultKind {
+    fn of(error: &RuntimeError) -> FaultKind {
+        match error {
+            RuntimeError::ProcessorCrashed { .. } => FaultKind::Crash,
+            RuntimeError::LinkPartitioned { .. } => FaultKind::Partition,
+            RuntimeError::MessageLate { .. } => FaultKind::LateLink,
+            _ => FaultKind::DeadLink,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Partition => "partition",
+            FaultKind::DeadLink => "dead-link",
+            FaultKind::LateLink => "late-link",
+        }
+    }
+}
+
+/// One fault the closed loop detected and recovered from (or died on).
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// Fault class, derived from the typed error.
+    pub kind: FaultKind,
+    /// The link whose failure surfaced the fault.
+    pub link: (usize, usize),
+    /// Modeled time the failure was detected.
+    pub detected_at: Millis,
+    /// Modeled finish of the first transfer that crossed `link` after
+    /// detection — `None` if traffic never crossed it again (the
+    /// message was rerouted or the run died).
+    pub recovered_at: Option<Millis>,
+    /// Messages parked (unreachable or on dead links) at detection.
+    pub parked: usize,
+    /// Heal probes spent on this fault's parked traffic.
+    pub probes: usize,
+}
+
+impl RecoveryEvent {
+    /// Measured recovery time (`recovered_at - detected_at`), if the
+    /// link carried traffic again.
+    pub fn recovery_time(&self) -> Option<Millis> {
+        self.recovered_at
+            .map(|r| Millis::new(r.as_ms() - self.detected_at.as_ms()))
     }
 }
 
@@ -159,6 +251,13 @@ pub struct AdaptReport {
     /// (`None` if the run never replanned) — the yardstick for comparing
     /// trigger reaction times on the same scenario.
     pub first_replan_checkpoint: Option<usize>,
+    /// Faults detected and recovered from, in detection order. Empty on
+    /// fault-free runs.
+    pub recovery_events: Vec<RecoveryEvent>,
+    /// Links the trust cross-check quarantined, sorted — their lying
+    /// claims never priced a replan (the realized fit was published
+    /// instead).
+    pub quarantined_links: Vec<(usize, usize)>,
 }
 
 /// What one [`CheckpointedRun::attempt`] pass did, beyond the engine
@@ -173,12 +272,50 @@ struct AttemptStats {
     first_replan: Option<usize>,
 }
 
+/// Bandwidth floor-published for a link observed dead, kbit/s: low
+/// enough that any replan prices the link as unusable, high enough to
+/// satisfy the directory's positive-bandwidth validation.
+const DEAD_FLOOR_KBPS: f64 = 1e-3;
+
+/// Connected components over the *undirected* alive-link graph of
+/// `live`: an edge survives if either direction still clears the
+/// threshold. Nodes in different components cannot reach each other at
+/// all; their traffic is parked rather than replanned.
+fn components(live: &NetParams, threshold: f64) -> Vec<usize> {
+    let p = live.len();
+    let mut comp = vec![usize::MAX; p];
+    let mut next = 0usize;
+    for start in 0..p {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            for v in 0..p {
+                if v == u || comp[v] != usize::MAX {
+                    continue;
+                }
+                let alive = live.estimate(u, v).bandwidth.as_kbps() > threshold
+                    || live.estimate(v, u).bandwidth.as_kbps() > threshold;
+                if alive {
+                    comp[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
 /// Drives the closed loop over a directory, sizes, and settings.
 pub struct CheckpointedRun<'a> {
     directory: &'a DirectoryService,
     sizes: &'a [Vec<Bytes>],
     settings: AdaptSettings,
     status_path: Option<PathBuf>,
+    tamper: Option<&'a dyn MeasurementTamper>,
 }
 
 impl<'a> CheckpointedRun<'a> {
@@ -198,6 +335,7 @@ impl<'a> CheckpointedRun<'a> {
             sizes,
             settings,
             status_path: None,
+            tamper: None,
         }
     }
 
@@ -205,6 +343,14 @@ impl<'a> CheckpointedRun<'a> {
     /// checkpoint, for `adaptcomm top` to poll.
     pub fn with_status_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.status_path = Some(path.into());
+        self
+    }
+
+    /// Routes every fitted measurement through a reporting agent before
+    /// the trust cross-check — the hook chaos scenarios use to model
+    /// links that lie about their bandwidth.
+    pub fn with_tamper(mut self, tamper: &'a dyn MeasurementTamper) -> Self {
+        self.tamper = Some(tamper);
         self
     }
 
@@ -283,9 +429,16 @@ impl<'a> CheckpointedRun<'a> {
                 obs.add("runtime.checkpoints", 1);
             }
             // 1. measure + 2. publish: every completed transfer so far is
-            //    a free probe of its link.
-            if let Ok(n) = prober.publish_into(self.directory, view.records, view.now) {
-                stats_ref.published += n;
+            //    a free probe of its link, cross-checked against the
+            //    realized timings before the directory trusts it.
+            if let Ok(outcome) = prober.publish_checked(
+                self.directory,
+                view.records,
+                view.now,
+                self.tamper,
+                self.settings.trust,
+            ) {
+                stats_ref.published += outcome.published;
             }
             // 3. decide.
             let seg_obs = view.now.as_ms() - base_obs;
@@ -382,9 +535,59 @@ impl<'a> CheckpointedRun<'a> {
         (result, stats)
     }
 
+    /// The directed-link liveness threshold recovery decisions probe
+    /// against: the configured drop threshold, or a conservative
+    /// default when fault detection is off.
+    fn dead_threshold(&self) -> f64 {
+        self.settings.faults.drop_below_kbps.unwrap_or(1e-2)
+    }
+
+    /// Sorts records, computes the makespan, backfills measured
+    /// recovery times, snapshots quarantines, and closes telemetry.
+    fn finalize(&self, mut report: AdaptReport, telemetry: &mut Option<Telemetry>) -> AdaptReport {
+        report.records.sort_by(|a, b| {
+            a.finish
+                .as_ms()
+                .total_cmp(&b.finish.as_ms())
+                .then(a.src.cmp(&b.src))
+                .then(a.dst.cmp(&b.dst))
+        });
+        report.makespan = report
+            .records
+            .iter()
+            .map(|r| r.finish)
+            .fold(Millis::ZERO, Millis::max);
+        // A fault's recovery time is measured, not assumed: the finish
+        // of the first transfer that actually crossed the failed link
+        // after detection.
+        let obs = adaptcomm_obs::global();
+        for ev in &mut report.recovery_events {
+            ev.recovered_at = report
+                .records
+                .iter()
+                .filter(|r| (r.src, r.dst) == ev.link && r.finish.as_ms() > ev.detected_at.as_ms())
+                .map(|r| r.finish)
+                .min_by(|a, b| a.as_ms().total_cmp(&b.as_ms()));
+            if obs.is_enabled() {
+                if let Some(t) = ev.recovery_time() {
+                    obs.observe(
+                        "runtime.recovery.time_ms",
+                        adaptcomm_obs::MS_BUCKETS,
+                        t.as_ms(),
+                    );
+                }
+            }
+        }
+        report.quarantined_links = self.directory.quarantined_links();
+        if let Some(t) = telemetry.as_mut() {
+            t.finish(report.makespan.as_ms(), &self.directory.health_view());
+        }
+        report
+    }
+
     /// Executes `lists` (usually a full `SendOrder`'s `.order`) to
-    /// completion, adapting at checkpoints and retrying around typed
-    /// link failures.
+    /// completion, adapting at checkpoints and recovering from typed
+    /// link failures (park → backoff-probe → merge-and-replan).
     pub fn execute<E, T>(
         &self,
         lists: &[Vec<usize>],
@@ -396,6 +599,10 @@ impl<'a> CheckpointedRun<'a> {
         T: Transport + ?Sized,
     {
         assert!(self.settings.max_attempts >= 1, "need at least one attempt");
+        assert!(
+            self.settings.backoff_base_ms > 0.0 && self.settings.backoff_factor >= 1.0,
+            "backoff must wait a positive, non-shrinking time"
+        );
         let planned_makespan = Millis::new(
             self.plan_finishes(lists, Millis::ZERO)
                 .last()
@@ -413,16 +620,24 @@ impl<'a> CheckpointedRun<'a> {
             measurements_published: 0,
             retried_links: Vec::new(),
             first_replan_checkpoint: None,
+            recovery_events: Vec::new(),
+            quarantined_links: Vec::new(),
         };
         let mut telemetry = self
             .status_path
             .as_ref()
             .map(|p| Telemetry::new(p, self.sizes.len()));
+        let p = self.sizes.len();
         let mut lists: Vec<Vec<usize>> = lists.to_vec();
         let mut start_at = Millis::ZERO;
         // Checkpoints seen by earlier (failed) attempts, so
         // first_replan_checkpoint is a global ordinal across retries.
         let mut checkpoint_offset = 0usize;
+        // Messages waiting out a dead link or partition cut, plus the
+        // error that parked them — returned verbatim if they never heal.
+        let mut parked: Vec<(usize, usize)> = Vec::new();
+        let mut parked_error: Option<RuntimeError> = None;
+        let obs = adaptcomm_obs::global();
         loop {
             report.attempts += 1;
             let (result, stats) =
@@ -438,24 +653,86 @@ impl<'a> CheckpointedRun<'a> {
                     report.records.extend(out.records);
                     report.checkpoints_evaluated += out.checkpoints_evaluated;
                     report.reschedules += out.reschedules;
-                    report.records.sort_by(|a, b| {
-                        a.finish
-                            .as_ms()
-                            .total_cmp(&b.finish.as_ms())
-                            .then(a.src.cmp(&b.src))
-                            .then(a.dst.cmp(&b.dst))
-                    });
-                    report.makespan = report
+                    if parked.is_empty() {
+                        return Ok(self.finalize(report, &mut telemetry));
+                    }
+                    // The reachable traffic has drained; probe the
+                    // parked links with exponential backoff until every
+                    // one heals or the probe budget runs out.
+                    let drained = report
                         .records
                         .iter()
-                        .map(|r| r.finish)
-                        .fold(Millis::ZERO, Millis::max);
-                    if let Some(t) = telemetry.as_mut() {
-                        t.finish(report.makespan.as_ms(), &self.directory.health_view());
+                        .map(|r| r.finish.as_ms())
+                        .fold(start_at.as_ms(), f64::max);
+                    let threshold = self.dead_threshold();
+                    let mut wait = self.settings.backoff_base_ms;
+                    let mut now = drained;
+                    let mut probes = 0usize;
+                    let mut healed_at = None;
+                    while probes < self.settings.max_attempts {
+                        now += wait;
+                        wait *= self.settings.backoff_factor;
+                        probes += 1;
+                        let live = evolution.state_at(Millis::new(now));
+                        let all_alive = parked
+                            .iter()
+                            .all(|&(s, d)| live.estimate(s, d).bandwidth.as_kbps() > threshold);
+                        if all_alive {
+                            // Publish the healed estimates so the merge
+                            // replan prices them from reality, not from
+                            // the dead floor.
+                            for &(s, d) in &parked {
+                                let est = live.estimate(s, d);
+                                let _ = self.directory.publish_measurement(
+                                    s,
+                                    d,
+                                    est.startup.as_ms(),
+                                    est.bandwidth.as_kbps(),
+                                    Millis::new(now),
+                                );
+                            }
+                            healed_at = Some(now);
+                            break;
+                        }
                     }
-                    return Ok(report);
+                    for ev in report
+                        .recovery_events
+                        .iter_mut()
+                        .filter(|e| e.recovered_at.is_none())
+                    {
+                        ev.probes += probes;
+                    }
+                    let Some(wake) = healed_at else {
+                        return Err(parked_error
+                            .take()
+                            .expect("parked traffic implies a parking error"));
+                    };
+                    if obs.is_enabled() {
+                        obs.add("runtime.recovery.heals", 1);
+                        obs.mark("runtime.recovery.heal")
+                            .attr("at_ms", wake)
+                            .attr("probes", probes as u64)
+                            .attr("unparked", parked.len() as u64)
+                            .emit();
+                    }
+                    // Merge-and-replan: the parked traffic becomes the
+                    // remaining exchange, starting at the heal instant.
+                    let mut remaining = vec![Vec::new(); p];
+                    for &(s, d) in &parked {
+                        remaining[s].push(d);
+                    }
+                    parked.clear();
+                    parked_error = None;
+                    let busy = vec![wake; p];
+                    let fresh = self.directory.snapshot();
+                    lists =
+                        openshop_replan(&remaining, &busy, &busy, wake, fresh.params(), self.sizes)
+                            .into_iter()
+                            .map(|q| q.into_iter().collect())
+                            .collect();
+                    start_at = Millis::new(wake);
                 }
-                Err(failure) => {
+                Err(mut failure) => {
                     let Some((fsrc, fdst)) = failure.error.link() else {
                         // Environmental transport failure: not retryable
                         // by rescheduling.
@@ -465,15 +742,114 @@ impl<'a> CheckpointedRun<'a> {
                         return Err(failure.error);
                     }
                     report.trace.events.extend(failure.trace.events);
+                    // Even an aborted attempt's completed transfers are
+                    // probes: cross-check and publish them, so a link
+                    // cannot dodge the trust check by lying in the same
+                    // attempt a fault cuts short.
+                    let prober = Prober::new(self.directory.snapshot().params().clone());
+                    let _ = prober.publish_checked(
+                        self.directory,
+                        &failure.records,
+                        failure.at,
+                        self.tamper,
+                        self.settings.trust,
+                    );
                     report.records.extend(failure.records);
                     report.retried_links.push((fsrc, fdst));
-                    // Defer the failed message: replan everything else
-                    // from the current directory view, then queue the
-                    // failed link last so the network has time to heal.
-                    let mut remaining = failure.remaining;
-                    if let Some(pos) = remaining[fsrc].iter().position(|&d| d == fdst) {
+                    let kind = FaultKind::of(&failure.error);
+                    // Exactly-once bookkeeping: the failed message is
+                    // still owed iff it is still queued (grant-time
+                    // failure) or its bytes were lost in flight. A
+                    // message the transport already delivered must not
+                    // be re-sent; an owed one must not be dropped. One
+                    // fault window can catch several in-flight
+                    // deliveries — every other casualty in `lost` goes
+                    // back into the remaining work to be routed (or
+                    // parked) exactly once.
+                    let mut remaining = std::mem::take(&mut failure.remaining);
+                    let queued = remaining[fsrc].iter().position(|&d| d == fdst);
+                    if let Some(pos) = queued {
                         remaining[fsrc].remove(pos);
                     }
+                    let owed = queued.is_some() || failure.lost.contains(&(fsrc, fdst));
+                    for &(ls, ld) in &failure.lost {
+                        if (ls, ld) != (fsrc, fdst) {
+                            remaining[ls].push(ld);
+                        }
+                    }
+                    // Probe the live network at the failure instant and
+                    // floor-publish every dead link, so the directory —
+                    // and every replan priced from it — sees the hole.
+                    let live = evolution.state_at(failure.at);
+                    let threshold = self.dead_threshold();
+                    for s in 0..p {
+                        for d in 0..p {
+                            if s == d {
+                                continue;
+                            }
+                            let est = live.estimate(s, d);
+                            if est.bandwidth.as_kbps() <= threshold {
+                                let _ = self.directory.publish_measurement(
+                                    s,
+                                    d,
+                                    est.startup.as_ms(),
+                                    DEAD_FLOOR_KBPS,
+                                    failure.at,
+                                );
+                            }
+                        }
+                    }
+                    // Park everything unreachable — messages on dead
+                    // directed links or crossing a partition cut wait
+                    // for a heal instead of churning retries.
+                    let comp = components(&live, threshold);
+                    let mut newly_parked = 0usize;
+                    for s in 0..p {
+                        let mut keep = Vec::with_capacity(remaining[s].len());
+                        for &d in &remaining[s] {
+                            let dead = live.estimate(s, d).bandwidth.as_kbps() <= threshold;
+                            if dead || comp[s] != comp[d] {
+                                parked.push((s, d));
+                                newly_parked += 1;
+                            } else {
+                                keep.push(d);
+                            }
+                        }
+                        remaining[s] = keep;
+                    }
+                    // The failed message itself: park it when its link
+                    // is down, defer it to the back of its sender's
+                    // queue when the link is merely late.
+                    let failed_dead = live.estimate(fsrc, fdst).bandwidth.as_kbps() <= threshold
+                        || comp[fsrc] != comp[fdst];
+                    let defer_failed = owed && !failed_dead;
+                    if owed && failed_dead {
+                        parked.push((fsrc, fdst));
+                        newly_parked += 1;
+                    }
+                    if !parked.is_empty() && parked_error.is_none() {
+                        parked_error = Some(failure.error.clone());
+                    }
+                    report.recovery_events.push(RecoveryEvent {
+                        kind,
+                        link: (fsrc, fdst),
+                        detected_at: failure.at,
+                        recovered_at: None,
+                        parked: newly_parked,
+                        probes: 0,
+                    });
+                    if obs.is_enabled() {
+                        obs.add("runtime.recovery.events", 1);
+                        obs.mark("runtime.recovery.fault")
+                            .attr("kind", kind.name())
+                            .attr("src", fsrc as u64)
+                            .attr("dst", fdst as u64)
+                            .attr("at_ms", failure.at.as_ms())
+                            .attr("parked", newly_parked as u64)
+                            .emit();
+                    }
+                    // Replan the reachable remainder from the refreshed
+                    // directory and resume at the failure instant.
                     let fresh = self.directory.snapshot();
                     let replanned = openshop_replan(
                         &remaining,
@@ -487,7 +863,9 @@ impl<'a> CheckpointedRun<'a> {
                         .into_iter()
                         .map(|q| q.into_iter().collect())
                         .collect();
-                    lists[fsrc].push(fdst);
+                    if defer_failed {
+                        lists[fsrc].push(fdst);
+                    }
                     start_at = failure.at;
                 }
             }
@@ -597,6 +975,9 @@ mod tests {
             "degraded links must cost real time"
         );
         assert_eq!(transport.receipts(), expected_receipts(&sz, None));
+        // Drift is not a fault: no recovery events, no quarantines.
+        assert!(report.recovery_events.is_empty());
+        assert!(report.quarantined_links.is_empty());
     }
 
     #[test]
@@ -646,6 +1027,102 @@ mod tests {
         assert_eq!(report.retried_links[0], (2, 4));
         // Every payload arrived exactly once, across all attempts.
         assert_eq!(transport.receipts(), expected_receipts(&sz, None));
+        // The fault shows up as a measured recovery event: detected
+        // while the link was dead, recovered when traffic crossed it.
+        assert_eq!(report.recovery_events.len(), 1);
+        let ev = &report.recovery_events[0];
+        assert_eq!(ev.kind, FaultKind::DeadLink);
+        assert_eq!(ev.link, (2, 4));
+        assert!(ev.parked >= 1, "the dead link's message must be parked");
+        assert!(ev.probes >= 1, "a heal must be found by probing");
+        let recovery = ev.recovery_time().expect("the healed link carried traffic");
+        assert!(
+            recovery.as_ms() > 0.0,
+            "recovery time must be positive, got {recovery}"
+        );
+        assert!(
+            report.quarantined_links.is_empty(),
+            "honest measurements never quarantine"
+        );
+    }
+
+    /// Satellite regression: a message that was already popped from its
+    /// queue when the failure surfaced (delivery-time loss) is re-sent
+    /// exactly once — neither lost (the old no-op remove would have
+    /// been harmless, but only the unconditional re-push saved it) nor
+    /// duplicated (the push must not fire for delivered messages).
+    #[test]
+    fn an_already_popped_lost_message_is_resent_exactly_once() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        /// Refuses the first delivery on one link — the bytes never
+        /// arrive — then behaves normally.
+        struct RefuseOnce {
+            inner: ChannelTransport,
+            refuse: (usize, usize),
+            tripped: AtomicBool,
+        }
+        impl Transport for RefuseOnce {
+            fn name(&self) -> &'static str {
+                "refuse-once"
+            }
+            fn deliver(
+                &self,
+                src: usize,
+                dst: usize,
+                payload: Vec<u8>,
+            ) -> Result<(), RuntimeError> {
+                self.inner.deliver(src, dst, payload)
+            }
+            fn deliver_timed(
+                &self,
+                src: usize,
+                dst: usize,
+                payload: Vec<u8>,
+                start: Millis,
+                finish: Millis,
+            ) -> Result<(), RuntimeError> {
+                if (src, dst) == self.refuse && !self.tripped.swap(true, Ordering::SeqCst) {
+                    return Err(RuntimeError::LinkPartitioned {
+                        src,
+                        dst,
+                        at: finish,
+                    });
+                }
+                self.inner.deliver_timed(src, dst, payload, start, finish)
+            }
+            fn receipts(&self) -> Vec<crate::transport::ReceiptSummary> {
+                self.inner.receipts()
+            }
+        }
+        let p = 4;
+        let net = hetero_net(p);
+        let sz = sizes(p);
+        let lists = initial_lists(&net, &sz);
+        // The network itself is healthy: the loss is the transport's.
+        let mut evolution = FrozenNetwork(net.clone());
+        let directory = DirectoryService::new(net);
+        let transport = RefuseOnce {
+            inner: ChannelTransport::new(p),
+            refuse: (1, 2),
+            tripped: AtomicBool::new(false),
+        };
+        let driver = CheckpointedRun::new(&directory, &sz, AdaptSettings::default());
+        let report = driver
+            .execute(&lists, &mut evolution, &transport)
+            .expect("a one-shot delivery loss must be recovered");
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.retried_links, vec![(1, 2)]);
+        // Exactly-once across both attempts: the lost message was
+        // re-sent, every delivered message was not.
+        assert_eq!(transport.receipts(), expected_receipts(&sz, None));
+        assert_eq!(report.recovery_events.len(), 1);
+        let ev = &report.recovery_events[0];
+        assert_eq!(ev.kind, FaultKind::Partition);
+        assert_eq!(ev.link, (1, 2));
+        assert!(
+            ev.recovered_at.is_some(),
+            "the re-sent message must mark the link recovered"
+        );
     }
 
     #[test]

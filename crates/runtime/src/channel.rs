@@ -52,7 +52,13 @@ use std::time::{Duration, Instant};
 pub struct FaultPolicy {
     /// A link whose live bandwidth is at or below this many kbit/s is
     /// considered down; granting over it raises
-    /// [`RuntimeError::MessageDropped`].
+    /// [`RuntimeError::MessageDropped`]. The boundary is deliberately
+    /// inclusive: a threshold of `0.0` treats an exactly-zero-rated
+    /// estimate as dead, because a zero-bandwidth link can never finish
+    /// a transfer — there is no meaningful "legitimately zero" rate to
+    /// preserve. Non-finite live estimates are rejected separately with
+    /// [`RuntimeError::CorruptEstimate`] before this check runs, so a
+    /// NaN bandwidth can no longer slip past the comparison.
     pub drop_below_kbps: Option<f64>,
     /// A transfer whose live duration exceeds `late_factor ×` its
     /// planning-estimate duration raises [`RuntimeError::MessageLate`].
@@ -141,13 +147,15 @@ pub struct ShapedFailure {
     pub error: RuntimeError,
     /// Partial trace up to the failure.
     pub trace: RunTrace,
-    /// Transfers whose completion was committed before the failure.
-    /// Messages granted but still in flight appear in neither `records`
-    /// nor `remaining`: their bytes were (or will be) delivered by their
-    /// worker, so a retry must not re-send them.
+    /// Every transfer whose bytes reached the destination: completions
+    /// committed before the failure, plus in-flight grants whose
+    /// delivery the transport accepted even as the run was aborting
+    /// (the ledger is settled after the workers join, so it is
+    /// deterministic). A retry must not re-send any of them.
     pub records: Vec<TransferRecord>,
-    /// Destinations not yet granted per sender (the failed message is
-    /// still at the front of its sender's queue).
+    /// Destinations not yet granted per sender. Grant-time failures
+    /// leave the failed message at the front of its sender's queue;
+    /// delivery-time failures do not (the message was already popped).
     pub remaining: Vec<Vec<usize>>,
     /// Modeled time each send port frees up.
     pub send_busy_until: Vec<f64>,
@@ -155,6 +163,22 @@ pub struct ShapedFailure {
     pub recv_busy_until: Vec<f64>,
     /// Modeled time at which the failure was detected.
     pub at: Millis,
+    /// Every message that had already been popped from its queue when
+    /// its bytes failed to reach the destination (the transport refused
+    /// the delivery). Such messages are in neither `records` nor
+    /// `remaining` and are still owed: the retry driver must re-queue
+    /// each exactly once. More than one entry means several workers had
+    /// deliveries in flight when the fault window opened — the one with
+    /// the earliest modeled finish becomes `error`, but all of them were
+    /// lost.
+    pub lost: Vec<(usize, usize)>,
+}
+
+impl ShapedFailure {
+    /// True when `link` was popped from its queue but never delivered.
+    pub fn lost_in_flight(&self, link: (usize, usize)) -> bool {
+        self.lost.contains(&link)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -222,6 +246,14 @@ struct Core<'a, E, H> {
     reschedules: usize,
     failure: Option<RuntimeError>,
     failed_at: f64,
+    lost: Vec<(usize, usize)>,
+    /// Deliveries the transport refused, registered by their worker and
+    /// settled into the modeled timeline by the commit engine: the
+    /// refusal with the earliest modeled finish becomes the run's
+    /// failure, regardless of which worker's thread noticed its error
+    /// first. That keeps the failure path as deterministic as the
+    /// success path.
+    refused: Vec<(usize, usize, RuntimeError)>,
     evolution: &'a mut E,
     planning: NetParams,
     sizes: &'a [Vec<Bytes>],
@@ -314,8 +346,32 @@ where
     fn commit_grant(&mut self, start: f64, arrival: f64, src: usize, dst: usize, epoch: &Instant) {
         let bytes = self.sizes[src][dst];
         let net = self.evolution.state_at(Millis::new(start));
+        // A non-finite live estimate is a poisoned model, not a slow
+        // link: it must never reach the `<=` comparison below (NaN
+        // compares false against any threshold) or the calendar (a NaN
+        // finish wedges the virtual clock).
+        let live = net.estimate(src, dst);
+        let kbps = live.bandwidth.as_kbps();
+        let dur = net.time(src, dst, bytes).as_ms();
+        if !kbps.is_finite() || !dur.is_finite() {
+            self.fail(
+                RuntimeError::CorruptEstimate {
+                    src,
+                    dst,
+                    at: Millis::new(start),
+                    detail: format!(
+                        "bandwidth {kbps} kbit/s, startup {}, duration {dur} ms",
+                        live.startup
+                    ),
+                },
+                start,
+            );
+            return;
+        }
         if let Some(threshold) = self.config.faults.drop_below_kbps {
-            if net.estimate(src, dst).bandwidth.as_kbps() <= threshold {
+            // Inclusive on purpose: at the threshold the link is dead
+            // (see `FaultPolicy::drop_below_kbps`).
+            if kbps <= threshold {
                 self.fail(
                     RuntimeError::MessageDropped {
                         src,
@@ -327,7 +383,6 @@ where
                 return;
             }
         }
-        let dur = net.time(src, dst, bytes).as_ms();
         if let Some(factor) = self.config.faults.late_factor {
             let limit = self.planning.time(src, dst, bytes).as_ms() * factor;
             if dur > limit {
@@ -367,6 +422,21 @@ where
 
     fn commit_completion(&mut self, c: Completion, epoch: &Instant) {
         self.completions.pop();
+        // A completion commits only once its sender has moved past the
+        // delivery (`min_running > finish`), so by now the transport's
+        // verdict is registered: a refused delivery becomes the run's
+        // failure at its modeled finish — the earliest refusal in
+        // modeled order wins, not the first worker thread to notice.
+        if let Some(pos) = self
+            .refused
+            .iter()
+            .position(|&(s, d, _)| s == c.src && d == c.dst)
+        {
+            let (_, _, error) = self.refused.swap_remove(pos);
+            self.lost.push((c.src, c.dst));
+            self.fail(error, c.finish);
+            return;
+        }
         self.completed += 1;
         self.records.push(TransferRecord {
             src: c.src,
@@ -485,8 +555,9 @@ where
             guard = fabric.cv.wait(guard).expect("fabric mutex poisoned");
         }
         // A grant committed before a failure was flagged is still
-        // delivered: its message already left the queues, so a retry
-        // will not re-send it (popped implies physically delivered).
+        // delivered: its message already left the queues, so unless the
+        // transport itself refuses it (recorded in `lost`), a
+        // retry will not re-send it.
         if guard.assignment[src].is_none() {
             continue;
         }
@@ -503,13 +574,19 @@ where
             }
         }
         let payload = fill_payload(src, slip.dst, slip.physical);
-        let delivered = transport.deliver(src, slip.dst, payload);
+        let delivered = transport.deliver_timed(
+            src,
+            slip.dst,
+            payload,
+            Millis::new(slip.start),
+            Millis::new(slip.finish),
+        );
 
         guard = fabric.core.lock().expect("fabric mutex poisoned");
         if let Err(e) = delivered {
-            let at = guard.failed_at.max(slip.finish);
-            guard.fail(e, at);
-            fabric.cv.notify_all();
+            // Registered, not flagged: the commit engine settles the
+            // refusal into the modeled timeline (see `Core::refused`).
+            guard.refused.push((src, slip.dst, e));
         }
         next_arrival = slip.finish;
     }
@@ -593,6 +670,8 @@ where
         reschedules: 0,
         failure: None,
         failed_at: start,
+        lost: Vec::new(),
+        refused: Vec::new(),
         evolution,
         planning,
         sizes,
@@ -612,12 +691,38 @@ where
         }
     });
 
-    let core = fabric.core.into_inner().expect("fabric mutex poisoned");
-    if let Some(error) = core.failure {
+    let mut core = fabric.core.into_inner().expect("fabric mutex poisoned");
+    if let Some(error) = core.failure.take() {
+        // The workers are joined, so every committed grant has resolved:
+        // its delivery either succeeded or was refused. Settle the
+        // grants still sitting in the completion heap — successes into
+        // `records`, refusals into `lost` — so delivered bytes are never
+        // invisible to the retry driver and the ledger does not depend
+        // on which worker thread hit the fault window first.
+        let mut refused = std::mem::take(&mut core.refused);
+        let mut lost = std::mem::take(&mut core.lost);
+        let mut records = std::mem::take(&mut core.records);
+        for Reverse(c) in std::mem::take(&mut core.completions) {
+            if let Some(pos) = refused
+                .iter()
+                .position(|&(s, d, _)| s == c.src && d == c.dst)
+            {
+                refused.swap_remove(pos);
+                lost.push((c.src, c.dst));
+            } else {
+                records.push(TransferRecord {
+                    src: c.src,
+                    dst: c.dst,
+                    bytes: c.bytes,
+                    start: Millis::new(c.start),
+                    finish: Millis::new(c.finish),
+                });
+            }
+        }
         return Err(ShapedFailure {
             error,
             trace: core.trace,
-            records: core.records,
+            records,
             remaining: core
                 .queues
                 .iter()
@@ -626,6 +731,7 @@ where
             send_busy_until: core.send_free_at,
             recv_busy_until: core.recv_free_at,
             at: Millis::new(core.failed_at),
+            lost,
         });
     }
     debug_assert_eq!(core.records.len(), total, "every message must complete");
@@ -771,6 +877,159 @@ mod tests {
         assert!(matches!(failure.error, RuntimeError::MessageDropped { .. }));
         // The failed message is still owed by its sender.
         assert_eq!(failure.remaining[1].first(), Some(&2));
+    }
+
+    #[test]
+    fn drop_threshold_boundary_is_inclusive() {
+        let p = 4;
+        let net = hetero_net(p);
+        let sizes = mixed_sizes(p);
+        let order = OpenShop.send_order(&CommMatrix::from_model(&net, &sizes));
+        // hetero_net's slowest link is 0 -> 1 at exactly 621 kbit/s; a
+        // threshold equal to it must count the link as dead (inclusive
+        // boundary), while every faster link passes.
+        let min_kbps = net.estimate(0, 1).bandwidth.as_kbps();
+        assert_eq!(min_kbps, 621.0);
+        let transport = ChannelTransport::new(p);
+        let mut evo = still(net);
+        let config = ShapedConfig {
+            faults: FaultPolicy {
+                drop_below_kbps: Some(min_kbps),
+                late_factor: None,
+            },
+            ..Default::default()
+        };
+        let failure = run_shaped(&order.order, &sizes, &mut evo, &transport, config, |_| {
+            CheckpointAction::Continue
+        })
+        .expect_err("a link at the threshold is dead");
+        assert_eq!(failure.error.link(), Some((0, 1)));
+        assert!(matches!(failure.error, RuntimeError::MessageDropped { .. }));
+        assert!(
+            failure.lost.is_empty(),
+            "grant-time drops keep the message queued"
+        );
+        assert_eq!(failure.remaining[0].first(), Some(&1));
+    }
+
+    /// A network whose live state reports a NaN startup on one link,
+    /// which no public `Bandwidth`/`NetParams` constructor guards
+    /// against (only `Bandwidth::from_kbps` asserts).
+    struct PoisonedEstimate(NetParams);
+
+    impl NetworkEvolution for PoisonedEstimate {
+        fn processors(&self) -> usize {
+            self.0.len()
+        }
+        fn planning_estimates(&self) -> NetParams {
+            self.0.clone()
+        }
+        fn state_at(&mut self, _t: Millis) -> NetParams {
+            let mut net = self.0.clone();
+            let e = net.estimate(0, 1);
+            // Struct literal: `LinkEstimate::new` asserts, but corrupt
+            // data can arrive through serde or field access.
+            net.set_estimate(
+                0,
+                1,
+                LinkEstimate {
+                    startup: Millis::new(f64::NAN),
+                    bandwidth: e.bandwidth,
+                },
+            );
+            net
+        }
+    }
+
+    #[test]
+    fn non_finite_estimates_are_rejected_with_a_typed_error() {
+        let p = 3;
+        let net = hetero_net(p);
+        let sizes = mixed_sizes(p);
+        let order = OpenShop.send_order(&CommMatrix::from_model(&net, &sizes));
+        let transport = ChannelTransport::new(p);
+        let mut evo = PoisonedEstimate(net);
+        // Even with a drop threshold configured, the NaN duration must
+        // surface as CorruptEstimate, not sneak past the comparison.
+        let config = ShapedConfig {
+            faults: FaultPolicy {
+                drop_below_kbps: Some(0.0),
+                late_factor: None,
+            },
+            ..Default::default()
+        };
+        let failure = run_shaped(&order.order, &sizes, &mut evo, &transport, config, |_| {
+            CheckpointAction::Continue
+        })
+        .expect_err("a poisoned estimate must abort the run");
+        assert!(
+            matches!(
+                failure.error,
+                RuntimeError::CorruptEstimate { src: 0, dst: 1, .. }
+            ),
+            "got {:?}",
+            failure.error
+        );
+        assert_eq!(failure.error.link(), None, "not retryable by rescheduling");
+    }
+
+    /// A transport that refuses delivery on one link, without absorbing
+    /// the payload: the message is popped from its queue but its bytes
+    /// are genuinely lost.
+    struct RefusingTransport {
+        inner: ChannelTransport,
+        refuse: (usize, usize),
+    }
+
+    impl Transport for RefusingTransport {
+        fn name(&self) -> &'static str {
+            "refusing"
+        }
+        fn deliver(&self, src: usize, dst: usize, payload: Vec<u8>) -> Result<(), RuntimeError> {
+            if (src, dst) == self.refuse {
+                return Err(RuntimeError::LinkPartitioned {
+                    src,
+                    dst,
+                    at: Millis::ZERO,
+                });
+            }
+            self.inner.deliver(src, dst, payload)
+        }
+        fn receipts(&self) -> Vec<crate::transport::ReceiptSummary> {
+            self.inner.receipts()
+        }
+    }
+
+    #[test]
+    fn delivery_time_failures_are_flagged_lost_in_flight() {
+        let p = 4;
+        let net = hetero_net(p);
+        let sizes = mixed_sizes(p);
+        let order = OpenShop.send_order(&CommMatrix::from_model(&net, &sizes));
+        let transport = RefusingTransport {
+            inner: ChannelTransport::new(p),
+            refuse: (1, 2),
+        };
+        let mut evo = still(net);
+        let failure = run_shaped(
+            &order.order,
+            &sizes,
+            &mut evo,
+            &transport,
+            ShapedConfig::default(),
+            |_| CheckpointAction::Continue,
+        )
+        .expect_err("refused delivery must abort the run");
+        assert_eq!(failure.error.link(), Some((1, 2)));
+        assert_eq!(
+            failure.lost,
+            vec![(1, 2)],
+            "a refused delivery left the queue but never arrived"
+        );
+        assert!(failure.lost_in_flight((1, 2)));
+        // The popped message is in neither records nor remaining.
+        assert!(!failure.remaining[1].contains(&2));
+        assert!(!failure.records.iter().any(|r| r.src == 1 && r.dst == 2));
     }
 
     #[test]

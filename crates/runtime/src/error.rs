@@ -34,6 +34,42 @@ pub enum RuntimeError {
         /// The latest acceptable duration (`late_factor` × planned).
         limit: Millis,
     },
+    /// The destination (or source) processor crashed while the message
+    /// was in flight or about to be granted. The traffic is recoverable
+    /// once the processor restarts, so the error carries the link.
+    ProcessorCrashed {
+        /// The crashed processor.
+        proc: usize,
+        /// Sending processor of the failed transfer.
+        src: usize,
+        /// Receiving processor of the failed transfer.
+        dst: usize,
+        /// Modeled time at which the crash was observed.
+        at: Millis,
+    },
+    /// The link crosses an active network partition: neither endpoint
+    /// can reach the other until the partition heals.
+    LinkPartitioned {
+        /// Sending processor of the failed transfer.
+        src: usize,
+        /// Receiving processor of the failed transfer.
+        dst: usize,
+        /// Modeled time at which the partition was observed.
+        at: Millis,
+    },
+    /// The live estimate for a link is not a finite number — a poisoned
+    /// network model, not a slow link. Rescheduling cannot fix it, so
+    /// [`RuntimeError::link`] deliberately returns `None`.
+    CorruptEstimate {
+        /// Sending processor of the affected link.
+        src: usize,
+        /// Receiving processor of the affected link.
+        dst: usize,
+        /// Modeled time at which the corrupt estimate was read.
+        at: Millis,
+        /// The offending value, e.g. a NaN bandwidth.
+        detail: String,
+    },
     /// A transport-level failure outside the fault model (socket error,
     /// worker panic, truncated frame).
     Transport {
@@ -43,12 +79,16 @@ pub enum RuntimeError {
 }
 
 impl RuntimeError {
-    /// The failing link, when the error identifies one.
+    /// The failing link, when the error identifies one that a driver can
+    /// reschedule around and retry. Corrupt estimates are excluded: a
+    /// NaN in the network model poisons every plan equally.
     pub fn link(&self) -> Option<(usize, usize)> {
         match *self {
             RuntimeError::MessageDropped { src, dst, .. }
-            | RuntimeError::MessageLate { src, dst, .. } => Some((src, dst)),
-            RuntimeError::Transport { .. } => None,
+            | RuntimeError::MessageLate { src, dst, .. }
+            | RuntimeError::ProcessorCrashed { src, dst, .. }
+            | RuntimeError::LinkPartitioned { src, dst, .. } => Some((src, dst)),
+            RuntimeError::CorruptEstimate { .. } | RuntimeError::Transport { .. } => None,
         }
     }
 }
@@ -68,6 +108,26 @@ impl fmt::Display for RuntimeError {
                 f,
                 "message {src} -> {dst} late: would take {observed}, limit {limit}"
             ),
+            RuntimeError::ProcessorCrashed { proc, src, dst, at } => {
+                write!(
+                    f,
+                    "message {src} -> {dst} failed at {at}: processor {proc} crashed"
+                )
+            }
+            RuntimeError::LinkPartitioned { src, dst, at } => {
+                write!(f, "message {src} -> {dst} failed at {at}: link partitioned")
+            }
+            RuntimeError::CorruptEstimate {
+                src,
+                dst,
+                at,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "corrupt estimate for link {src} -> {dst} at {at}: {detail}"
+                )
+            }
             RuntimeError::Transport { detail } => write!(f, "transport failure: {detail}"),
         }
     }
@@ -101,5 +161,36 @@ mod tests {
         };
         assert_eq!(t.link(), None);
         assert!(format!("{t}").contains("refused"));
+    }
+
+    #[test]
+    fn fault_variants_carry_their_link() {
+        let c = RuntimeError::ProcessorCrashed {
+            proc: 3,
+            src: 3,
+            dst: 1,
+            at: Millis::new(50.0),
+        };
+        assert_eq!(c.link(), Some((3, 1)));
+        assert!(format!("{c}").contains("processor 3 crashed"));
+        let p = RuntimeError::LinkPartitioned {
+            src: 0,
+            dst: 4,
+            at: Millis::new(12.0),
+        };
+        assert_eq!(p.link(), Some((0, 4)));
+        assert!(format!("{p}").contains("partitioned"));
+    }
+
+    #[test]
+    fn corrupt_estimate_is_not_retryable() {
+        let e = RuntimeError::CorruptEstimate {
+            src: 1,
+            dst: 2,
+            at: Millis::new(5.0),
+            detail: "bandwidth NaN".into(),
+        };
+        assert_eq!(e.link(), None, "replanning cannot fix a poisoned model");
+        assert!(format!("{e}").contains("NaN"));
     }
 }

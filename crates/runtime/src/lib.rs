@@ -63,13 +63,16 @@ pub mod telemetry;
 pub mod trace;
 pub mod transport;
 
-pub use adapt::{AdaptReport, AdaptSettings, CheckpointedRun, DetectorSettings, ReplanTrigger};
+pub use adapt::{
+    AdaptReport, AdaptSettings, CheckpointedRun, DetectorSettings, FaultKind, RecoveryEvent,
+    ReplanTrigger,
+};
 pub use channel::{
     run_shaped, CheckpointAction, CheckpointView, FaultPolicy, FrozenNetwork, ShapedConfig,
     ShapedFailure, ShapedOutcome,
 };
 pub use error::RuntimeError;
-pub use prober::{LinkMeasurement, Prober};
+pub use prober::{LinkMeasurement, MeasurementTamper, Prober, PublishOutcome, TrustPolicy};
 pub use run::{execute, execute_adaptive, execute_adaptive_monitored, BackendKind, RunReport};
 pub use tcp::TcpTransport;
 pub use telemetry::Telemetry;

@@ -46,6 +46,50 @@ pub struct LinkMeasurement {
     pub residual_ms: f64,
 }
 
+/// A hook between fitting and publishing: what the (possibly
+/// adversarial) per-link reporting agent claims, given the honest fit.
+/// The identity tamper models honest reporting; a chaos plan's lying
+/// link multiplies the claimed bandwidth. The trust layer in
+/// [`Prober::publish_checked`] never sees *who* tampered — it judges
+/// every claim against the realized transfer times alone.
+pub trait MeasurementTamper: Sync {
+    /// The measurement the reporting agent publishes for this link.
+    fn tamper(&self, honest: LinkMeasurement, now: Millis) -> LinkMeasurement;
+}
+
+/// Tolerance for the trust cross-check: how far a *claimed* bandwidth
+/// may sit from the bandwidth realized transfer times support before
+/// the link is quarantined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustPolicy {
+    /// Maximum accepted ratio between claimed and realized bandwidth,
+    /// applied symmetrically: a claim outside
+    /// `[realized/ratio, realized×ratio]` quarantines the link. Honest
+    /// claims equal the realized fit exactly, so fault-free runs can
+    /// never quarantine regardless of drift.
+    pub tolerance_ratio: f64,
+}
+
+impl Default for TrustPolicy {
+    /// Accept claims within 2× of realized throughput — generous enough
+    /// for measurement noise, far below the 3–5× inflation a useful lie
+    /// needs to distort a schedule.
+    fn default() -> Self {
+        TrustPolicy {
+            tolerance_ratio: 2.0,
+        }
+    }
+}
+
+/// What a checked publish pass did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PublishOutcome {
+    /// Links whose estimates were published (honest or claimed).
+    pub published: usize,
+    /// Links quarantined *by this pass* (claims outside tolerance).
+    pub quarantined: Vec<(usize, usize)>,
+}
+
 /// Fits per-link estimates from observed transfers.
 #[derive(Debug, Clone)]
 pub struct Prober {
@@ -173,29 +217,85 @@ impl Prober {
         records: &[TransferRecord],
         now: Millis,
     ) -> Result<usize, PublishError> {
-        let measurements = self.fit(records);
+        self.publish_checked(directory, records, now, None, TrustPolicy::default())
+            .map(|o| o.published)
+    }
+
+    /// Like [`Prober::publish_into`], but each fitted measurement first
+    /// passes through the link's reporting agent (`tamper`) and is then
+    /// cross-checked against the realized transfer times before the
+    /// directory accepts it: a claimed bandwidth outside
+    /// `trust.tolerance_ratio` of what the observed durations support
+    /// quarantines the link ([`DirectoryService::quarantine_link`]) and
+    /// the honest realized fit is published instead — so a lying link
+    /// can never price a replan, which is exactly how quarantined links
+    /// are "excluded" from replanning.
+    pub fn publish_checked(
+        &self,
+        directory: &DirectoryService,
+        records: &[TransferRecord],
+        now: Millis,
+        tamper: Option<&dyn MeasurementTamper>,
+        trust: TrustPolicy,
+    ) -> Result<PublishOutcome, PublishError> {
+        let honest = self.fit(records);
         let obs = adaptcomm_obs::global();
-        for m in &measurements {
-            directory.publish_measurement(m.src, m.dst, m.startup_ms, m.bandwidth_kbps, now)?;
+        let mut outcome = PublishOutcome::default();
+        for m in &honest {
+            let claimed = match tamper {
+                Some(t) => t.tamper(*m, now),
+                None => *m,
+            };
+            let ratio = claimed.bandwidth_kbps / m.bandwidth_kbps;
+            let lying = !ratio.is_finite()
+                || ratio > trust.tolerance_ratio
+                || ratio * trust.tolerance_ratio < 1.0;
+            if lying && !directory.is_quarantined(m.src, m.dst) {
+                directory.quarantine_link(m.src, m.dst, m.startup_ms, m.bandwidth_kbps, now);
+                outcome.quarantined.push((m.src, m.dst));
+                if obs.is_enabled() {
+                    obs.add("runtime.trust.quarantined", 1);
+                }
+            }
+            // A quarantined link's claims are distrusted for good: only
+            // the realized fit reaches the directory.
+            let publish = if lying || directory.is_quarantined(m.src, m.dst) {
+                m
+            } else {
+                &claimed
+            };
+            directory.publish_measurement(
+                publish.src,
+                publish.dst,
+                publish.startup_ms,
+                publish.bandwidth_kbps,
+                now,
+            )?;
+            outcome.published += 1;
             if obs.is_enabled() {
                 let ts = now.as_ms();
                 let link = format!("link.{}-{}", m.src, m.dst);
-                obs.series_append(&format!("{link}.startup_ms"), SERIES_CAP, ts, m.startup_ms);
+                obs.series_append(
+                    &format!("{link}.startup_ms"),
+                    SERIES_CAP,
+                    ts,
+                    publish.startup_ms,
+                );
                 obs.series_append(
                     &format!("{link}.bandwidth_kbps"),
                     SERIES_CAP,
                     ts,
-                    m.bandwidth_kbps,
+                    publish.bandwidth_kbps,
                 );
                 obs.series_append(
                     &format!("{link}.residual_ms"),
                     SERIES_CAP,
                     ts,
-                    m.residual_ms,
+                    publish.residual_ms,
                 );
             }
         }
-        Ok(measurements.len())
+        Ok(outcome)
     }
 }
 
@@ -290,6 +390,80 @@ mod tests {
             rec(0, 0, 1_000, 0.0, 9.0),       // diagonal
         ];
         assert!(Prober::new(prior(2)).fit(&records).is_empty());
+    }
+
+    /// A reporting agent that inflates one link's bandwidth claim.
+    struct Inflate {
+        link: (usize, usize),
+        factor: f64,
+    }
+
+    impl MeasurementTamper for Inflate {
+        fn tamper(&self, mut honest: LinkMeasurement, _now: Millis) -> LinkMeasurement {
+            if (honest.src, honest.dst) == self.link {
+                honest.bandwidth_kbps *= self.factor;
+            }
+            honest
+        }
+    }
+
+    #[test]
+    fn inflated_claims_are_quarantined_and_replaced_by_realized_fits() {
+        let dir = DirectoryService::new(prior(3));
+        // Realized: 10 kB in 170 ms on a (10 ms, 1000 kbps) prior link
+        // → honest bandwidth 500 kbps. The agent claims 4× that.
+        let records = vec![rec(0, 2, 10_000, 0.0, 170.0), rec(2, 0, 10_000, 0.0, 170.0)];
+        let tamper = Inflate {
+            link: (0, 2),
+            factor: 4.0,
+        };
+        let out = Prober::new(prior(3))
+            .publish_checked(
+                &dir,
+                &records,
+                Millis::new(170.0),
+                Some(&tamper),
+                TrustPolicy::default(),
+            )
+            .expect("valid measurements");
+        assert_eq!(out.published, 2);
+        assert_eq!(out.quarantined, vec![(0, 2)]);
+        assert!(dir.is_quarantined(0, 2));
+        assert!(!dir.is_quarantined(2, 0), "honest link stays trusted");
+        // The directory holds the realized 500 kbps, not the 2000 claim.
+        let snap = dir.snapshot();
+        assert!((snap.params().estimate(0, 2).bandwidth.as_kbps() - 500.0).abs() < 1e-6);
+        assert!((snap.params().estimate(2, 0).bandwidth.as_kbps() - 500.0).abs() < 1e-6);
+        // A later pass keeps distrusting the link without re-quarantining.
+        let again = Prober::new(prior(3))
+            .publish_checked(
+                &dir,
+                &records,
+                Millis::new(340.0),
+                Some(&tamper),
+                TrustPolicy::default(),
+            )
+            .unwrap();
+        assert!(again.quarantined.is_empty());
+        assert!(dir.is_quarantined(0, 2));
+    }
+
+    #[test]
+    fn honest_claims_never_quarantine() {
+        let dir = DirectoryService::new(prior(3));
+        let records = vec![rec(0, 1, 10_000, 0.0, 90.0), rec(1, 0, 10_000, 0.0, 170.0)];
+        let out = Prober::new(prior(3))
+            .publish_checked(
+                &dir,
+                &records,
+                Millis::new(170.0),
+                None,
+                TrustPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(out.published, 2);
+        assert!(out.quarantined.is_empty());
+        assert!(dir.quarantined_links().is_empty());
     }
 
     #[test]

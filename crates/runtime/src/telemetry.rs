@@ -187,6 +187,7 @@ mod tests {
                 bandwidth_kbps: 240.0,
                 startup_ms: 2.0,
                 updated_at_ms: 10.0,
+                quarantined: false,
             }],
         }
     }

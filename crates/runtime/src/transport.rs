@@ -16,7 +16,7 @@
 //! payload arrived intact regardless of backend.
 
 use crate::error::RuntimeError;
-use adaptcomm_model::units::Bytes;
+use adaptcomm_model::units::{Bytes, Millis};
 use std::sync::Mutex;
 
 /// Physical delivery of one payload. Implementations must be safe to
@@ -28,6 +28,23 @@ pub trait Transport: Sync {
     /// Moves `payload` from `src` to `dst`, blocking until the bytes
     /// have been handed to the destination.
     fn deliver(&self, src: usize, dst: usize, payload: Vec<u8>) -> Result<(), RuntimeError>;
+
+    /// Like [`Transport::deliver`], annotated with the modeled interval
+    /// `[start, finish]` the transfer occupies. The shaped engine calls
+    /// this variant so that fault-injecting decorators can fail a
+    /// delivery based on *when* it lands, not just on which link it
+    /// uses. The default ignores the times and delegates to `deliver`.
+    fn deliver_timed(
+        &self,
+        src: usize,
+        dst: usize,
+        payload: Vec<u8>,
+        start: Millis,
+        finish: Millis,
+    ) -> Result<(), RuntimeError> {
+        let _ = (start, finish);
+        self.deliver(src, dst, payload)
+    }
 
     /// What each processor has received so far.
     fn receipts(&self) -> Vec<ReceiptSummary>;

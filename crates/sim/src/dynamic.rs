@@ -18,7 +18,7 @@
 //! *replanned* with the open shop rule against a fresh directory
 //! snapshot. In-flight transfers are never aborted.
 
-use crate::engine::Calendar;
+use crate::engine::{Calendar, ScheduleError};
 use crate::executor::TransferRecord;
 use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
 use adaptcomm_core::execution::execute_listed;
@@ -29,6 +29,7 @@ use adaptcomm_model::params::NetParams;
 use adaptcomm_model::units::{Bytes, Millis};
 use adaptcomm_model::variation::VariationTrace;
 use std::collections::VecDeque;
+use std::fmt;
 
 /// A network whose state evolves over (simulated) time.
 ///
@@ -94,6 +95,35 @@ impl AdaptiveConfig {
         }
     }
 }
+
+/// Why an adaptive run could not proceed: the scenario produced a
+/// degenerate event stream (e.g. a fault-injected network priced a
+/// transfer at NaN). Surfaced as `Err` by [`run_adaptive_checked`] so a
+/// harness thread does not abort and poison shared state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A transfer produced an unschedulable completion event.
+    DegenerateEvent {
+        /// Sending processor of the offending transfer, when known.
+        src: usize,
+        /// Receiving processor of the offending transfer, when known.
+        dst: usize,
+        /// The underlying calendar rejection.
+        cause: ScheduleError,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DegenerateEvent { src, dst, cause } => {
+                write!(f, "degenerate event for transfer {src} -> {dst}: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Result of an adaptive run.
 #[derive(Debug, Clone)]
@@ -171,6 +201,23 @@ pub fn run_adaptive(
     trace: &mut impl NetworkEvolution,
     config: &AdaptiveConfig,
 ) -> DynamicOutcome {
+    match run_adaptive_checked(initial_order, sizes, trace, config) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_adaptive`]: a scenario that produces a degenerate
+/// event stream (NaN transfer durations, backwards time) comes back as
+/// [`SimError`] instead of a panic. Fault-injection harnesses prefer
+/// this form: a panicking simulation thread would poison whatever mutex
+/// it held, wedging the rest of the harness.
+pub fn run_adaptive_checked(
+    initial_order: &SendOrder,
+    sizes: &[Vec<Bytes>],
+    trace: &mut impl NetworkEvolution,
+    config: &AdaptiveConfig,
+) -> Result<DynamicOutcome, SimError> {
     let p = trace.processors();
     assert_eq!(initial_order.processors(), p, "order does not match trace");
     assert_eq!(sizes.len(), p, "sizes do not match trace");
@@ -241,7 +288,8 @@ pub fn run_adaptive(
                         start: Millis::new(now),
                         finish: Millis::new(fin),
                     });
-                    cal.schedule(fin, CLS_DONE, Ev::Completed { src, dst });
+                    cal.try_schedule(fin, CLS_DONE, Ev::Completed { src, dst })
+                        .map_err(|cause| SimError::DegenerateEvent { src, dst, cause })?;
                 }
             }
             Ev::Completed { src, dst } => {
@@ -319,12 +367,12 @@ pub fn run_adaptive(
         .iter()
         .map(|r| r.finish)
         .fold(Millis::ZERO, Millis::max);
-    DynamicOutcome {
+    Ok(DynamicOutcome {
         records,
         makespan,
         checkpoints_evaluated,
         reschedules,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -454,6 +502,46 @@ mod tests {
             "heavy degradation must trigger replans"
         );
         assert!(out.checkpoints_evaluated >= out.reschedules);
+    }
+
+    /// An evolution whose live state carries a NaN startup on one link:
+    /// a degenerate scenario that used to abort the simulation thread.
+    struct PoisonedTrace(NetParams);
+
+    impl NetworkEvolution for PoisonedTrace {
+        fn processors(&self) -> usize {
+            self.0.len()
+        }
+        fn planning_estimates(&self) -> NetParams {
+            self.0.clone()
+        }
+        fn state_at(&mut self, _t: Millis) -> NetParams {
+            let mut net = self.0.clone();
+            let e = net.estimate(0, 1);
+            // Struct literal: `LinkEstimate::new` asserts, but corrupt
+            // data can arrive through serde or field access.
+            net.set_estimate(
+                0,
+                1,
+                adaptcomm_model::cost::LinkEstimate {
+                    startup: Millis::new(f64::NAN),
+                    bandwidth: e.bandwidth,
+                },
+            );
+            net
+        }
+    }
+
+    #[test]
+    fn degenerate_scenarios_surface_as_err_not_panic() {
+        let p = 4;
+        let o = order(p);
+        let mut trace = PoisonedTrace(base_net(p));
+        let err = run_adaptive_checked(&o, &sizes(p), &mut trace, &AdaptiveConfig::oblivious())
+            .expect_err("NaN pricing must be rejected");
+        let SimError::DegenerateEvent { src, dst, cause } = err;
+        assert_eq!((src, dst), (0, 1));
+        assert!(matches!(cause, ScheduleError::NonFiniteTime { .. }));
     }
 
     #[test]

@@ -8,6 +8,51 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Why an event could not be scheduled: the event stream is degenerate
+/// (e.g. an injected-fault scenario produced a NaN duration), which is a
+/// property of the *scenario*, not of the calendar. Callers that treat
+/// it as a bug can keep using the panicking [`Calendar::schedule`];
+/// fault-injection harnesses use [`Calendar::try_schedule`] so the
+/// scenario surfaces as `Err` instead of a worker-thread abort that
+/// poisons whatever mutex the thread held.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// The event time is NaN or infinite.
+    NonFiniteTime {
+        /// The offending time.
+        time: f64,
+    },
+    /// The event lies in the past of the calendar clock.
+    TimeTravel {
+        /// The offending time.
+        time: f64,
+        /// The calendar's current clock.
+        now: f64,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            // These strings are load-bearing: the panicking wrappers
+            // format them, and callers' #[should_panic(expected = ...)]
+            // match on "finite" and "clock is already".
+            ScheduleError::NonFiniteTime { time } => {
+                write!(f, "event time must be finite, got {time}")
+            }
+            ScheduleError::TimeTravel { time, now } => {
+                write!(
+                    f,
+                    "event scheduled at {time} but the clock is already at {now}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// A scheduled calendar entry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,8 +117,9 @@ impl<T> Calendar<T> {
 
     /// Schedules `payload` at absolute `time` with tie-break `class`
     /// (lower classes pop first at equal times; remaining ties pop in
-    /// insertion order). Panics on scheduling in the past — a simulation
-    /// bug, not a recoverable condition.
+    /// insertion order). Panics on scheduling in the past or at a
+    /// non-finite time — for callers that consider either a simulation
+    /// bug. Use [`Calendar::try_schedule`] to get a typed error instead.
     pub fn schedule(&mut self, time: f64, class: u8, payload: T) {
         self.schedule_keyed(time, class, 0, payload);
     }
@@ -84,12 +130,34 @@ impl<T> Calendar<T> {
     /// processor id first") pass that id here instead of depending on the
     /// order finish events happened to be scheduled in.
     pub fn schedule_keyed(&mut self, time: f64, class: u8, key: u64, payload: T) {
-        assert!(time.is_finite(), "event time must be finite");
-        assert!(
-            time >= self.now - 1e-9,
-            "event scheduled at {time} but the clock is already at {}",
-            self.now
-        );
+        if let Err(e) = self.try_schedule_keyed(time, class, key, payload) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Calendar::schedule`]: a degenerate event time comes
+    /// back as [`ScheduleError`] instead of a panic.
+    pub fn try_schedule(&mut self, time: f64, class: u8, payload: T) -> Result<(), ScheduleError> {
+        self.try_schedule_keyed(time, class, 0, payload)
+    }
+
+    /// Fallible [`Calendar::schedule_keyed`].
+    pub fn try_schedule_keyed(
+        &mut self,
+        time: f64,
+        class: u8,
+        key: u64,
+        payload: T,
+    ) -> Result<(), ScheduleError> {
+        if !time.is_finite() {
+            return Err(ScheduleError::NonFiniteTime { time });
+        }
+        if time < self.now - 1e-9 {
+            return Err(ScheduleError::TimeTravel {
+                time,
+                now: self.now,
+            });
+        }
         let e = Entry {
             time,
             class,
@@ -99,6 +167,7 @@ impl<T> Calendar<T> {
         };
         self.seq += 1;
         self.heap.push(Reverse(OrdEntry(e)));
+        Ok(())
     }
 
     /// Pops the next event, advancing the clock.
@@ -180,6 +249,28 @@ mod tests {
     fn rejects_nan_time() {
         let mut c: Calendar<()> = Calendar::new();
         c.schedule(f64::NAN, 0, ());
+    }
+
+    #[test]
+    fn try_schedule_surfaces_typed_errors_without_panicking() {
+        let mut c: Calendar<u8> = Calendar::new();
+        let err = c.try_schedule(f64::NAN, 0, 1).unwrap_err();
+        assert!(matches!(err, ScheduleError::NonFiniteTime { .. }));
+        assert!(format!("{err}").contains("finite"));
+        c.schedule(10.0, 0, 2);
+        c.pop_next();
+        let err = c.try_schedule(5.0, 0, 3).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::TimeTravel {
+                time: 5.0,
+                now: 10.0
+            }
+        );
+        assert!(format!("{err}").contains("clock is already"));
+        // The calendar is still usable after a rejected event.
+        assert!(c.try_schedule(11.0, 0, 4).is_ok());
+        assert_eq!(c.pop_next().unwrap().2, 4);
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod fluid;
 pub mod interleaved;
 pub mod metrics;
 
-pub use dynamic::{run_adaptive, AdaptiveConfig, DynamicOutcome, NetworkEvolution};
+pub use dynamic::{
+    run_adaptive, run_adaptive_checked, AdaptiveConfig, DynamicOutcome, NetworkEvolution, SimError,
+};
+pub use engine::ScheduleError;
 pub use executor::{run_static, TransferRecord};
 pub use faults::{Fault, ScriptedFaults};
 pub use metrics::SimMetrics;

@@ -14,6 +14,7 @@
 //! | [`scheduling`] | `adaptcomm-core` | the paper's total-exchange schedulers |
 //! | [`sim`] | `adaptcomm-sim` | discrete-event execution, §6 model variants |
 //! | [`runtime`] | `adaptcomm-runtime` | live execution: real threads, shaped channels / TCP, §6.4 adapt loop |
+//! | [`chaos`] | `adaptcomm-chaos` | seeded fault injection: crashes, partitions, lying links, recovery SLOs |
 //! | [`collectives`] | `adaptcomm-collectives` | broadcast/scatter/gather/reduce/all-to-some |
 //! | [`staging`] | `adaptcomm-staging` | BADD-style deadline-driven data staging (§2, §6.4) |
 //! | [`mapping`] | `adaptcomm-mapping` | MSHN task mapping: OLB/MET/MCT/min-min/max-min/sufferage (§2) |
@@ -38,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use adaptcomm_chaos as chaos;
 pub use adaptcomm_collectives as collectives;
 pub use adaptcomm_core as scheduling;
 pub use adaptcomm_directory as directory;
@@ -52,6 +54,7 @@ pub use adaptcomm_workloads as workloads;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use adaptcomm_chaos::{run_chaos, ChaosPlan, ChaosReport};
     pub use adaptcomm_core::algorithms::{
         all_schedulers, Baseline, Greedy, MatchingKind, MatchingScheduler, OpenShop, Scheduler,
     };
