@@ -1,0 +1,28 @@
+//! Plan-server throughput by cache disposition: requests per second
+//! for a cold solve, an exact-fingerprint replay, and a ±2 %
+//! cross-job warm start, all measured as full TCP round trips at
+//! `P = 64` against a live server (§6.2: the schedule-construction
+//! overhead is what the cache and warm starts amortise).
+
+use adaptcomm_bench::perf::PerfStats;
+use adaptcomm_bench::plansrv_bench::measure_plan_server;
+
+fn main() {
+    const P: usize = 64;
+    const REPS: usize = 10;
+    let samples = measure_plan_server(P, REPS);
+    println!("plansrv throughput, P={P}, {REPS} reps (full client round trips)");
+    for (name, series) in [
+        ("cold ", &samples.cold_ms),
+        ("hit  ", &samples.hit_ms),
+        ("warm ", &samples.warm_ms),
+    ] {
+        let stats = PerfStats::from_samples(series);
+        println!(
+            "{name}  median {:>9.3} ms   p90 {:>9.3} ms   {:>9.1} req/s",
+            stats.median_ms,
+            stats.p90_ms,
+            1e3 / stats.median_ms
+        );
+    }
+}

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Times the construction cost (`Scheduler::send_order`) of all five
-//! paper schedulers on GUSTO-guided Figure-10 instances and reports
+//! paper schedulers on GUSTO-guided Figure-10 instances, plus the
+//! plan-server round trip at `P = 64` split by cache disposition
+//! (`plansrv-cold` / `plansrv-hit` / `plansrv-warm`), and reports
 //! median/p90 wall milliseconds per `(scheduler, P)` cell:
 //!
 //! * **Full mode** (default): `P ∈ {64, 128, 256, 512, 1024}`, 5 timed
@@ -228,6 +230,25 @@ fn main() {
             );
             report.insert(scheduler.name(), p, stats);
         }
+    }
+
+    // Scheduling-as-a-service round trips at P = 64, one cell per
+    // cache disposition. These time the whole client path — frame
+    // codec, TCP, admission, solve or replay — so a protocol or
+    // cache regression shows up here even when the raw schedulers
+    // above are unchanged.
+    let srv = adaptcomm_bench::plansrv_bench::measure_plan_server(64, reps);
+    for (name, samples) in [
+        ("plansrv-cold", &srv.cold_ms),
+        ("plansrv-hit", &srv.hit_ms),
+        ("plansrv-warm", &srv.warm_ms),
+    ] {
+        let stats = PerfStats::from_samples(samples);
+        println!(
+            "{:<14} P={:<5} median {:>10.3} ms   p90 {:>10.3} ms   ({} reps)",
+            name, 64, stats.median_ms, stats.p90_ms, reps
+        );
+        report.insert(name, 64, stats);
     }
 
     if opts.quick {

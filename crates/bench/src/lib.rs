@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod plansrv_bench;
 pub mod sweep;
 
 pub use experiments::{FigureRow, FigureTable, SummaryStats};

@@ -1,0 +1,91 @@
+//! Plan-server round-trip measurement: the cost of scheduling as a
+//! service, split by cache disposition.
+//!
+//! One measurement spins a real [`adaptcomm_plansrv::PlanServer`] on
+//! an ephemeral loopback port and times full client round-trips
+//! (frame encode → TCP → admission → solve/replay → frame decode)
+//! for the three paths a request can take:
+//!
+//! * **cold** — a matrix the server has never seen: full solve;
+//! * **hit** — the identical matrix again: exact-fingerprint replay;
+//! * **warm** — a ±2 % perturbed matrix: cross-job warm start from
+//!   the cached job's retained dual potentials.
+//!
+//! Every sample asserts its disposition, so the three series measure
+//! what they claim even if the cache policy changes underneath.
+
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_plansrv::proto::{CacheDisposition, PlanOk, PlanResponse, QosSpec};
+use adaptcomm_plansrv::{PlanClient, PlanServer, PlanServerConfig};
+use adaptcomm_workloads::Scenario;
+use std::time::Instant;
+
+/// Round-trip wall-clock samples (milliseconds), one triple per rep.
+#[derive(Debug, Clone, Default)]
+pub struct PlanServerSamples {
+    /// Full-solve round trips (first sight of each matrix).
+    pub cold_ms: Vec<f64>,
+    /// Exact-fingerprint replay round trips.
+    pub hit_ms: Vec<f64>,
+    /// Cross-job warm-start round trips (±2 % perturbed matrices).
+    pub warm_ms: Vec<f64>,
+}
+
+fn expect_ok(resp: PlanResponse, what: &str) -> Box<PlanOk> {
+    match resp {
+        PlanResponse::Ok(ok) => ok,
+        other => panic!("{what}: expected a plan, got {other:?}"),
+    }
+}
+
+/// ±2 % deterministic perturbation with alternating signs.
+fn perturb(m: &CommMatrix) -> CommMatrix {
+    CommMatrix::from_fn(m.len(), |s, d| {
+        let f = if (s + d) % 2 == 0 { 1.02 } else { 0.98 };
+        if s == d {
+            0.0
+        } else {
+            m.row(s)[d] * f
+        }
+    })
+}
+
+/// Measures `reps` cold/hit/warm round-trip triples against a live
+/// plan server at processor count `p` (`matching-max` on Figure-11
+/// mixed instances, a fresh seed per rep so every cold is cold).
+pub fn measure_plan_server(p: usize, reps: usize) -> PlanServerSamples {
+    let server =
+        PlanServer::bind("127.0.0.1:0", PlanServerConfig::default()).expect("bind plan server");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+    let mut samples = PlanServerSamples::default();
+
+    for rep in 0..reps.max(1) {
+        let matrix = Scenario::Mixed.instance(p, 9_000 + rep as u64).matrix;
+        let near = perturb(&matrix);
+        let mut timed = |m: &CommMatrix, want: CacheDisposition, what: &str| {
+            let clock = Instant::now();
+            let ok = expect_ok(
+                client
+                    .plan("bench", "matching-max", m, QosSpec::default())
+                    .expect("round trip"),
+                what,
+            );
+            let ms = clock.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(ok.cache, want, "{what}: wrong cache disposition");
+            ms
+        };
+        samples
+            .cold_ms
+            .push(timed(&matrix, CacheDisposition::Cold, "cold"));
+        samples
+            .hit_ms
+            .push(timed(&matrix, CacheDisposition::Hit, "hit"));
+        samples
+            .warm_ms
+            .push(timed(&near, CacheDisposition::Warm, "warm"));
+    }
+
+    drop(client);
+    server.shutdown();
+    samples
+}

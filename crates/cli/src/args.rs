@@ -10,7 +10,9 @@ pub struct Options {
 }
 
 /// Keys that take no value.
-const FLAG_KEYS: &[&str] = &["diagram", "events", "adapt", "trace", "once"];
+const FLAG_KEYS: &[&str] = &[
+    "diagram", "events", "adapt", "trace", "once", "probe", "shutdown",
+];
 
 impl Options {
     /// Parses the argument list following the subcommand.

@@ -109,6 +109,32 @@ USAGE:
       Summarize an observability dump (JSONL or Chrome trace): per-phase
       span totals, instants, counters.
 
+  adaptcomm plan-server [--addr <host:port>] [--workers <N>] [--shards <N>]
+                        [--cache <entries>] [--near-tolerance <frac>]
+                        [--pace-ms <ms>] [--obs <path>]
+      Run the multi-tenant scheduling service: a TCP plan server with a
+      fingerprint-keyed plan cache (exact hits replay plans; near hits
+      warm-start the LAP solver across jobs) and QoS admission control
+      (priority tiers, EDF, deadline rejection). --addr defaults to an
+      ephemeral loopback port, printed on startup. Runs until a client
+      sends the shutdown frame (`plan-client --shutdown`); prints cache
+      and per-tenant directory statistics on exit. --pace-ms stretches
+      every cold/warm solve for deterministic queueing demos.
+
+  adaptcomm plan-client --addr <host:port>
+                        (--matrix <file.csv> | --scenario <name> --p <N>)
+                        [--seed <u64>] [--algorithm <name>] [--tenant <name>]
+                        [--deadline <ms>] [--priority <0-255>]
+                        [--critical <s-d,s-d,..>] [--repeat <N>]
+                        [--probe] [--shutdown]
+      Request plans from a running plan server. Prints one `cache: ..`
+      line per response (cold / hit / warm) with epoch, serving
+      sequence, completion estimate and solver counters. --probe sends
+      a fingerprint-only request (no P^2 matrix on the wire); --repeat
+      re-sends the same request to exercise the cache; --shutdown asks
+      the server to drain and stop after the requests. --critical pins
+      the listed src-dst links to the front of their senders' orders.
+
   adaptcomm help
       This text.
 
@@ -146,6 +172,8 @@ fn run() -> Result<(), String> {
         "top" => top_live(&opts),
         "report" => report_html(&opts),
         "obs-summary" => obs_summary(&opts),
+        "plan-server" => plan_server(&opts),
+        "plan-client" => plan_client(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -732,4 +760,165 @@ fn compare(opts: &args::Options) -> Result<(), String> {
         obs_finish(&path)?;
     }
     Ok(())
+}
+
+/// `adaptcomm plan-server`: run the scheduling service until a client
+/// sends the shutdown control frame.
+fn plan_server(opts: &args::Options) -> Result<(), String> {
+    use adaptcomm_plansrv::{PlanServer, PlanServerConfig};
+
+    let obs_path = obs_begin(opts);
+    let addr = opts.get("addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let pace_ms: f64 = opts.parsed_or("pace-ms", 0.0)?;
+    let config = PlanServerConfig {
+        shards: opts.parsed_or("shards", 4)?,
+        workers: opts.parsed_or("workers", 2)?,
+        cache_capacity: opts.parsed_or("cache", 256)?,
+        near_tolerance: opts.parsed_or("near-tolerance", 0.10)?,
+        default_est_ms: opts.parsed_or("est-ms", 10.0)?,
+        pace: (pace_ms > 0.0).then(|| std::time::Duration::from_secs_f64(pace_ms / 1e3)),
+    };
+    let server = PlanServer::bind(&addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("plan server listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let service = std::sync::Arc::clone(server.service());
+    server.join();
+
+    let stats = service.cache_stats();
+    println!(
+        "plan server stopped: {} plan(s) cached, {} exact hit(s), {} warm hit(s), \
+         {} miss(es), {} eviction(s)",
+        stats.inserts, stats.exact_hits, stats.warm_hits, stats.misses, stats.evictions
+    );
+    for (tenant, dir) in service.directory().per_tenant_stats() {
+        println!(
+            "tenant {tenant}: {} publish(es), {} quer(ies), epoch {}",
+            dir.publishes,
+            dir.queries,
+            service.directory().epoch(&tenant)
+        );
+    }
+    if let Some(path) = obs_path {
+        obs_finish(&path)?;
+    }
+    Ok(())
+}
+
+/// `adaptcomm plan-client`: request plans from a running server and
+/// print one greppable `cache: ..` line per response.
+fn plan_client(opts: &args::Options) -> Result<(), String> {
+    use adaptcomm_plansrv::proto::{PlanResponse, QosSpec};
+    use adaptcomm_plansrv::PlanClient;
+
+    let addr = opts.require("addr")?;
+    let shutdown = opts.flag("shutdown");
+    let mut client = PlanClient::connect_retry(addr.as_str(), std::time::Duration::from_secs(5))
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+
+    // The request matrix: a CSV file, or a generated scenario. With
+    // `--shutdown` alone, there is no request to send.
+    let matrix = if opts.get("matrix").is_some() {
+        Some(load_matrix(opts)?)
+    } else if let Some(name) = opts.get("scenario") {
+        let p: usize = opts.require_parsed("p")?;
+        let seed: u64 = opts.parsed_or("seed", 0)?;
+        let n: usize = opts.parsed_or("n", p * 8)?;
+        Some(scenario_by_name(&name, n)?.instance(p, seed).matrix)
+    } else if shutdown {
+        None
+    } else {
+        return Err("give --matrix <file.csv> or --scenario <name> --p <N> (or --shutdown)".into());
+    };
+
+    if let Some(matrix) = matrix {
+        let tenant = opts.get("tenant").unwrap_or_else(|| "cli".into());
+        let algorithm = opts
+            .get("algorithm")
+            .unwrap_or_else(|| "matching-max".into());
+        scheduler_by_name(&algorithm)?; // fail fast with the name list
+        let priority: u64 = opts.parsed_or("priority", 0)?;
+        let qos = QosSpec {
+            deadline_ms: opts
+                .get("deadline")
+                .map(|d| d.parse())
+                .transpose()
+                .map_err(|_| "`--deadline` has an invalid value".to_string())?,
+            priority: u8::try_from(priority).map_err(|_| "`--priority` must fit in 0-255")?,
+            critical_links: parse_critical(&opts.get("critical").unwrap_or_default())?,
+        };
+        let repeat: usize = opts.parsed_or("repeat", 1)?;
+        for _ in 0..repeat.max(1) {
+            let response = if opts.flag("probe") {
+                client.probe(&tenant, &algorithm, matrix.fingerprint(), qos.clone())
+            } else {
+                client.plan(&tenant, &algorithm, &matrix, qos.clone())
+            }
+            .map_err(|e| e.to_string())?;
+            print_plan_response(&response)?;
+        }
+    }
+
+    if shutdown {
+        match client.shutdown().map_err(|e| e.to_string())? {
+            PlanResponse::Bye => println!("server acknowledged shutdown"),
+            other => return Err(format!("unexpected shutdown reply: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Parses `--critical "0-3,2-5"` into `(src, dst)` pairs.
+fn parse_critical(spec: &str) -> Result<Vec<(usize, usize)>, String> {
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (s, d) = part
+                .split_once('-')
+                .ok_or_else(|| format!("`--critical` entries are `src-dst`, got `{part}`"))?;
+            Ok((
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("bad src in `{part}`"))?,
+                d.trim()
+                    .parse()
+                    .map_err(|_| format!("bad dst in `{part}`"))?,
+            ))
+        })
+        .collect()
+}
+
+fn print_plan_response(response: &adaptcomm_plansrv::proto::PlanResponse) -> Result<(), String> {
+    use adaptcomm_plansrv::proto::PlanResponse;
+    match response {
+        PlanResponse::Ok(ok) => {
+            println!(
+                "cache: {}  epoch: {}  seq: {}  completion: {:.3} ms  service: {:.3} ms  \
+                 round1: {} scan(s){}  total: {} scan(s)",
+                ok.cache.as_str(),
+                ok.epoch,
+                ok.served_seq,
+                ok.completion_ms,
+                ok.stats.service_ms,
+                ok.stats.round1_col_scans,
+                if ok.stats.round1_warm { " (warm)" } else { "" },
+                ok.stats.total_col_scans,
+            );
+            Ok(())
+        }
+        PlanResponse::NeedMatrix => {
+            println!("cache: need-matrix  (resend with --matrix or --scenario)");
+            Ok(())
+        }
+        PlanResponse::Rejected {
+            retry_after_ms,
+            detail,
+        } => {
+            println!("rejected: retry after {retry_after_ms:.3} ms  ({detail})");
+            Ok(())
+        }
+        PlanResponse::Error { detail } => Err(format!("server error: {detail}")),
+        PlanResponse::Bye => Err("unexpected bye".into()),
+    }
 }

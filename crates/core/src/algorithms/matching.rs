@@ -20,7 +20,28 @@
 use super::Scheduler;
 use crate::matrix::CommMatrix;
 use crate::schedule::SendOrder;
-use adaptcomm_lap::{solve_min_warm, DenseCost, Duals};
+use adaptcomm_lap::{solve_min_warm, DenseCost, Duals, SolveStats};
+
+/// A matching construction together with the cross-job reuse surface:
+/// the dual potentials retained from the first round's solve (the only
+/// round that pays a cold cost) and the solver counters that show what
+/// the construction actually cost. Produced by
+/// [`MatchingScheduler::plan_seeded`]; a plan cache stores
+/// `seed_potentials` and feeds them back as the seed for a similar
+/// job's first round.
+#[derive(Debug, Clone)]
+pub struct MatchingPlan {
+    /// The permutation steps, as from [`MatchingScheduler::steps`].
+    pub steps: Vec<Vec<Option<usize>>>,
+    /// Column potentials of the *work matrix* after round 1 — the
+    /// warm-start seed to retain for future jobs on similar matrices.
+    pub seed_potentials: Vec<f64>,
+    /// Solver counters for round 1 (cold on an unseeded run, warm on a
+    /// seeded one — the cross-job savings show up here).
+    pub round1: SolveStats,
+    /// Total column scans across all `P` rounds.
+    pub total_col_scans: u64,
+}
 
 /// Whether each round extracts the maximum- or minimum-weight matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +92,18 @@ impl MatchingScheduler {
     /// formulation is retained in [`super::reference::matching_steps`]
     /// and property-tested to emit identical steps.
     pub fn steps(&self, matrix: &CommMatrix) -> Vec<Vec<Option<usize>>> {
+        self.plan_seeded(matrix, None).steps
+    }
+
+    /// Like [`MatchingScheduler::steps`], but optionally seeding the
+    /// first round's LAP solve from dual potentials retained by a
+    /// *previous job* (see [`MatchingPlan::seed_potentials`]), and
+    /// returning the potentials and solver counters alongside the
+    /// steps. A seed of the wrong dimension is ignored — the run is
+    /// then exactly the unseeded construction. Warm starts are exact
+    /// for any finite seed, so the steps differ from an unseeded run
+    /// only where the instance has multiple optimal matchings.
+    pub fn plan_seeded(&self, matrix: &CommMatrix, seed: Option<&[f64]>) -> MatchingPlan {
         let p = matrix.len();
         // Sentinel strictly dominating any complete matching built from
         // real edges.
@@ -94,13 +127,25 @@ impl MatchingScheduler {
             MatchingKind::Min => big,
         };
         let mut deleted = vec![false; p * p];
-        let mut duals = Duals::new();
+        let mut duals = match seed {
+            Some(v) if v.len() == p => Duals::from_potentials(v.to_vec()),
+            _ => Duals::new(),
+        };
         let mut steps = Vec::with_capacity(p);
+        let mut seed_potentials = Vec::new();
+        let mut round1 = SolveStats::default();
         // Aggregate LAP stats in locals; one obs record after the loop.
         let (mut warm_hits, mut cold_solves, mut aug_paths, mut col_scans) = (0u64, 0u64, 0, 0);
-        for _round in 0..p {
+        for round in 0..p {
             let assignment = solve_min_warm(&work, &mut duals);
             let stats = duals.last_stats();
+            if round == 0 {
+                // Retained *before* later rounds edit the work matrix:
+                // these potentials correspond to the pristine instance,
+                // which is what a future similar job will solve.
+                seed_potentials = duals.potentials().to_vec();
+                round1 = stats;
+            }
             if stats.warm {
                 warm_hits += 1;
             } else {
@@ -128,7 +173,12 @@ impl MatchingScheduler {
             obs.add("sched.matching.lap_aug_paths", aug_paths);
             obs.add("sched.matching.lap_col_scans", col_scans);
         }
-        steps
+        MatchingPlan {
+            steps,
+            seed_potentials,
+            round1,
+            total_col_scans: col_scans,
+        }
     }
 }
 
@@ -291,6 +341,61 @@ mod tests {
             }
             assert!(seen.iter().all(|&b| b), "all pairs covered");
         }
+    }
+
+    #[test]
+    fn cross_job_seed_runs_round_one_warm_and_cheaper() {
+        let p = 16;
+        // Continuous, tie-free costs: with integer-derived cells the
+        // instance has multiple optimal matchings and the seeded run
+        // may legitimately pick a different one.
+        let a = CommMatrix::from_fn(p, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                50.0 + 40.0 * ((s as f64) * 1.37).sin() * ((d as f64) * 0.73).cos()
+            }
+        });
+        // A ±1 % perturbation of job A — a "similar job" arriving later.
+        let b = CommMatrix::from_fn(p, |s, d| {
+            let sign = if (s + 2 * d) % 2 == 0 { 1.0 } else { -1.0 };
+            a.cost(s, d).as_ms() * (1.0 + sign * 0.01)
+        });
+        let sched = MatchingScheduler::new(MatchingKind::Max);
+        let cold_a = sched.plan_seeded(&a, None);
+        assert!(!cold_a.round1.warm);
+        assert_eq!(cold_a.seed_potentials.len(), p);
+
+        let cold_b = sched.plan_seeded(&b, None);
+        let seeded_b = sched.plan_seeded(&b, Some(&cold_a.seed_potentials));
+        assert!(seeded_b.round1.warm, "seeded round 1 must run warm");
+        assert!(
+            seeded_b.round1.col_scans < cold_b.round1.col_scans,
+            "cross-job seed must cut round-1 work ({} vs {})",
+            seeded_b.round1.col_scans,
+            cold_b.round1.col_scans
+        );
+        // Exactness: the seeded construction is still a valid partition
+        // with the same total weight per round as the cold one.
+        let weight = |steps: &[Vec<Option<usize>>]| -> f64 {
+            steps
+                .iter()
+                .flat_map(|step| {
+                    step.iter()
+                        .enumerate()
+                        .map(|(s, d)| b.cost(s, d.unwrap()).as_ms())
+                })
+                .sum()
+        };
+        assert!((weight(&seeded_b.steps) - weight(&cold_b.steps)).abs() < 1e-6);
+        assert_eq!(
+            seeded_b.steps, cold_b.steps,
+            "on a tie-free instance the seeded plan is bit-identical"
+        );
+        // A wrong-dimension seed is ignored, not an error.
+        let ignored = sched.plan_seeded(&b, Some(&[1.0, 2.0]));
+        assert!(!ignored.round1.warm);
+        assert_eq!(ignored.steps, cold_b.steps);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod reference;
 pub use baseline::Baseline;
 pub use greedy::Greedy;
 pub use hypercube::Hypercube;
-pub use matching::{MatchingKind, MatchingScheduler};
+pub use matching::{MatchingKind, MatchingPlan, MatchingScheduler};
 pub use openshop::OpenShop;
 pub use optimal::BestOrderSearch;
 pub use random_order::RandomOrder;

@@ -58,6 +58,7 @@ pub mod critical;
 pub mod depgraph;
 pub mod execution;
 pub mod export;
+pub mod fingerprint;
 pub mod improve;
 pub mod incremental;
 pub mod matrix;

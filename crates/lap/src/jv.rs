@@ -81,8 +81,11 @@ pub struct SolveStats {
     /// Augmenting paths run in phase 4 (`n` for a warm solve, the
     /// phase-3 leftovers for a cold one).
     pub aug_paths: u64,
-    /// Ready-column scans performed across those path searches — the
-    /// actual work metric warm starts are meant to shrink.
+    /// Column scans performed: full-row/column passes in the reduction
+    /// phases (cold solves only) plus ready-column scans in the phase-4
+    /// path searches — the actual work metric warm starts are meant to
+    /// shrink. A warm solve skips the reduction phases entirely, so its
+    /// count is pure augmentation work.
     pub col_scans: u64,
 }
 
@@ -91,6 +94,33 @@ impl Duals {
     /// cold and sizes everything.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a warm-startable state from column potentials retained
+    /// by an earlier solve — typically [`Duals::potentials`] captured
+    /// from a *different job's* instance of the same dimension. The
+    /// next [`solve_warm`] through the returned state takes the warm
+    /// path (augmentation only, no reduction phases), which the module
+    /// docs show is exact for *any* starting potentials; the quality of
+    /// the seed only affects how much augmentation work remains. This
+    /// is the cross-job retention surface behind the plan cache: a
+    /// near-hit seeds the new solve from the cached job's duals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any potential is non-finite — a finite `v` is the one
+    /// invariant every solve path maintains, so a NaN/∞ seed can only
+    /// come from caller corruption.
+    pub fn from_potentials(v: Vec<f64>) -> Self {
+        assert!(
+            v.iter().all(|x| x.is_finite()),
+            "dual potentials must be finite"
+        );
+        let n = v.len();
+        let mut duals = Duals::new();
+        duals.reset(n);
+        duals.v.copy_from_slice(&v);
+        duals
     }
 
     /// The dimension of the last solve (0 if never used).
@@ -143,6 +173,7 @@ pub fn solve_warm(costs: &DenseCost, duals: &mut Duals) -> Assignment {
             cost: 0.0,
         };
     }
+    duals.stats.col_scans = 0;
     if duals.dim() == n {
         // Warm start: keep `v`, clear the assignment, augment every row.
         duals.x.fill(NONE);
@@ -156,7 +187,6 @@ pub fn solve_warm(costs: &DenseCost, duals: &mut Duals) -> Assignment {
         duals.stats.warm = false;
     }
     duals.stats.aug_paths = duals.free.len() as u64;
-    duals.stats.col_scans = 0;
     augment(costs, duals);
     debug_assert!(duals.x.iter().all(|&j| j != NONE));
     Assignment::from_permutation(costs, duals.x.clone())
@@ -170,9 +200,15 @@ fn reduction_phases(costs: &DenseCost, duals: &mut Duals) {
     let y = &mut duals.y;
     let v = &mut duals.v;
 
+    // Work accounting: one unit per full row/column pass, folded into
+    // `stats.col_scans` at the end so cold and warm solves are
+    // comparable on the same counter.
+    let mut scans = 0u64;
+
     // Phase 1: column reduction.
     let mut matches = vec![0usize; n];
     for j in (0..n).rev() {
+        scans += 1;
         let mut min = costs.at(0, j);
         let mut imin = 0usize;
         for i in 1..n {
@@ -196,6 +232,7 @@ fn reduction_phases(costs: &DenseCost, duals: &mut Duals) {
         if matches[i] == 0 {
             free.push(i);
         } else if matches[i] == 1 {
+            scans += 1;
             let j1 = x[i];
             let row = costs.row(i);
             let mut min = f64::INFINITY;
@@ -223,6 +260,7 @@ fn reduction_phases(costs: &DenseCost, duals: &mut Duals) {
         while k < nfree {
             let i = free[k];
             k += 1;
+            scans += 1;
             // First and second minima of the reduced row.
             let row = costs.row(i);
             let mut umin = f64::INFINITY;
@@ -269,6 +307,7 @@ fn reduction_phases(costs: &DenseCost, duals: &mut Duals) {
             break;
         }
     }
+    duals.stats.col_scans += scans;
 }
 
 /// Phase 4: a shortest augmenting path for each row in `duals.free`,
@@ -415,6 +454,53 @@ mod tests {
                 exact.cost
             );
         }
+    }
+
+    #[test]
+    fn from_potentials_seeds_an_exact_cross_job_warm_start() {
+        // Job A: solve cold, retain the duals.
+        let a = DenseCost::from_fn(12, |i, j| ((i * 37 + j * 23) % 41) as f64 + 1.0);
+        let mut cold = Duals::new();
+        let base = solve_warm(&a, &mut cold);
+        let retained = cold.potentials().to_vec();
+        let cold_scans = cold.last_stats().col_scans;
+        assert!(!cold.last_stats().warm);
+
+        // Job B: a mild perturbation of A, solved through a state
+        // rebuilt from job A's retained potentials.
+        let b = DenseCost::from_fn(12, |i, j| a.at(i, j) * 1.01 + 0.001 * (i as f64));
+        let mut seeded = Duals::from_potentials(retained);
+        assert_eq!(seeded.dim(), 12);
+        let warm = solve_warm(&b, &mut seeded);
+        assert!(seeded.last_stats().warm, "seeded solve must run warm");
+        let exact = brute_cost_12(&b);
+        assert!(
+            (warm.cost - exact).abs() < 1e-9,
+            "warm from a foreign seed must stay exact: {} vs {exact}",
+            warm.cost
+        );
+        // The seed makes job B cheaper than job A's cold solve.
+        assert!(
+            seeded.last_stats().col_scans < cold_scans,
+            "cross-job warm start should scan fewer columns ({} vs {cold_scans})",
+            seeded.last_stats().col_scans
+        );
+        // Self-consistency: the same job solved cold agrees on cost.
+        let cold_b = solve(&b);
+        assert!((warm.cost - cold_b.cost).abs() < 1e-9);
+        assert!((base.cost - brute_cost_12(&a)).abs() < 1e-9);
+    }
+
+    /// Exact optimum of a 12×12 instance via a second independent
+    /// solver (Hungarian), used where brute force would be too slow.
+    fn brute_cost_12(c: &DenseCost) -> f64 {
+        crate::hungarian::solve(c).cost
+    }
+
+    #[test]
+    fn from_potentials_rejects_non_finite_seeds() {
+        let bad = std::panic::catch_unwind(|| Duals::from_potentials(vec![0.0, f64::NAN]));
+        assert!(bad.is_err(), "NaN potentials must be rejected");
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Fingerprint-keyed plan cache with perturbation-tolerant lookup.
+//!
+//! Two-level keying (see `DESIGN.md` §12 for the full rationale):
+//!
+//! * The **exact key** — [`CommMatrix::fingerprint`], FNV-1a over
+//!   cells quantized on a fine grid — replays whole plans. Two
+//!   requests with the same exact key carry matrices equal to within
+//!   one part in 2²⁰ of the largest cell, so the cached plan *is* the
+//!   plan a fresh solve would produce.
+//! * The **bucket key** — [`CommMatrix::fingerprint_bucket`], cells
+//!   quantized to log-scale buckets — only *nominates* warm-start
+//!   candidates. A nomination is confirmed by directly measuring
+//!   [`CommMatrix::max_rel_deviation`] against the cached matrix; the
+//!   candidate's retained dual potentials then warm-start a fresh
+//!   solve. Because a boundary-straddling cell can flip a bucket even
+//!   under a tiny perturbation, a small per-`(algorithm, P)` recency
+//!   ring is also probed — a missed nomination costs one cold solve,
+//!   never a wrong plan.
+//!
+//! The cache is tenant-agnostic on purpose: plans depend only on
+//! `(algorithm, matrix)`, so tenants with congruent traffic share
+//! entries (per-tenant *dispositions* are still metered separately by
+//! the server). Capacity is bounded with FIFO eviction.
+
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::schedule::SendOrder;
+use std::collections::{BTreeMap, VecDeque};
+
+/// How many recent entries per `(algorithm, P)` the recency ring
+/// keeps as a backstop against bucket-boundary flips.
+const RECENCY_RING: usize = 8;
+
+/// A retained plan: the matrix it was computed for (to confirm
+/// near-hits by direct deviation measurement), the plan itself, and
+/// the round-1 dual potentials for cross-job warm starts.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    matrix: CommMatrix,
+    order: SendOrder,
+    /// Round-1 LAP potentials; empty when the producing algorithm has
+    /// no duals to retain (non-matching schedulers).
+    seed: Vec<f64>,
+    bucket: u64,
+}
+
+/// What a lookup found.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Exact fingerprint match: replay this plan verbatim.
+    Hit(SendOrder),
+    /// Near-hit: warm-start a fresh solve from these potentials.
+    Warm {
+        /// Retained round-1 dual potentials of the cached job.
+        seed: Vec<f64>,
+        /// Measured relative deviation from the cached matrix.
+        deviation: f64,
+    },
+    /// Nothing usable; solve cold.
+    Miss,
+}
+
+/// Monotone counters describing cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plans inserted.
+    pub inserts: u64,
+    /// Exact-key replays.
+    pub exact_hits: u64,
+    /// Confirmed near-hits that seeded a warm start.
+    pub warm_hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries dropped by FIFO eviction.
+    pub evictions: u64,
+}
+
+/// The fingerprint-keyed plan cache. Not internally synchronized —
+/// the server wraps it in a mutex.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    near_tolerance: f64,
+    entries: BTreeMap<(String, u64), CachedPlan>,
+    /// `(algorithm, P, bucket fingerprint)` → exact keys, newest last.
+    buckets: BTreeMap<(String, usize, u64), Vec<u64>>,
+    /// `(algorithm, P)` → recent exact keys, newest last.
+    recent: BTreeMap<(String, usize), VecDeque<u64>>,
+    fifo: VecDeque<(String, u64)>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans, confirming near-hits
+    /// up to `near_tolerance` relative deviation.
+    pub fn new(capacity: usize, near_tolerance: f64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(
+            near_tolerance.is_finite() && near_tolerance >= 0.0,
+            "near tolerance must be finite and non-negative"
+        );
+        PlanCache {
+            capacity,
+            near_tolerance,
+            entries: BTreeMap::new(),
+            buckets: BTreeMap::new(),
+            recent: BTreeMap::new(),
+            fifo: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether an exact entry exists, without touching the counters —
+    /// the admission controller peeks this to substitute the replay
+    /// cost for the solve estimate.
+    pub fn contains(&self, algorithm: &str, fingerprint: u64) -> bool {
+        self.entries
+            .contains_key(&(algorithm.to_string(), fingerprint))
+    }
+
+    /// Exact-key probe without a matrix (the fingerprint-only wire
+    /// request). Returns the plan and the cached matrix so the caller
+    /// can evaluate completion time.
+    pub fn probe(&mut self, algorithm: &str, fingerprint: u64) -> Option<(SendOrder, CommMatrix)> {
+        let key = (algorithm.to_string(), fingerprint);
+        match self.entries.get(&key) {
+            Some(entry) => {
+                self.stats.exact_hits += 1;
+                Some((entry.order.clone(), entry.matrix.clone()))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Full lookup: exact replay, else confirmed near-hit, else miss.
+    pub fn lookup(&mut self, algorithm: &str, matrix: &CommMatrix) -> CacheLookup {
+        let fp = matrix.fingerprint();
+        let key = (algorithm.to_string(), fp);
+        if let Some(entry) = self.entries.get(&key) {
+            self.stats.exact_hits += 1;
+            return CacheLookup::Hit(entry.order.clone());
+        }
+
+        // Nominate candidates: same-bucket entries first, then the
+        // recency ring (guards against bucket-boundary flips).
+        let p = matrix.len();
+        let bucket = matrix.fingerprint_bucket();
+        let mut candidates: Vec<u64> = Vec::new();
+        if let Some(fps) = self.buckets.get(&(algorithm.to_string(), p, bucket)) {
+            candidates.extend(fps.iter().rev());
+        }
+        if let Some(ring) = self.recent.get(&(algorithm.to_string(), p)) {
+            for &c in ring.iter().rev() {
+                if !candidates.contains(&c) {
+                    candidates.push(c);
+                }
+            }
+        }
+
+        // Confirm by direct measurement; best (smallest deviation) wins.
+        let mut best: Option<(f64, &CachedPlan)> = None;
+        for c in candidates {
+            let Some(entry) = self.entries.get(&(algorithm.to_string(), c)) else {
+                continue;
+            };
+            if entry.seed.is_empty() {
+                continue;
+            }
+            let Some(dev) = matrix.max_rel_deviation(&entry.matrix) else {
+                continue;
+            };
+            if dev <= self.near_tolerance && best.is_none_or(|(b, _)| dev < b) {
+                best = Some((dev, entry));
+            }
+        }
+        match best {
+            Some((deviation, entry)) => {
+                self.stats.warm_hits += 1;
+                CacheLookup::Warm {
+                    seed: entry.seed.clone(),
+                    deviation,
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    /// Retains a freshly computed plan. `seed` is the producing job's
+    /// round-1 dual potentials (empty when the algorithm has none).
+    pub fn insert(
+        &mut self,
+        algorithm: &str,
+        matrix: &CommMatrix,
+        order: SendOrder,
+        seed: Vec<f64>,
+    ) {
+        let fp = matrix.fingerprint();
+        let p = matrix.len();
+        let bucket = matrix.fingerprint_bucket();
+        let key = (algorithm.to_string(), fp);
+        if self.entries.contains_key(&key) {
+            return; // Already cached; FIFO position unchanged.
+        }
+        while self.entries.len() >= self.capacity {
+            self.evict_oldest();
+        }
+        self.entries.insert(
+            key.clone(),
+            CachedPlan {
+                matrix: matrix.clone(),
+                order,
+                seed,
+                bucket,
+            },
+        );
+        self.buckets
+            .entry((algorithm.to_string(), p, bucket))
+            .or_default()
+            .push(fp);
+        let ring = self.recent.entry((algorithm.to_string(), p)).or_default();
+        ring.push_back(fp);
+        while ring.len() > RECENCY_RING {
+            ring.pop_front();
+        }
+        self.fifo.push_back(key);
+        self.stats.inserts += 1;
+    }
+
+    fn evict_oldest(&mut self) {
+        let Some(key) = self.fifo.pop_front() else {
+            return;
+        };
+        let Some(entry) = self.entries.remove(&key) else {
+            return;
+        };
+        let p = entry.matrix.len();
+        let (algo, fp) = key;
+        if let Some(fps) = self.buckets.get_mut(&(algo.clone(), p, entry.bucket)) {
+            fps.retain(|&c| c != fp);
+            if fps.is_empty() {
+                self.buckets.remove(&(algo.clone(), p, entry.bucket));
+            }
+        }
+        if let Some(ring) = self.recent.get_mut(&(algo, p)) {
+            ring.retain(|&c| c != fp);
+        }
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(p: usize, salt: f64) -> CommMatrix {
+        let rows: Vec<Vec<f64>> = (0..p)
+            .map(|s| {
+                (0..p)
+                    .map(|d| {
+                        if s == d {
+                            0.0
+                        } else {
+                            50.0 + salt
+                                + 40.0 * ((s as f64) * 1.37).sin() * ((d as f64) * 0.73).cos()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        CommMatrix::from_rows(&rows)
+    }
+
+    fn order_for(p: usize) -> SendOrder {
+        SendOrder::new(
+            (0..p)
+                .map(|s| (0..p).filter(|&d| d != s).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn exact_key_replays_and_near_key_warms() {
+        let mut cache = PlanCache::new(8, 0.10);
+        let m = matrix(6, 0.0);
+        cache.insert("matching-max", &m, order_for(6), vec![1.0; 6]);
+
+        assert!(matches!(
+            cache.lookup("matching-max", &m),
+            CacheLookup::Hit(_)
+        ));
+
+        // ±2% perturbation: not an exact hit, but a confirmed warm.
+        let mut rows: Vec<Vec<f64>> = (0..6).map(|s| m.row(s).to_vec()).collect();
+        for (s, row) in rows.iter_mut().enumerate() {
+            for (d, cell) in row.iter_mut().enumerate() {
+                if s != d {
+                    *cell *= if (s + d) % 2 == 0 { 1.02 } else { 0.98 };
+                }
+            }
+        }
+        let near = CommMatrix::from_rows(&rows);
+        match cache.lookup("matching-max", &near) {
+            CacheLookup::Warm { seed, deviation } => {
+                assert_eq!(seed.len(), 6);
+                assert!(deviation <= 0.0201, "measured {deviation}");
+            }
+            other => panic!("expected warm, got {other:?}"),
+        }
+
+        // A structurally different matrix misses.
+        assert!(matches!(
+            cache.lookup("matching-max", &matrix(6, 500.0)),
+            CacheLookup::Miss
+        ));
+        // A different algorithm namespace misses even on the same matrix.
+        assert!(matches!(cache.lookup("greedy", &m), CacheLookup::Miss));
+        let stats = cache.stats();
+        assert_eq!((stats.exact_hits, stats.warm_hits, stats.misses), (1, 1, 2));
+    }
+
+    #[test]
+    fn entries_without_seeds_never_nominate_warm_starts() {
+        let mut cache = PlanCache::new(8, 0.10);
+        let m = matrix(5, 0.0);
+        cache.insert("greedy", &m, order_for(5), Vec::new());
+        let mut rows: Vec<Vec<f64>> = (0..5).map(|s| m.row(s).to_vec()).collect();
+        rows[0][1] *= 1.01;
+        let near = CommMatrix::from_rows(&rows);
+        assert!(matches!(cache.lookup("greedy", &near), CacheLookup::Miss));
+        // The exact key still replays.
+        assert!(matches!(cache.lookup("greedy", &m), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn fifo_eviction_unindexes_the_oldest_entry() {
+        let mut cache = PlanCache::new(2, 0.10);
+        let (a, b, c) = (matrix(4, 0.0), matrix(4, 10.0), matrix(4, 20.0));
+        cache.insert("matching-max", &a, order_for(4), vec![0.0; 4]);
+        cache.insert("matching-max", &b, order_for(4), vec![0.0; 4]);
+        cache.insert("matching-max", &c, order_for(4), vec![0.0; 4]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(matches!(
+            cache.lookup("matching-max", &a),
+            CacheLookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup("matching-max", &b),
+            CacheLookup::Hit(_)
+        ));
+        assert!(matches!(
+            cache.lookup("matching-max", &c),
+            CacheLookup::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn probe_answers_from_the_exact_key_alone() {
+        let mut cache = PlanCache::new(4, 0.10);
+        let m = matrix(4, 0.0);
+        cache.insert("matching-max", &m, order_for(4), Vec::new());
+        let fp = m.fingerprint();
+        assert!(cache.probe("matching-max", fp).is_some());
+        assert!(cache.probe("matching-max", fp ^ 1).is_none());
+    }
+}

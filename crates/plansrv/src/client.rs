@@ -1,0 +1,124 @@
+//! Client library: a thin blocking wrapper over the framed protocol,
+//! sharing the runtime transport's socket plumbing
+//! ([`adaptcomm_runtime::tcp::write_frame`] / `read_frame`).
+
+use crate::proto::{
+    self, PlanRequest, PlanResponse, ProtocolError, QosSpec, Request, MAX_FRAME, PROTO_VERSION,
+};
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_runtime::tcp::{read_frame, write_frame};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Anything that can go wrong talking to a plan server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(String),
+    /// The server's bytes did not decode.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(detail) => write!(f, "plan server I/O: {detail}"),
+            ClientError::Protocol(e) => write!(f, "plan server protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A blocking connection to a plan server. One request in flight at a
+/// time; the connection persists across requests.
+pub struct PlanClient {
+    stream: TcpStream,
+}
+
+impl PlanClient {
+    /// Connects to a plan server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        // Frames go out as two writes (header, payload); Nagle would
+        // hold the payload for the delayed ACK, ~40 ms per request.
+        let _ = stream.set_nodelay(true);
+        Ok(PlanClient { stream })
+    }
+
+    /// Connects, retrying until `deadline` elapses — for racing a
+    /// server that is still binding (CI smoke, tests).
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        deadline: Duration,
+    ) -> Result<Self, ClientError> {
+        let t0 = Instant::now();
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if t0.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<PlanResponse, ClientError> {
+        let payload = proto::encode_request(request);
+        write_frame(&mut self.stream, PROTO_VERSION, &payload)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let (tag, payload) =
+            read_frame(&mut self.stream, MAX_FRAME).map_err(|e| ClientError::Io(e.to_string()))?;
+        if tag != PROTO_VERSION {
+            return Err(ClientError::Protocol(ProtocolError::BadVersion { tag }));
+        }
+        Ok(proto::parse_response(&payload)?)
+    }
+
+    /// Requests a plan for a full cost matrix.
+    pub fn plan(
+        &mut self,
+        tenant: &str,
+        algorithm: &str,
+        matrix: &CommMatrix,
+        qos: QosSpec,
+    ) -> Result<PlanResponse, ClientError> {
+        self.roundtrip(&Request::Plan(PlanRequest {
+            tenant: tenant.to_string(),
+            algorithm: algorithm.to_string(),
+            matrix: Some(matrix.clone()),
+            fingerprint: Some(matrix.fingerprint()),
+            qos,
+        }))
+    }
+
+    /// Fingerprint-only probe: asks whether the server can replay a
+    /// cached plan without shipping the `P²` matrix. Answers
+    /// [`PlanResponse::NeedMatrix`] on a miss.
+    pub fn probe(
+        &mut self,
+        tenant: &str,
+        algorithm: &str,
+        fingerprint: u64,
+        qos: QosSpec,
+    ) -> Result<PlanResponse, ClientError> {
+        self.roundtrip(&Request::Plan(PlanRequest {
+            tenant: tenant.to_string(),
+            algorithm: algorithm.to_string(),
+            matrix: None,
+            fingerprint: Some(fingerprint),
+            qos,
+        }))
+    }
+
+    /// Sends the shutdown control frame; the server acknowledges with
+    /// [`PlanResponse::Bye`], finishes in-flight requests, and stops.
+    pub fn shutdown(mut self) -> Result<PlanResponse, ClientError> {
+        self.roundtrip(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,814 @@
+//! Wire protocol: length-prefixed frames carrying hand-rolled JSON.
+//!
+//! # Frame grammar
+//!
+//! Every message travels in one frame sharing the runtime transport's
+//! layout ([`adaptcomm_runtime::tcp::write_frame`]): a 16-byte header —
+//! two little-endian `u64`s, here `(PROTO_VERSION, payload length)` —
+//! followed by the payload. The reader rejects unknown versions and
+//! payloads over [`MAX_FRAME`] *before* allocating, so a corrupt or
+//! hostile header cannot balloon memory.
+//!
+//! # Payload grammar
+//!
+//! The payload is a single-line JSON object, written by hand (the
+//! perfgate writer idiom: `{:?}` formatting for `f64`, which
+//! round-trips exactly) and parsed with the obs crate's
+//! recursive-descent [`adaptcomm_obs::json::Value`] parser — no serde
+//! anywhere. Requests:
+//!
+//! ```json
+//! {"type":"plan","tenant":"alice","algorithm":"matching-max",
+//!  "fingerprint":"<16 hex digits>", "matrix":[[0.0,1.5],[2.0,0.0]],
+//!  "qos":{"deadline_ms":5.0,"priority":3,"critical":[[0,1]]}}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! `matrix` and `fingerprint` are each optional (a fingerprint-only
+//! request probes the cache without shipping `P²` cells; the server
+//! answers `need-matrix` on a miss). Fingerprints are hex *strings*
+//! because JSON numbers are `f64` and lose `u64` precision. Responses:
+//!
+//! ```json
+//! {"type":"plan","status":"ok","cache":"cold|hit|warm","epoch":1,
+//!  "served_seq":3,"plan":{"order":[[1,2],[0,2],[0,1]],"completion_ms":12.5},
+//!  "stats":{"round1_warm":false,"round1_col_scans":96,
+//!           "total_col_scans":480,"service_ms":3.25}}
+//! {"type":"plan","status":"need-matrix"}
+//! {"type":"plan","status":"rejected","retry_after_ms":10.5,"detail":"..."}
+//! {"type":"plan","status":"error","detail":"..."}
+//! {"type":"bye"}
+//! ```
+//!
+//! Every decode failure is a typed [`ProtocolError`]; no input —
+//! truncated, oversized, garbage, or split at any byte — panics.
+
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::schedule::SendOrder;
+use adaptcomm_obs::json::Value;
+use std::fmt;
+
+/// Protocol version carried in every frame header's tag slot.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Ceiling on one payload: 16 MiB holds a P≈1000 matrix with room.
+pub const MAX_FRAME: u64 = 16 << 20;
+
+/// Every way a frame or payload can fail to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// Claimed payload length.
+        len: u64,
+        /// The enforced ceiling.
+        max: u64,
+    },
+    /// The frame header's version tag is not [`PROTO_VERSION`].
+    BadVersion {
+        /// The tag that was received.
+        tag: u64,
+    },
+    /// The stream ended mid-frame.
+    Truncated {
+        /// Bytes still buffered.
+        have: usize,
+        /// Bytes the pending frame needs.
+        need: usize,
+    },
+    /// The payload is not a well-formed message.
+    Malformed {
+        /// What failed to parse.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            ProtocolError::BadVersion { tag } => {
+                write!(
+                    f,
+                    "unknown protocol version {tag} (expected {PROTO_VERSION})"
+                )
+            }
+            ProtocolError::Truncated { have, need } => {
+                write!(f, "stream ended mid-frame ({have} of {need} bytes)")
+            }
+            ProtocolError::Malformed { detail } => write!(f, "malformed payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn malformed(detail: impl Into<String>) -> ProtocolError {
+    ProtocolError::Malformed {
+        detail: detail.into(),
+    }
+}
+
+/// Incremental frame decoder: feed arbitrary byte chunks with
+/// [`FrameReader::push`], drain whole payloads with
+/// [`FrameReader::next_frame`]. Split reads are the normal case — a
+/// frame only emerges once every byte has arrived.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a chunk of received bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Compact lazily so long sessions don't grow without bound.
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// The next complete payload, `Ok(None)` while one is still
+    /// partial, or a typed error on a bad header.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtocolError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 16 {
+            return Ok(None);
+        }
+        let tag = u64::from_le_bytes(pending[..8].try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(pending[8..16].try_into().expect("8 bytes"));
+        if tag != PROTO_VERSION {
+            return Err(ProtocolError::BadVersion { tag });
+        }
+        if len > MAX_FRAME {
+            return Err(ProtocolError::Oversized {
+                len,
+                max: MAX_FRAME,
+            });
+        }
+        let total = 16 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = pending[16..total].to_vec();
+        self.start += total;
+        Ok(Some(payload))
+    }
+
+    /// Call at end-of-stream: leftover bytes mean a truncated frame.
+    pub fn finish(&self) -> Result<(), ProtocolError> {
+        let pending = &self.buf[self.start..];
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let need = if pending.len() >= 16 {
+            16 + u64::from_le_bytes(pending[8..16].try_into().expect("8 bytes")) as usize
+        } else {
+            16
+        };
+        Err(ProtocolError::Truncated {
+            have: pending.len(),
+            need,
+        })
+    }
+}
+
+/// Builds one complete frame around a payload (the pure counterpart of
+/// the socket-writing [`adaptcomm_runtime::tcp::write_frame`]).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The §6 QoS envelope on a plan request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QosSpec {
+    /// Deadline for the *response*, in milliseconds from arrival.
+    pub deadline_ms: Option<f64>,
+    /// Priority tier, higher served first (default 0).
+    pub priority: u8,
+    /// `(src, dst)` links this tenant declares critical: their
+    /// transfers are pinned to the front of the sender's order.
+    pub critical_links: Vec<(usize, usize)>,
+}
+
+/// A plan request as carried on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// Tenant name (shards the directory, labels the metrics).
+    pub tenant: String,
+    /// Scheduler name, e.g. `matching-max` (see `all_schedulers`).
+    pub algorithm: String,
+    /// The cost matrix; may be omitted for a fingerprint-only probe.
+    pub matrix: Option<CommMatrix>,
+    /// Exact cost-matrix fingerprint, for matrix-free cache probes.
+    pub fingerprint: Option<u64>,
+    /// QoS envelope.
+    pub qos: QosSpec,
+}
+
+/// Everything a client can send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Ask for a plan.
+    Plan(PlanRequest),
+    /// Control frame: drain and stop the server.
+    Shutdown,
+}
+
+/// How the cache participated in an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Full scheduler run, nothing reused.
+    Cold,
+    /// Exact fingerprint hit: cached plan replayed verbatim.
+    Hit,
+    /// Near-hit: new solve warm-started from a cached job's duals.
+    Warm,
+}
+
+impl CacheDisposition {
+    /// Stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDisposition::Cold => "cold",
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Warm => "warm",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtocolError> {
+        match s {
+            "cold" => Ok(CacheDisposition::Cold),
+            "hit" => Ok(CacheDisposition::Hit),
+            "warm" => Ok(CacheDisposition::Warm),
+            other => Err(malformed(format!("unknown cache disposition {other:?}"))),
+        }
+    }
+}
+
+/// Solver-side counters returned with every plan, so clients can see
+/// what warm starts actually saved (`lap::SolveStats` over the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanStats {
+    /// Whether round 1 of the construction ran warm.
+    pub round1_warm: bool,
+    /// Column scans in round 1 (the cross-job savings live here).
+    pub round1_col_scans: u64,
+    /// Column scans across the whole construction.
+    pub total_col_scans: u64,
+    /// Wall time the server spent producing this answer.
+    pub service_ms: f64,
+}
+
+/// A successful plan answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOk {
+    /// Per-sender destination order (the schedule, minus timing).
+    pub order: SendOrder,
+    /// Predicted completion time of the plan on the request matrix.
+    pub completion_ms: f64,
+    /// How the cache participated.
+    pub cache: CacheDisposition,
+    /// The tenant's directory snapshot epoch the plan was computed at.
+    pub epoch: u64,
+    /// Global completion sequence number (serving order, for QoS
+    /// assertions and debugging).
+    pub served_seq: u64,
+    /// Solver counters.
+    pub stats: PlanStats,
+}
+
+/// Everything the server can answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanResponse {
+    /// A plan.
+    Ok(Box<PlanOk>),
+    /// Fingerprint-only probe missed; resend with the matrix.
+    NeedMatrix,
+    /// Admission control refused the request.
+    Rejected {
+        /// When to try again: the projected queue drain time.
+        retry_after_ms: f64,
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// The request was understood but could not be served.
+    Error {
+        /// What went wrong.
+        detail: String,
+    },
+    /// Acknowledges a shutdown control frame.
+    Bye,
+}
+
+// ---------------------------------------------------------------------
+// Writers (hand-rolled, perfgate idiom).
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `{x:?}` round-trips every finite `f64` exactly.
+fn json_number(x: f64) -> String {
+    format!("{x:?}")
+}
+
+fn write_qos(qos: &QosSpec) -> String {
+    let mut parts = Vec::new();
+    if let Some(d) = qos.deadline_ms {
+        parts.push(format!("\"deadline_ms\":{}", json_number(d)));
+    }
+    parts.push(format!("\"priority\":{}", qos.priority));
+    if !qos.critical_links.is_empty() {
+        let links: Vec<String> = qos
+            .critical_links
+            .iter()
+            .map(|(s, d)| format!("[{s},{d}]"))
+            .collect();
+        parts.push(format!("\"critical\":[{}]", links.join(",")));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn write_matrix(m: &CommMatrix) -> String {
+    let rows: Vec<String> = (0..m.len())
+        .map(|src| {
+            let cells: Vec<String> = m.row(src).iter().map(|&c| json_number(c)).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Serializes a request payload (no frame header).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Shutdown => b"{\"type\":\"shutdown\"}".to_vec(),
+        Request::Plan(plan) => {
+            let mut out = String::from("{\"type\":\"plan\"");
+            out.push_str(&format!(",\"tenant\":{}", json_string(&plan.tenant)));
+            out.push_str(&format!(",\"algorithm\":{}", json_string(&plan.algorithm)));
+            if let Some(fp) = plan.fingerprint {
+                out.push_str(&format!(",\"fingerprint\":\"{fp:016x}\""));
+            }
+            if let Some(m) = &plan.matrix {
+                out.push_str(&format!(",\"matrix\":{}", write_matrix(m)));
+            }
+            out.push_str(&format!(",\"qos\":{}", write_qos(&plan.qos)));
+            out.push('}');
+            out.into_bytes()
+        }
+    }
+}
+
+/// Serializes a response payload (no frame header).
+pub fn encode_response(resp: &PlanResponse) -> Vec<u8> {
+    match resp {
+        PlanResponse::Bye => b"{\"type\":\"bye\"}".to_vec(),
+        PlanResponse::NeedMatrix => b"{\"type\":\"plan\",\"status\":\"need-matrix\"}".to_vec(),
+        PlanResponse::Rejected {
+            retry_after_ms,
+            detail,
+        } => format!(
+            "{{\"type\":\"plan\",\"status\":\"rejected\",\"retry_after_ms\":{},\"detail\":{}}}",
+            json_number(*retry_after_ms),
+            json_string(detail)
+        )
+        .into_bytes(),
+        PlanResponse::Error { detail } => format!(
+            "{{\"type\":\"plan\",\"status\":\"error\",\"detail\":{}}}",
+            json_string(detail)
+        )
+        .into_bytes(),
+        PlanResponse::Ok(ok) => {
+            let rows: Vec<String> = ok
+                .order
+                .order
+                .iter()
+                .map(|dsts| {
+                    let cells: Vec<String> = dsts.iter().map(|d| d.to_string()).collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            format!(
+                "{{\"type\":\"plan\",\"status\":\"ok\",\"cache\":\"{}\",\"epoch\":{},\
+                 \"served_seq\":{},\"plan\":{{\"order\":[{}],\"completion_ms\":{}}},\
+                 \"stats\":{{\"round1_warm\":{},\"round1_col_scans\":{},\
+                 \"total_col_scans\":{},\"service_ms\":{}}}}}",
+                ok.cache.as_str(),
+                ok.epoch,
+                ok.served_seq,
+                rows.join(","),
+                json_number(ok.completion_ms),
+                ok.stats.round1_warm,
+                ok.stats.round1_col_scans,
+                ok.stats.total_col_scans,
+                json_number(ok.stats.service_ms),
+            )
+            .into_bytes()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsers (obs `json::Value` recursive descent underneath).
+
+fn parse_value(payload: &[u8]) -> Result<Value, ProtocolError> {
+    let text = std::str::from_utf8(payload).map_err(|e| malformed(format!("not UTF-8: {e}")))?;
+    Value::parse(text).map_err(malformed)
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> Result<&'v str, ProtocolError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed(format!("missing string field {key:?}")))
+}
+
+fn num_field(v: &Value, key: &str) -> Result<f64, ProtocolError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| malformed(format!("missing numeric field {key:?}")))
+}
+
+fn index_field(v: &Value, what: &str) -> Result<usize, ProtocolError> {
+    let x = v
+        .as_f64()
+        .ok_or_else(|| malformed(format!("{what} must be a number")))?;
+    if x.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&x) {
+        return Err(malformed(format!(
+            "{what} must be a small non-negative integer, got {x}"
+        )));
+    }
+    Ok(x as usize)
+}
+
+fn parse_matrix(v: &Value) -> Result<CommMatrix, ProtocolError> {
+    let rows = v
+        .as_arr()
+        .ok_or_else(|| malformed("matrix must be an array of rows"))?;
+    let p = rows.len();
+    if p == 0 {
+        return Err(malformed("matrix must have at least one row"));
+    }
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(p);
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| malformed(format!("matrix row {i} must be an array")))?;
+        if cells.len() != p {
+            return Err(malformed(format!(
+                "matrix row {i} has {} cells, expected {p}",
+                cells.len()
+            )));
+        }
+        let mut parsed = Vec::with_capacity(p);
+        for (j, cell) in cells.iter().enumerate() {
+            let x = cell
+                .as_f64()
+                .ok_or_else(|| malformed(format!("matrix cell ({i},{j}) must be a number")))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(malformed(format!(
+                    "matrix cell ({i},{j}) must be finite and non-negative, got {x}"
+                )));
+            }
+            parsed.push(x);
+        }
+        out.push(parsed);
+    }
+    Ok(CommMatrix::from_rows(&out))
+}
+
+fn parse_qos(v: &Value) -> Result<QosSpec, ProtocolError> {
+    let mut qos = QosSpec::default();
+    if let Some(d) = v.get("deadline_ms") {
+        let d = d
+            .as_f64()
+            .ok_or_else(|| malformed("deadline_ms must be a number"))?;
+        if !d.is_finite() || d < 0.0 {
+            return Err(malformed(format!(
+                "deadline_ms must be finite and non-negative, got {d}"
+            )));
+        }
+        qos.deadline_ms = Some(d);
+    }
+    if let Some(p) = v.get("priority") {
+        let p = index_field(p, "priority")?;
+        if p > u8::MAX as usize {
+            return Err(malformed(format!("priority must fit in a u8, got {p}")));
+        }
+        qos.priority = p as u8;
+    }
+    if let Some(links) = v.get("critical") {
+        let links = links
+            .as_arr()
+            .ok_or_else(|| malformed("critical must be an array of [src,dst] pairs"))?;
+        for link in links {
+            let pair = link
+                .as_arr()
+                .ok_or_else(|| malformed("critical entries must be [src,dst] pairs"))?;
+            if pair.len() != 2 {
+                return Err(malformed("critical entries must have exactly two elements"));
+            }
+            qos.critical_links.push((
+                index_field(&pair[0], "critical src")?,
+                index_field(&pair[1], "critical dst")?,
+            ));
+        }
+    }
+    Ok(qos)
+}
+
+fn parse_fingerprint(s: &str) -> Result<u64, ProtocolError> {
+    if s.len() != 16 {
+        return Err(malformed(format!(
+            "fingerprint must be 16 hex digits, got {s:?}"
+        )));
+    }
+    u64::from_str_radix(s, 16).map_err(|e| malformed(format!("bad fingerprint {s:?}: {e}")))
+}
+
+/// Parses a request payload.
+pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let v = parse_value(payload)?;
+    match str_field(&v, "type")? {
+        "shutdown" => Ok(Request::Shutdown),
+        "plan" => {
+            let tenant = str_field(&v, "tenant")?.to_string();
+            if tenant.is_empty() {
+                return Err(malformed("tenant must be non-empty"));
+            }
+            let algorithm = str_field(&v, "algorithm")?.to_string();
+            let fingerprint = match v.get("fingerprint") {
+                None => None,
+                Some(f) => {
+                    Some(parse_fingerprint(f.as_str().ok_or_else(|| {
+                        malformed("fingerprint must be a hex string")
+                    })?)?)
+                }
+            };
+            let matrix = v.get("matrix").map(parse_matrix).transpose()?;
+            if matrix.is_none() && fingerprint.is_none() {
+                return Err(malformed("a plan request needs a matrix or a fingerprint"));
+            }
+            let qos = match v.get("qos") {
+                None => QosSpec::default(),
+                Some(q) => parse_qos(q)?,
+            };
+            Ok(Request::Plan(PlanRequest {
+                tenant,
+                algorithm,
+                matrix,
+                fingerprint,
+                qos,
+            }))
+        }
+        other => Err(malformed(format!("unknown request type {other:?}"))),
+    }
+}
+
+fn parse_order(v: &Value) -> Result<SendOrder, ProtocolError> {
+    let rows = v
+        .as_arr()
+        .ok_or_else(|| malformed("plan order must be an array"))?;
+    let p = rows.len();
+    let mut order = Vec::with_capacity(p);
+    for (src, row) in rows.iter().enumerate() {
+        let dsts = row
+            .as_arr()
+            .ok_or_else(|| malformed(format!("order row {src} must be an array")))?;
+        let mut list = Vec::with_capacity(dsts.len());
+        let mut seen = vec![false; p];
+        for d in dsts {
+            let d = index_field(d, "order destination")?;
+            if d >= p || d == src || seen[d] {
+                return Err(malformed(format!(
+                    "order row {src} is not a permutation of the other processors"
+                )));
+            }
+            seen[d] = true;
+            list.push(d);
+        }
+        if list.len() != p.saturating_sub(1) {
+            return Err(malformed(format!(
+                "order row {src} has {} destinations, expected {}",
+                list.len(),
+                p.saturating_sub(1)
+            )));
+        }
+        order.push(list);
+    }
+    Ok(SendOrder::new(order))
+}
+
+/// Parses a response payload.
+pub fn parse_response(payload: &[u8]) -> Result<PlanResponse, ProtocolError> {
+    let v = parse_value(payload)?;
+    match str_field(&v, "type")? {
+        "bye" => Ok(PlanResponse::Bye),
+        "plan" => match str_field(&v, "status")? {
+            "need-matrix" => Ok(PlanResponse::NeedMatrix),
+            "rejected" => Ok(PlanResponse::Rejected {
+                retry_after_ms: num_field(&v, "retry_after_ms")?,
+                detail: str_field(&v, "detail")?.to_string(),
+            }),
+            "error" => Ok(PlanResponse::Error {
+                detail: str_field(&v, "detail")?.to_string(),
+            }),
+            "ok" => {
+                let plan = v
+                    .get("plan")
+                    .ok_or_else(|| malformed("missing plan object"))?;
+                let stats = v
+                    .get("stats")
+                    .ok_or_else(|| malformed("missing stats object"))?;
+                Ok(PlanResponse::Ok(Box::new(PlanOk {
+                    order: parse_order(
+                        plan.get("order")
+                            .ok_or_else(|| malformed("missing plan.order"))?,
+                    )?,
+                    completion_ms: num_field(plan, "completion_ms")?,
+                    cache: CacheDisposition::parse(str_field(&v, "cache")?)?,
+                    epoch: num_field(&v, "epoch")? as u64,
+                    served_seq: num_field(&v, "served_seq")? as u64,
+                    stats: PlanStats {
+                        round1_warm: matches!(stats.get("round1_warm"), Some(Value::Bool(true))),
+                        round1_col_scans: num_field(stats, "round1_col_scans")? as u64,
+                        total_col_scans: num_field(stats, "total_col_scans")? as u64,
+                        service_ms: num_field(stats, "service_ms")?,
+                    },
+                })))
+            }
+            other => Err(malformed(format!("unknown response status {other:?}"))),
+        },
+        other => Err(malformed(format!("unknown response type {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request::Plan(PlanRequest {
+            tenant: "alice \"a\"".into(),
+            algorithm: "matching-max".into(),
+            matrix: Some(CommMatrix::from_rows(&[
+                vec![0.0, 1.25, 3.5],
+                vec![2.0, 0.0, 0.125],
+                vec![9.75, 4.5, 0.0],
+            ])),
+            fingerprint: Some(0xdead_beef_0123_4567),
+            qos: QosSpec {
+                deadline_ms: Some(12.5),
+                priority: 7,
+                critical_links: vec![(0, 2), (1, 0)],
+            },
+        })
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [sample_request(), Request::Shutdown] {
+            let bytes = encode_request(&req);
+            assert_eq!(parse_request(&bytes).unwrap(), req);
+        }
+        // Fingerprint-only probe round-trips without a matrix.
+        let probe = Request::Plan(PlanRequest {
+            tenant: "t".into(),
+            algorithm: "greedy".into(),
+            matrix: None,
+            fingerprint: Some(3),
+            qos: QosSpec::default(),
+        });
+        assert_eq!(parse_request(&encode_request(&probe)).unwrap(), probe);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            PlanResponse::Bye,
+            PlanResponse::NeedMatrix,
+            PlanResponse::Rejected {
+                retry_after_ms: 41.75,
+                detail: "deadline 1 ms unmeetable".into(),
+            },
+            PlanResponse::Error {
+                detail: "unknown algorithm \"frobnicate\"".into(),
+            },
+            PlanResponse::Ok(Box::new(PlanOk {
+                order: SendOrder::new(vec![vec![1, 2], vec![2, 0], vec![0, 1]]),
+                completion_ms: 123.0625,
+                cache: CacheDisposition::Warm,
+                epoch: 5,
+                served_seq: 17,
+                stats: PlanStats {
+                    round1_warm: true,
+                    round1_col_scans: 42,
+                    total_col_scans: 512,
+                    service_ms: 1.5,
+                },
+            })),
+        ];
+        for resp in responses {
+            let bytes = encode_response(&resp);
+            assert_eq!(parse_response(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_reader() {
+        let payloads: Vec<Vec<u8>> = vec![
+            encode_request(&sample_request()),
+            encode_request(&Request::Shutdown),
+            Vec::new(),
+        ];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&frame(p));
+        }
+        let mut reader = FrameReader::new();
+        reader.push(&stream);
+        for p in &payloads {
+            assert_eq!(reader.next_frame().unwrap().as_deref(), Some(p.as_slice()));
+        }
+        assert_eq!(reader.next_frame().unwrap(), None);
+        reader.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_headers_are_typed_errors() {
+        // Oversized length prefix.
+        let mut reader = FrameReader::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        reader.push(&bytes);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(ProtocolError::Oversized { .. })
+        ));
+        // Wrong version tag.
+        let mut reader = FrameReader::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        reader.push(&bytes);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(ProtocolError::BadVersion { tag: 7 })
+        ));
+        // Truncation is only an error at end-of-stream.
+        let mut reader = FrameReader::new();
+        reader.push(&frame(b"{}")[..10]);
+        assert_eq!(reader.next_frame().unwrap(), None);
+        assert!(matches!(
+            reader.finish(),
+            Err(ProtocolError::Truncated { have: 10, need: 16 })
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        for bad in [
+            &b"not json at all"[..],
+            br#"{"type":"plan"}"#,
+            br#"{"type":"plan","tenant":"t","algorithm":"a"}"#,
+            br#"{"type":"plan","tenant":"","algorithm":"a","fingerprint":"0000000000000000"}"#,
+            br#"{"type":"plan","tenant":"t","algorithm":"a","matrix":[[0,1],[2]]}"#,
+            br#"{"type":"plan","tenant":"t","algorithm":"a","matrix":[[0,-1],[2,0]]}"#,
+            br#"{"type":"plan","tenant":"t","algorithm":"a","fingerprint":"xyz"}"#,
+            br#"{"type":"wat"}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(matches!(err, ProtocolError::Malformed { .. }), "{err}");
+        }
+        assert!(parse_response(br#"{"type":"plan","status":"wat"}"#).is_err());
+    }
+}

@@ -1,0 +1,684 @@
+//! The plan server: admission control in front of a worker pool in
+//! front of a sharded directory and a shared plan cache.
+//!
+//! One accept thread hands connections to per-connection handler
+//! threads; handlers parse frames with the property-tested
+//! [`crate::proto::FrameReader`], run admission, and block on a reply
+//! channel while a worker-pool thread computes (or replays) the plan.
+//! Shutdown is graceful by construction: the control frame stops the
+//! accept loop, handlers drain their in-flight requests against a
+//! still-running worker pool, and only then does the queue close and
+//! the pool join (the regression test in `tests/lifecycle.rs` pins
+//! this ordering).
+
+use crate::admission::{AdmissionError, AdmissionQueue};
+use crate::cache::{CacheLookup, PlanCache};
+use crate::proto::{
+    self, CacheDisposition, PlanOk, PlanRequest, PlanResponse, PlanStats, ProtocolError, Request,
+};
+use adaptcomm_core::algorithms::{all_schedulers, MatchingKind, MatchingScheduler, Scheduler};
+use adaptcomm_core::execution::execute_listed;
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_core::schedule::SendOrder;
+use adaptcomm_directory::ShardedDirectory;
+use adaptcomm_model::cost::LinkEstimate;
+use adaptcomm_model::{Bandwidth, Millis, NetParams};
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Estimated cost of replaying a cached plan (milliseconds). Replays
+/// skip the solver entirely, which is what lets a warm cache admit
+/// deadlines a cold solve could never meet.
+const REPLAY_EST_MS: f64 = 0.05;
+
+/// EWMA smoothing for per-`(algorithm, P)` service-time estimates.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Tuning knobs for [`PlanServer`].
+#[derive(Debug, Clone)]
+pub struct PlanServerConfig {
+    /// Directory shard count (tenants hash across shards).
+    pub shards: usize,
+    /// Worker-pool size draining the admission queue.
+    pub workers: usize,
+    /// Plan-cache capacity (entries, FIFO eviction).
+    pub cache_capacity: usize,
+    /// Near-hit confirmation tolerance (max relative deviation).
+    pub near_tolerance: f64,
+    /// Service-time prior for an `(algorithm, P)` pair never seen.
+    pub default_est_ms: f64,
+    /// Artificial per-solve service time: workers sleep this long on
+    /// every cold or warm solve (replays are exempt). The determinism
+    /// knob for QoS tests and the CI smoke run; `None` in production.
+    pub pace: Option<Duration>,
+}
+
+impl Default for PlanServerConfig {
+    fn default() -> Self {
+        PlanServerConfig {
+            shards: 4,
+            workers: 2,
+            cache_capacity: 256,
+            near_tolerance: 0.10,
+            default_est_ms: 10.0,
+            pace: None,
+        }
+    }
+}
+
+/// What admission resolved a request into before queueing.
+enum Work {
+    /// Exact cache hit (possibly via fingerprint-only probe): replay.
+    Replay {
+        order: SendOrder,
+        matrix: CommMatrix,
+    },
+    /// Run the scheduler (the cache may still warm-start it).
+    Solve { matrix: CommMatrix },
+}
+
+struct Job {
+    request: PlanRequest,
+    work: Work,
+    reply: mpsc::Sender<WorkerReply>,
+}
+
+struct WorkerReply {
+    outcome: Result<ComputedPlan, String>,
+    served_seq: u64,
+    service_ms: f64,
+}
+
+struct ComputedPlan {
+    order: SendOrder,
+    completion_ms: f64,
+    cache: CacheDisposition,
+    epoch: u64,
+    round1_warm: bool,
+    round1_col_scans: u64,
+    total_col_scans: u64,
+}
+
+/// The shared service state behind the listener: sharded directory,
+/// plan cache, service-time estimates, admission queue.
+pub struct PlanService {
+    config: PlanServerConfig,
+    directory: ShardedDirectory,
+    cache: Mutex<PlanCache>,
+    estimates: Mutex<BTreeMap<(String, usize), f64>>,
+    tenant_fp: Mutex<BTreeMap<String, u64>>,
+    queue: AdmissionQueue<Job>,
+}
+
+impl PlanService {
+    fn new(config: PlanServerConfig) -> Self {
+        PlanService {
+            directory: ShardedDirectory::new(config.shards),
+            cache: Mutex::new(PlanCache::new(config.cache_capacity, config.near_tolerance)),
+            estimates: Mutex::new(BTreeMap::new()),
+            tenant_fp: Mutex::new(BTreeMap::new()),
+            queue: AdmissionQueue::new(),
+            config,
+        }
+    }
+
+    /// The sharded per-tenant directory (per-tenant epochs and stats).
+    pub fn directory(&self) -> &ShardedDirectory {
+        &self.directory
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.lock().expect("cache poisoned").stats()
+    }
+
+    fn pace_ms(&self) -> f64 {
+        self.config.pace.map_or(0.0, |d| d.as_secs_f64() * 1e3)
+    }
+
+    /// The service-time estimate admission will use for a solve.
+    fn solve_estimate(&self, algorithm: &str, p: usize) -> f64 {
+        let default = self.config.default_est_ms.max(self.pace_ms());
+        self.estimates
+            .lock()
+            .expect("estimates poisoned")
+            .get(&(algorithm.to_string(), p))
+            .copied()
+            .unwrap_or(default)
+    }
+
+    fn learn_estimate(&self, algorithm: &str, p: usize, measured_ms: f64) {
+        let mut est = self.estimates.lock().expect("estimates poisoned");
+        let slot = est.entry((algorithm.to_string(), p)).or_insert(measured_ms);
+        *slot = (1.0 - EWMA_ALPHA) * *slot + EWMA_ALPHA * measured_ms;
+    }
+
+    /// Admission: resolve the request into work, estimate it, and
+    /// queue it (or answer immediately when no queueing is needed).
+    /// On `Ok`, the response arrives later on `reply`'s receiver.
+    fn admit(
+        &self,
+        request: PlanRequest,
+        reply: mpsc::Sender<WorkerReply>,
+    ) -> Result<(), PlanResponse> {
+        if !all_schedulers()
+            .iter()
+            .any(|s| s.name() == request.algorithm)
+        {
+            return Err(PlanResponse::Error {
+                detail: format!("unknown algorithm {:?}", request.algorithm),
+            });
+        }
+        let obs = adaptcomm_obs::global();
+        obs.add(&format!("plansrv.tenant.{}.requests", request.tenant), 1);
+
+        // Resolve into replay-vs-solve and estimate the service time.
+        let (work, est_ms) = match (&request.matrix, request.fingerprint) {
+            (Some(matrix), _) => {
+                let fp = matrix.fingerprint();
+                let would_hit = self
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .contains(&request.algorithm, fp);
+                let est = if would_hit {
+                    REPLAY_EST_MS
+                } else {
+                    self.solve_estimate(&request.algorithm, matrix.len())
+                };
+                (
+                    Work::Solve {
+                        matrix: matrix.clone(),
+                    },
+                    est,
+                )
+            }
+            (None, Some(fp)) => {
+                let probe = self
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .probe(&request.algorithm, fp);
+                match probe {
+                    Some((order, matrix)) => (Work::Replay { order, matrix }, REPLAY_EST_MS),
+                    None => return Err(PlanResponse::NeedMatrix),
+                }
+            }
+            (None, None) => {
+                return Err(PlanResponse::Error {
+                    detail: "a plan request needs a matrix or a fingerprint".into(),
+                })
+            }
+        };
+
+        let qos = &request.qos;
+        let submitted = self.queue.submit(
+            qos.priority,
+            qos.deadline_ms,
+            est_ms,
+            Job {
+                request: request.clone(),
+                work,
+                reply,
+            },
+        );
+        match submitted {
+            Ok(_seq) => {
+                obs.gauge_set("plansrv.queue_depth", self.queue.depth() as f64);
+                Ok(())
+            }
+            Err(AdmissionError::Rejected {
+                retry_after_ms,
+                projected_ms,
+            }) => {
+                obs.add(&format!("plansrv.tenant.{}.rejected", request.tenant), 1);
+                Err(PlanResponse::Rejected {
+                    retry_after_ms,
+                    detail: format!(
+                        "projected completion {projected_ms:.3} ms blows the {:.3} ms deadline",
+                        qos.deadline_ms.unwrap_or(f64::INFINITY)
+                    ),
+                })
+            }
+            Err(AdmissionError::Closed) => Err(PlanResponse::Error {
+                detail: "server is shutting down".into(),
+            }),
+        }
+    }
+
+    /// Publishes the tenant's matrix into its directory shard when the
+    /// fingerprint changed; returns the tenant's snapshot epoch.
+    fn tenant_epoch(&self, tenant: &str, matrix: &CommMatrix) -> u64 {
+        let fp = matrix.fingerprint();
+        let dir = self
+            .directory
+            .tenant_or_create(tenant, || net_params_from(matrix));
+        let mut fps = self.tenant_fp.lock().expect("tenant fingerprints poisoned");
+        match fps.get(tenant) {
+            Some(&prev) if prev == fp => {}
+            Some(_) => {
+                dir.publish(net_params_from(matrix));
+                fps.insert(tenant.to_string(), fp);
+            }
+            None => {
+                fps.insert(tenant.to_string(), fp);
+            }
+        }
+        drop(fps);
+        self.directory.epoch(tenant)
+    }
+
+    /// Executes one claimed job on a worker thread.
+    fn compute(&self, request: &PlanRequest, work: &Work) -> Result<ComputedPlan, String> {
+        let obs = adaptcomm_obs::global();
+        let (matrix, order, cache, round1_warm, round1_col_scans, total_col_scans) = match work {
+            Work::Replay { order, matrix } => {
+                obs.add(&format!("plansrv.tenant.{}.cache_hit", request.tenant), 1);
+                (matrix, order.clone(), CacheDisposition::Hit, false, 0, 0)
+            }
+            Work::Solve { matrix } => {
+                let lookup = self
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .lookup(&request.algorithm, matrix);
+                match lookup {
+                    CacheLookup::Hit(order) => {
+                        obs.add(&format!("plansrv.tenant.{}.cache_hit", request.tenant), 1);
+                        (matrix, order, CacheDisposition::Hit, false, 0, 0)
+                    }
+                    other => {
+                        let (seed, cache) = match other {
+                            CacheLookup::Warm { seed, .. } => (Some(seed), CacheDisposition::Warm),
+                            _ => (None, CacheDisposition::Cold),
+                        };
+                        let name = match cache {
+                            CacheDisposition::Warm => "cache_warm",
+                            _ => "cache_miss",
+                        };
+                        obs.add(&format!("plansrv.tenant.{}.{name}", request.tenant), 1);
+                        if let Some(pace) = self.config.pace {
+                            std::thread::sleep(pace);
+                        }
+                        let (order, r1_warm, r1_scans, total, seed_out) =
+                            solve(&request.algorithm, matrix, seed.as_deref())?;
+                        self.cache.lock().expect("cache poisoned").insert(
+                            &request.algorithm,
+                            matrix,
+                            order.clone(),
+                            seed_out,
+                        );
+                        (matrix, order, cache, r1_warm, r1_scans, total)
+                    }
+                }
+            }
+        };
+
+        let epoch = self.tenant_epoch(&request.tenant, matrix);
+        let order = if request.qos.critical_links.is_empty() {
+            order
+        } else {
+            pin_critical(&order, &request.qos.critical_links)
+        };
+        let completion_ms = execute_listed(&order, matrix).completion_time().as_ms();
+        Ok(ComputedPlan {
+            order,
+            completion_ms,
+            cache,
+            epoch,
+            round1_warm,
+            round1_col_scans,
+            total_col_scans,
+        })
+    }
+
+    fn worker_loop(self: &Arc<Self>) {
+        let obs = adaptcomm_obs::global();
+        while let Some(claimed) = self.queue.pop() {
+            let t0 = Instant::now();
+            let job = claimed.payload;
+            let outcome = self.compute(&job.request, &job.work);
+            let service_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let served_seq = self.queue.complete(claimed.est_ms);
+            obs.gauge_set("plansrv.queue_depth", self.queue.depth() as f64);
+            obs.observe(
+                &format!("plansrv.tenant.{}.latency_ms", job.request.tenant),
+                adaptcomm_obs::MS_BUCKETS,
+                service_ms,
+            );
+            if let (Ok(plan), Work::Solve { matrix }) = (&outcome, &job.work) {
+                if plan.cache != CacheDisposition::Hit {
+                    self.learn_estimate(&job.request.algorithm, matrix.len(), service_ms);
+                }
+            }
+            // A dropped receiver means the connection died mid-request;
+            // the work is still done (and cached), so just move on.
+            let _ = job.reply.send(WorkerReply {
+                outcome,
+                served_seq,
+                service_ms,
+            });
+        }
+    }
+}
+
+/// Runs the requested scheduler, warm-started when a seed is given.
+/// Returns `(order, round1_warm, round1_col_scans, total_col_scans,
+/// seed_potentials_to_retain)`.
+#[allow(clippy::type_complexity)]
+fn solve(
+    algorithm: &str,
+    matrix: &CommMatrix,
+    seed: Option<&[f64]>,
+) -> Result<(SendOrder, bool, u64, u64, Vec<f64>), String> {
+    let kind = [MatchingKind::Max, MatchingKind::Min]
+        .into_iter()
+        .find(|&k| MatchingScheduler::new(k).name() == algorithm);
+    if let Some(kind) = kind {
+        let plan = MatchingScheduler::new(kind).plan_seeded(matrix, seed);
+        let order = SendOrder::from_steps(matrix.len(), &plan.steps);
+        return Ok((
+            order,
+            plan.round1.warm,
+            plan.round1.col_scans,
+            plan.total_col_scans,
+            plan.seed_potentials,
+        ));
+    }
+    let scheduler = all_schedulers()
+        .into_iter()
+        .find(|s| s.name() == algorithm)
+        .ok_or_else(|| format!("unknown algorithm {algorithm:?}"))?;
+    Ok((scheduler.send_order(matrix), false, 0, 0, Vec::new()))
+}
+
+/// Moves each sender's critical destinations to the front of its
+/// order, preserving relative order within both groups. Links with
+/// out-of-range endpoints are ignored.
+fn pin_critical(order: &SendOrder, links: &[(usize, usize)]) -> SendOrder {
+    let p = order.processors();
+    let mut critical = vec![false; p * p];
+    for &(s, d) in links {
+        if s < p && d < p {
+            critical[s * p + d] = true;
+        }
+    }
+    SendOrder::new(
+        order
+            .order
+            .iter()
+            .enumerate()
+            .map(|(s, dsts)| {
+                let (mut front, back): (Vec<usize>, Vec<usize>) =
+                    dsts.iter().partition(|&&d| critical[s * p + d]);
+                front.extend(back);
+                front
+            })
+            .collect(),
+    )
+}
+
+/// Builds per-tenant directory params from a cost matrix: the cell is
+/// the pair's start-up cost, bandwidth is effectively infinite (the
+/// request matrix is already end-to-end milliseconds).
+fn net_params_from(matrix: &CommMatrix) -> NetParams {
+    let p = matrix.len().max(1);
+    let mut params = NetParams::uniform(p, Millis::new(0.0), Bandwidth::from_kbps(1e12));
+    for src in 0..matrix.len() {
+        for (dst, &cell) in matrix.row(src).iter().enumerate() {
+            params.set_estimate(
+                src,
+                dst,
+                LinkEstimate::new(Millis::new(cell), Bandwidth::from_kbps(1e12)),
+            );
+        }
+    }
+    params
+}
+
+/// The listening plan server. Bind with [`PlanServer::bind`], stop
+/// with [`PlanServer::shutdown`] (or a client's shutdown frame
+/// followed by [`PlanServer::join`]).
+pub struct PlanServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    service: Arc<PlanService>,
+}
+
+impl PlanServer {
+    /// Binds (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// the accept loop and worker pool.
+    pub fn bind(addr: &str, config: PlanServerConfig) -> std::io::Result<PlanServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(PlanService::new(config.clone()));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let service = Arc::clone(&service);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("plansrv-worker-{i}"))
+                    .spawn(move || service.worker_loop())?,
+            );
+        }
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("plansrv-accept".into())
+                .spawn(move || accept_loop(listener, addr, stop, service, workers))?
+        };
+
+        Ok(PlanServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            service,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (stats, directory) — primarily for
+    /// tests and benches.
+    pub fn service(&self) -> &Arc<PlanService> {
+        &self.service
+    }
+
+    /// Waits for the server to stop (a client's shutdown frame, or a
+    /// concurrent [`PlanServer::shutdown`]).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops the server: no new connections, in-flight requests
+    /// complete, workers drain, everything joins.
+    pub fn shutdown(self) {
+        trigger_stop(&self.stop, self.addr);
+        self.join();
+    }
+}
+
+/// Sets the stop flag and pokes the accept loop awake.
+fn trigger_stop(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    // A throwaway connection unblocks the blocking accept().
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    service: Arc<PlanService>,
+    workers: Vec<JoinHandle<()>>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Responses are header + payload writes; without NODELAY the
+        // payload waits out the client's delayed ACK (~40 ms each).
+        let _ = stream.set_nodelay(true);
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("plansrv-conn".into())
+            .spawn(move || handle_connection(stream, addr, stop, service))
+        {
+            handlers.push(h);
+        }
+        // Opportunistically reap finished handlers so a long-lived
+        // server doesn't accumulate joined-but-unreaped threads.
+        handlers.retain(|h| !h.is_finished());
+    }
+    // Graceful drain: handlers finish their in-flight requests against
+    // a still-running worker pool, *then* the queue closes and the
+    // pool joins.
+    for h in handlers {
+        let _ = h.join();
+    }
+    service.queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    service: Arc<PlanService>,
+) {
+    // Short read timeouts let an idle connection notice the stop flag;
+    // the FrameReader makes partially-read frames safe to resume.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = proto::FrameReader::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                reader.push(&buf[..n]);
+                loop {
+                    match reader.next_frame() {
+                        Ok(Some(payload)) => {
+                            if !serve_frame(&payload, &mut stream, &stop, addr, &service) {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            respond(
+                                &mut stream,
+                                &PlanResponse::Error {
+                                    detail: e.to_string(),
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one framed request; returns `false` to close the connection.
+fn serve_frame(
+    payload: &[u8],
+    stream: &mut TcpStream,
+    stop: &Arc<AtomicBool>,
+    addr: SocketAddr,
+    service: &Arc<PlanService>,
+) -> bool {
+    let request = match proto::parse_request(payload) {
+        Ok(r) => r,
+        Err(e @ ProtocolError::Malformed { .. }) => {
+            respond(
+                stream,
+                &PlanResponse::Error {
+                    detail: e.to_string(),
+                },
+            );
+            return true; // framing is intact; keep the connection
+        }
+        Err(e) => {
+            respond(
+                stream,
+                &PlanResponse::Error {
+                    detail: e.to_string(),
+                },
+            );
+            return false;
+        }
+    };
+    match request {
+        Request::Shutdown => {
+            respond(stream, &PlanResponse::Bye);
+            trigger_stop(stop, addr);
+            false
+        }
+        Request::Plan(plan) => {
+            let (tx, rx) = mpsc::channel();
+            let response = match service.admit(plan, tx) {
+                Err(immediate) => immediate,
+                Ok(()) => match rx.recv() {
+                    Err(_) => PlanResponse::Error {
+                        detail: "worker pool shut down mid-request".into(),
+                    },
+                    Ok(reply) => match reply.outcome {
+                        Err(detail) => PlanResponse::Error { detail },
+                        Ok(plan) => PlanResponse::Ok(Box::new(PlanOk {
+                            order: plan.order,
+                            completion_ms: plan.completion_ms,
+                            cache: plan.cache,
+                            epoch: plan.epoch,
+                            served_seq: reply.served_seq,
+                            stats: PlanStats {
+                                round1_warm: plan.round1_warm,
+                                round1_col_scans: plan.round1_col_scans,
+                                total_col_scans: plan.total_col_scans,
+                                service_ms: reply.service_ms,
+                            },
+                        })),
+                    },
+                },
+            };
+            respond(stream, &response);
+            true
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &PlanResponse) {
+    let payload = proto::encode_response(response);
+    let _ = adaptcomm_runtime::tcp::write_frame(stream, proto::PROTO_VERSION, &payload);
+}

@@ -1,0 +1,83 @@
+//! Graceful-lifecycle regression tests: ephemeral-port bind, the
+//! shutdown control frame, and — the load-bearing one — in-flight
+//! requests completing before the server stops.
+
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_plansrv::proto::{PlanResponse, QosSpec};
+use adaptcomm_plansrv::{PlanClient, PlanServer, PlanServerConfig};
+use std::time::Duration;
+
+fn matrix(p: usize) -> CommMatrix {
+    CommMatrix::from_fn(p, |s, d| {
+        if s == d {
+            0.0
+        } else {
+            50.0 + 40.0 * ((s as f64) * 1.37).sin() * ((d as f64) * 0.73).cos()
+        }
+    })
+}
+
+#[test]
+fn binds_an_ephemeral_port_and_acknowledges_shutdown() {
+    let server = PlanServer::bind("127.0.0.1:0", PlanServerConfig::default()).expect("bind");
+    assert_ne!(server.local_addr().port(), 0, "port 0 must resolve");
+    let client = PlanClient::connect(server.local_addr()).expect("connect");
+    let bye = client.shutdown().expect("shutdown round-trip");
+    assert!(matches!(bye, PlanResponse::Bye));
+    // The control frame alone stops the server; join() must return.
+    server.join();
+}
+
+#[test]
+fn server_side_shutdown_joins_cleanly() {
+    let server = PlanServer::bind("127.0.0.1:0", PlanServerConfig::default()).expect("bind");
+    // No clients at all: shutdown must not hang on the accept loop.
+    server.shutdown();
+}
+
+#[test]
+fn in_flight_requests_complete_before_the_server_stops() {
+    // One deliberately slow worker: the pace knob stretches the solve
+    // so the shutdown frame provably arrives while work is in flight.
+    let config = PlanServerConfig {
+        workers: 1,
+        pace: Some(Duration::from_millis(300)),
+        ..Default::default()
+    };
+    let server = PlanServer::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut client = PlanClient::connect(addr).expect("connect");
+        client.plan(
+            "tenant-slow",
+            "matching-max",
+            &matrix(16),
+            QosSpec::default(),
+        )
+    });
+    // Let the slow request reach the worker before asking to stop.
+    std::thread::sleep(Duration::from_millis(80));
+
+    let bye = PlanClient::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown round-trip");
+    assert!(matches!(bye, PlanResponse::Bye));
+
+    // The in-flight request must still be answered with a real plan —
+    // the drain ordering (handlers join before the queue closes) is
+    // exactly what this pins.
+    match slow.join().expect("client thread").expect("response") {
+        PlanResponse::Ok(ok) => {
+            assert!(ok.completion_ms > 0.0);
+            assert_eq!(ok.order.processors(), 16);
+        }
+        other => panic!("in-flight request was dropped: {other:?}"),
+    }
+    server.join();
+
+    // And after the drain the port is actually released.
+    let err = PlanClient::connect(addr);
+    assert!(err.is_err(), "listener must be gone after join()");
+}

@@ -1,0 +1,163 @@
+//! Property tests for the plan-server wire codec: no input —
+//! truncated, oversized, garbage, or split at arbitrary byte
+//! boundaries — may panic, and every failure is a typed
+//! [`ProtocolError`].
+
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_plansrv::proto::{
+    encode_request, frame, parse_request, parse_response, FrameReader, PlanRequest, ProtocolError,
+    QosSpec, Request, MAX_FRAME, PROTO_VERSION,
+};
+use proptest::prelude::*;
+
+fn bytes(count: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u64..256, count)
+        .prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (2usize..6).prop_flat_map(|p| {
+        (
+            proptest::collection::vec(0.0f64..100.0, p * p),
+            proptest::collection::vec((0u64..8, 0u64..8), 3),
+            (0u64..4, 0u64..256, 0.0f64..50.0, 0u64..3),
+        )
+            .prop_map(
+                move |(cells, links, (variant, priority, deadline, crit_n))| {
+                    let matrix =
+                        CommMatrix::from_fn(p, |s, d| if s == d { 0.0 } else { cells[s * p + d] });
+                    let qos = QosSpec {
+                        deadline_ms: if variant & 1 == 0 {
+                            Some(deadline)
+                        } else {
+                            None
+                        },
+                        priority: priority as u8,
+                        critical_links: links
+                            .iter()
+                            .take(crit_n as usize)
+                            .map(|&(s, d)| (s as usize, d as usize))
+                            .collect(),
+                    };
+                    let fingerprint = matrix.fingerprint();
+                    Request::Plan(PlanRequest {
+                        tenant: format!("tenant-{}", variant),
+                        algorithm: "matching-max".into(),
+                        // Keep at least one of matrix/fingerprint (both absent
+                        // is rejected by the parser, by design).
+                        matrix: if variant == 2 { None } else { Some(matrix) },
+                        fingerprint: if variant == 3 {
+                            None
+                        } else {
+                            Some(fingerprint)
+                        },
+                        qos,
+                    })
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Garbage payloads parse to a typed error, never a panic.
+    #[test]
+    fn garbage_payloads_never_panic(payload in bytes(40)) {
+        if let Err(e) = parse_request(&payload) {
+            prop_assert!(matches!(e, ProtocolError::Malformed { .. }));
+        }
+        if let Err(e) = parse_response(&payload) {
+            prop_assert!(matches!(e, ProtocolError::Malformed { .. }));
+        }
+    }
+
+    /// A garbage byte stream fed to the frame reader in arbitrary
+    /// chunks yields typed errors or frames, never a panic.
+    #[test]
+    fn garbage_streams_never_panic(stream in bytes(96), chunks in proptest::collection::vec(1usize..24, 8)) {
+        let mut reader = FrameReader::new();
+        let mut offset = 0;
+        let mut dead = false;
+        for c in chunks {
+            let end = (offset + c).min(stream.len());
+            reader.push(&stream[offset..end]);
+            offset = end;
+            loop {
+                match reader.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => {
+                        // A bad header is one of the two header errors
+                        // (garbage almost never spells PROTO_VERSION).
+                        prop_assert!(matches!(
+                            e,
+                            ProtocolError::BadVersion { .. } | ProtocolError::Oversized { .. }
+                        ));
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                break;
+            }
+        }
+        let _ = reader.finish();
+    }
+
+    /// Valid requests survive encode → frame → split-at-any-boundary →
+    /// reassemble → parse, bit-identically.
+    #[test]
+    fn round_trip_survives_arbitrary_splits(
+        reqs in proptest::collection::vec(request_strategy(), 3),
+        cuts in proptest::collection::vec(1usize..97, 24),
+    ) {
+        let mut stream = Vec::new();
+        for r in &reqs {
+            stream.extend_from_slice(&frame(&encode_request(r)));
+        }
+        let mut reader = FrameReader::new();
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        let mut cut = cuts.into_iter();
+        while offset < stream.len() {
+            let step = cut.next().map_or(stream.len(), |c| c * 17);
+            let end = (offset + step).min(stream.len());
+            reader.push(&stream[offset..end]);
+            offset = end;
+            while let Some(payload) = reader.next_frame().unwrap() {
+                decoded.push(parse_request(&payload).unwrap());
+            }
+        }
+        reader.finish().unwrap();
+        prop_assert_eq!(decoded, reqs);
+    }
+
+    /// Truncating a valid frame anywhere is detected at end-of-stream
+    /// as `Truncated`, never mid-stream and never a panic.
+    #[test]
+    fn truncation_is_always_detected(req in request_strategy(), keep in 0usize..64) {
+        let full = frame(&encode_request(&req));
+        // At least one byte, never the whole frame: always truncated.
+        let keep = keep.clamp(1, full.len() - 1);
+        let mut reader = FrameReader::new();
+        reader.push(&full[..keep]);
+        prop_assert_eq!(reader.next_frame().unwrap(), None);
+        prop_assert!(matches!(reader.finish(), Err(ProtocolError::Truncated { .. })));
+    }
+
+    /// Corrupt length prefixes are rejected before any allocation.
+    #[test]
+    fn oversized_headers_are_rejected(len in (MAX_FRAME + 1)..u64::MAX) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&len.to_le_bytes());
+        let mut reader = FrameReader::new();
+        reader.push(&bytes);
+        prop_assert!(matches!(
+            reader.next_frame(),
+            Err(ProtocolError::Oversized { .. })
+        ));
+    }
+}

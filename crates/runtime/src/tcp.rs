@@ -22,12 +22,63 @@ use std::thread::JoinHandle;
 
 const SHUTDOWN: u64 = u64::MAX;
 /// Ceiling on a single frame's payload, against corrupt headers.
-const MAX_FRAME: u64 = 1 << 30;
+pub const MAX_FRAME: u64 = 1 << 30;
 
 fn io_err(context: &str, e: std::io::Error) -> RuntimeError {
     RuntimeError::Transport {
         detail: format!("{context}: {e}"),
     }
+}
+
+/// Writes one `(tag, len, payload)` frame: the 16-byte header is two
+/// little-endian `u64`s (`tag`, payload length) followed by the
+/// payload. This is the transport's frame layout, exported so other
+/// framed protocols (the plan server's client, notably) share the
+/// plumbing instead of reinventing it.
+pub fn write_frame(stream: &mut TcpStream, tag: u64, payload: &[u8]) -> Result<(), RuntimeError> {
+    let mut header = [0u8; 16];
+    header[..8].copy_from_slice(&tag.to_le_bytes());
+    header[8..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    stream
+        .write_all(&header)
+        .map_err(|e| io_err("write header", e))?;
+    stream
+        .write_all(payload)
+        .map_err(|e| io_err("write payload", e))?;
+    Ok(())
+}
+
+/// Reads one frame header: `(tag, payload length)`.
+pub fn read_header(stream: &mut TcpStream) -> Result<(u64, u64), RuntimeError> {
+    let mut header = [0u8; 16];
+    stream
+        .read_exact(&mut header)
+        .map_err(|e| io_err("read header", e))?;
+    let tag = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(header[8..].try_into().expect("8 bytes"));
+    Ok((tag, len))
+}
+
+/// Reads a frame payload of `len` bytes, bounded by `max`.
+pub fn read_payload(stream: &mut TcpStream, len: u64, max: u64) -> Result<Vec<u8>, RuntimeError> {
+    if len > max {
+        return Err(RuntimeError::Transport {
+            detail: format!("frame of {len} bytes exceeds the {max} limit"),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| io_err("read payload", e))?;
+    Ok(payload)
+}
+
+/// Reads one whole `(tag, payload)` frame, bounding the payload at
+/// `max` bytes. The counterpart of [`write_frame`].
+pub fn read_frame(stream: &mut TcpStream, max: u64) -> Result<(u64, Vec<u8>), RuntimeError> {
+    let (tag, len) = read_header(stream)?;
+    let payload = read_payload(stream, len, max)?;
+    Ok((tag, payload))
 }
 
 struct Acceptor {
@@ -107,26 +158,13 @@ impl TcpTransport {
 
 fn accept_loop(listener: TcpListener) -> Result<ReceiptSummary, RuntimeError> {
     let mut summary = ReceiptSummary::default();
-    let mut payload = Vec::new();
     loop {
         let (mut stream, _) = listener.accept().map_err(|e| io_err("accept", e))?;
-        let mut header = [0u8; 16];
-        stream
-            .read_exact(&mut header)
-            .map_err(|e| io_err("read header", e))?;
-        let len = u64::from_le_bytes(header[8..].try_into().expect("8 bytes"));
+        let (_src, len) = read_header(&mut stream)?;
         if len == SHUTDOWN {
             return Ok(summary);
         }
-        if len > MAX_FRAME {
-            return Err(RuntimeError::Transport {
-                detail: format!("frame of {len} bytes exceeds the {MAX_FRAME} limit"),
-            });
-        }
-        payload.resize(len as usize, 0);
-        stream
-            .read_exact(&mut payload)
-            .map_err(|e| io_err("read payload", e))?;
+        let payload = read_payload(&mut stream, len, MAX_FRAME)?;
         summary.messages += 1;
         summary.bytes += len;
         summary.checksum = summary.checksum.wrapping_add(checksum(&payload));
@@ -143,16 +181,7 @@ impl Transport for TcpTransport {
             detail: format!("destination {dst} out of range"),
         })?;
         let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
-        let mut header = [0u8; 16];
-        header[..8].copy_from_slice(&(src as u64).to_le_bytes());
-        header[8..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
-        stream
-            .write_all(&header)
-            .map_err(|e| io_err("write header", e))?;
-        stream
-            .write_all(&payload)
-            .map_err(|e| io_err("write payload", e))?;
-        Ok(())
+        write_frame(&mut stream, src as u64, &payload)
     }
 
     /// Receipts folded in so far. Only complete after

@@ -19,6 +19,7 @@
 //! | [`staging`] | `adaptcomm-staging` | BADD-style deadline-driven data staging (§2, §6.4) |
 //! | [`mapping`] | `adaptcomm-mapping` | MSHN task mapping: OLB/MET/MCT/min-min/max-min/sufferage (§2) |
 //! | [`workloads`] | `adaptcomm-workloads` | the §5 evaluation scenarios |
+//! | [`plansrv`] | `adaptcomm-plansrv` | scheduling-as-a-service: multi-tenant TCP plan server, fingerprint-keyed plan cache, §6 QoS admission |
 //!
 //! # Quick start
 //!
@@ -47,6 +48,7 @@ pub use adaptcomm_lap as lap;
 pub use adaptcomm_mapping as mapping;
 pub use adaptcomm_model as model;
 pub use adaptcomm_obs as obs;
+pub use adaptcomm_plansrv as plansrv;
 pub use adaptcomm_runtime as runtime;
 pub use adaptcomm_sim as sim;
 pub use adaptcomm_staging as staging;

@@ -1,0 +1,232 @@
+//! End-to-end plan-server acceptance: two tenants at P = 64, exact
+//! cache replay, ±2 % cross-job warm start (provably cheaper by
+//! `lap::SolveStats`), bit-identity against the in-process scheduler,
+//! and §6 admission control (deadline rejection, priority tiers).
+
+use adaptcomm::plansrv::proto::{CacheDisposition, PlanOk, PlanResponse, QosSpec};
+use adaptcomm::plansrv::{PlanClient, PlanServer, PlanServerConfig};
+use adaptcomm::prelude::*;
+use adaptcomm::workloads::Scenario;
+use std::time::Duration;
+
+fn expect_ok(resp: PlanResponse) -> Box<PlanOk> {
+    match resp {
+        PlanResponse::Ok(ok) => ok,
+        other => panic!("expected a plan, got {other:?}"),
+    }
+}
+
+/// ±2 % deterministic perturbation: alternating signs per cell.
+fn perturb(m: &CommMatrix) -> CommMatrix {
+    CommMatrix::from_fn(m.len(), |s, d| {
+        let f = if (s + d) % 2 == 0 { 1.02 } else { 0.98 };
+        if s == d {
+            0.0
+        } else {
+            m.row(s)[d] * f
+        }
+    })
+}
+
+#[test]
+fn two_tenants_cache_hits_and_cross_job_warm_starts() {
+    let server = PlanServer::bind("127.0.0.1:0", PlanServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let matrix = Scenario::Mixed.instance(64, 11).matrix;
+
+    // Two tenants submit the same P=64 job concurrently.
+    let results: Vec<Box<PlanOk>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ["tenant-a", "tenant-b"]
+            .into_iter()
+            .map(|tenant| {
+                let matrix = &matrix;
+                scope.spawn(move || {
+                    let mut client = PlanClient::connect(addr).expect("connect");
+                    expect_ok(
+                        client
+                            .plan(tenant, "matching-max", matrix, QosSpec::default())
+                            .expect("roundtrip"),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .collect()
+    });
+
+    // Both plans are bit-identical to the in-process scheduler.
+    let expected = MatchingScheduler::new(MatchingKind::Max).send_order(&matrix);
+    for ok in &results {
+        assert_eq!(ok.order, expected, "served plan differs from in-process");
+    }
+    // At least one of the concurrent requests did the cold solve.
+    let cold = results
+        .iter()
+        .find(|ok| ok.cache == CacheDisposition::Cold)
+        .expect("someone must solve cold");
+    assert!(!cold.stats.round1_warm);
+    assert!(cold.stats.round1_col_scans > 0);
+
+    let mut client = PlanClient::connect(addr).expect("connect");
+
+    // A second identical request is served from the cache, verbatim.
+    let hit = expect_ok(
+        client
+            .plan("tenant-a", "matching-max", &matrix, QosSpec::default())
+            .expect("roundtrip"),
+    );
+    assert_eq!(hit.cache, CacheDisposition::Hit);
+    assert_eq!(hit.order, expected);
+    assert_eq!(hit.epoch, 0, "same fingerprint must not bump the epoch");
+
+    // A fingerprint-only probe replays the same plan without shipping
+    // the P² matrix; an unknown fingerprint asks for the matrix.
+    let probed = expect_ok(
+        client
+            .probe(
+                "tenant-a",
+                "matching-max",
+                matrix.fingerprint(),
+                QosSpec::default(),
+            )
+            .expect("roundtrip"),
+    );
+    assert_eq!(probed.cache, CacheDisposition::Hit);
+    assert_eq!(probed.order, expected);
+    assert!(matches!(
+        client
+            .probe(
+                "tenant-a",
+                "matching-max",
+                !matrix.fingerprint(),
+                QosSpec::default()
+            )
+            .expect("roundtrip"),
+        PlanResponse::NeedMatrix
+    ));
+
+    // A ±2 % perturbed matrix is served via a cross-job warm start:
+    // round 1 runs warm and does measurably less work than the cold
+    // solve did (the `lap::SolveStats` column-scan counter).
+    let near = perturb(&matrix);
+    let warm = expect_ok(
+        client
+            .plan("tenant-a", "matching-max", &near, QosSpec::default())
+            .expect("roundtrip"),
+    );
+    assert_eq!(warm.cache, CacheDisposition::Warm);
+    assert!(warm.stats.round1_warm, "round 1 must run the warm path");
+    assert!(
+        warm.stats.round1_col_scans < cold.stats.round1_col_scans,
+        "warm start must be cheaper than cold: {} vs {}",
+        warm.stats.round1_col_scans,
+        cold.stats.round1_col_scans
+    );
+    // Warm starts are exact: the plan matches a cold in-process solve
+    // of the perturbed instance bit-for-bit.
+    let expected_near = MatchingScheduler::new(MatchingKind::Max).send_order(&near);
+    assert_eq!(warm.order, expected_near);
+    // The fingerprint changed, so the tenant's directory advanced.
+    assert_eq!(warm.epoch, 1);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn admission_rejects_unmeetable_deadlines_and_prefers_priority() {
+    // One deliberately slow worker makes queueing deterministic.
+    let config = PlanServerConfig {
+        workers: 1,
+        pace: Some(Duration::from_millis(500)),
+        ..Default::default()
+    };
+    let server = PlanServer::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let matrix = Scenario::Small.instance(16, 3).matrix;
+
+    std::thread::scope(|scope| {
+        // t=0: a bulk request occupies the only worker for ~500 ms.
+        let bulk = {
+            let matrix = &matrix;
+            scope.spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                expect_ok(
+                    client
+                        .plan("tenant-bulk", "greedy", matrix, QosSpec::default())
+                        .expect("roundtrip"),
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+
+        // t=100: an open-deadline tier-0 request queues behind it.
+        let low = {
+            let matrix = &matrix;
+            scope.spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                expect_ok(
+                    client
+                        .plan("tenant-low", "greedy", matrix, QosSpec::default())
+                        .expect("roundtrip"),
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+
+        // t=200: a 100 ms deadline is unmeetable while ~500 ms of work
+        // is in flight — rejected immediately, with retry-after.
+        let mut client = PlanClient::connect(addr).expect("connect");
+        let qos = QosSpec {
+            deadline_ms: Some(100.0),
+            ..Default::default()
+        };
+        match client
+            .plan("tenant-urgent", "greedy", &matrix, qos)
+            .expect("roundtrip")
+        {
+            PlanResponse::Rejected {
+                retry_after_ms,
+                detail,
+            } => {
+                assert!(retry_after_ms > 0.0, "retry-after must be positive");
+                assert!(detail.contains("deadline"), "{detail}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        // t=200: a higher-priority tenant IS admitted despite arriving
+        // after the tier-0 request — and is served before it.
+        let vip = expect_ok(
+            client
+                .plan(
+                    "tenant-vip",
+                    "greedy",
+                    &matrix,
+                    QosSpec {
+                        priority: 5,
+                        ..Default::default()
+                    },
+                )
+                .expect("roundtrip"),
+        );
+
+        let bulk = bulk.join().expect("bulk thread");
+        let low = low.join().expect("low thread");
+        assert!(
+            bulk.served_seq < vip.served_seq,
+            "the in-flight request completes first"
+        );
+        assert!(
+            vip.served_seq < low.served_seq,
+            "priority 5 must be served before the earlier tier-0 request \
+             (vip seq {}, low seq {})",
+            vip.served_seq,
+            low.served_seq
+        );
+    });
+
+    server.shutdown();
+}
