@@ -5,7 +5,7 @@ use adaptcomm_core::algorithms::{OpenShop, Scheduler};
 use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
 use adaptcomm_model::units::Millis;
 use adaptcomm_model::variation::{VariationConfig, VariationTrace};
-use adaptcomm_sim::dynamic::{run_adaptive, AdaptiveConfig};
+use adaptcomm_sim::dynamic::{run_adaptive, AdaptiveConfig, Replanner};
 use adaptcomm_sim::run_static;
 use adaptcomm_workloads::Scenario;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -49,6 +49,7 @@ fn bench(c: &mut Criterion) {
                                 rule: RescheduleRule {
                                     deviation_threshold: 0.1,
                                 },
+                                replanner: Replanner::OpenShop,
                             },
                         )
                         .makespan,

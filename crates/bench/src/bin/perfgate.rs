@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! perfgate [--quick | --check-history] [--baseline <path>] [--out <path>]
-//!          [--factor <F>] [--history <path>] [--obs <dir>]
+//!          [--factor <F>] [--history <path>] [--threads <N>] [--obs <dir>]
 //! ```
 //!
 //! Times the construction cost (`Scheduler::send_order`) of all five
@@ -17,7 +17,9 @@
 //!   the retained cold-per-round reference for matching-max at `P = 512`
 //!   and prints the warm-start speedup.
 //! * **Quick mode** (`--quick`, the CI smoke step): `P ∈ {64, 128,
-//!   256}`, 1 repetition, no file output. Each measured median must stay
+//!   256}`, 1 repetition after the same untimed warm-up (so matching
+//!   cells time the retained-plan replay, like the committed baseline),
+//!   no file output. Each measured median must stay
 //!   within `--factor` (default 10×) of the committed baseline's median;
 //!   any violation fails the process. The wide factor absorbs CI machine
 //!   jitter while still catching accidental big-O regressions (the
@@ -34,7 +36,18 @@
 //! on any `(scheduler, P)` cell whose median regressed by more than
 //! `--factor` (default 1.25×, i.e. 25 %). With fewer than two full
 //! records it reports "nothing to compare yet" and passes — the gate
-//! arms itself as the trend file grows.
+//! arms itself as the trend file grows. It then checks the latest full
+//! record against the committed `"targets"` block in `--baseline`
+//! (absolute ms budgets per `(scheduler, P)`) — the improvement
+//! ratchet that keeps sub-second matching at `P = 1024` from rotting
+//! back toward the pre-parallel cost, which a purely relative trend
+//! gate would let creep through. Full runs carry targets forward into
+//! the rewritten baseline, so rebaselining never drops the ratchet.
+//!
+//! `--threads <N>` (default 1) runs the matching schedulers' LAP
+//! solves on N workers. Plans are bit-identical at any thread count,
+//! so this only moves construction latency; CI runs `--quick
+//! --threads 2` so the parallel path is exercised on every push.
 //!
 //! `--obs <dir>` adds an untimed instrumentation pass after the
 //! measurements: each `(scheduler, P)` cell runs once with the global
@@ -46,7 +59,7 @@
 //! Seeds are fixed per `P`, so every run times the same instances.
 
 use adaptcomm_bench::perf::{check_history, parse_history, HistoryCheck, PerfReport, PerfStats};
-use adaptcomm_core::algorithms::{all_schedulers, reference, MatchingKind};
+use adaptcomm_core::algorithms::{all_schedulers_threaded, reference, MatchingKind};
 use adaptcomm_workloads::Scenario;
 use std::time::Instant;
 
@@ -65,6 +78,11 @@ struct Options {
     factor: Option<f64>,
     history: String,
     obs_dir: Option<String>,
+    /// Worker threads for the matching schedulers' LAP solves. Plans
+    /// are bit-identical at any count, so this is purely a latency
+    /// knob — CI runs `--quick --threads 2` to keep the parallel path
+    /// exercised.
+    threads: usize,
 }
 
 fn parse_args() -> Options {
@@ -76,6 +94,7 @@ fn parse_args() -> Options {
         factor: None,
         history: "BENCH_history.jsonl".to_string(),
         obs_dir: None,
+        threads: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -97,6 +116,16 @@ fn parse_args() -> Options {
                     eprintln!("--factor needs a number");
                     std::process::exit(2);
                 }))
+            }
+            "--threads" => {
+                opts.threads = take("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+                if opts.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    std::process::exit(2);
+                }
             }
             other => {
                 eprintln!("unrecognized argument: {other}");
@@ -123,7 +152,7 @@ fn time_one<F: FnMut() -> usize>(mut f: F) -> (f64, usize) {
 
 /// The untimed `--obs` pass: one instrumented construction per
 /// `(scheduler, P)` cell, each dumped as its own Chrome trace.
-fn obs_pass(dir: &str, p_values: &[usize]) {
+fn obs_pass(dir: &str, p_values: &[usize], threads: usize) {
     std::fs::create_dir_all(dir).unwrap_or_else(|e| {
         eprintln!("cannot create {dir}: {e}");
         std::process::exit(2);
@@ -131,7 +160,7 @@ fn obs_pass(dir: &str, p_values: &[usize]) {
     let obs = adaptcomm_obs::global();
     for &p in p_values {
         let matrix = instance_matrix(p);
-        for scheduler in all_schedulers() {
+        for scheduler in all_schedulers_threaded(threads) {
             obs.clear();
             obs.set_enabled(true);
             let span = obs
@@ -186,6 +215,32 @@ fn run_history_check(opts: &Options) {
             }
         }
     }
+    // The absolute ratchet: the latest full-mode record must also meet
+    // every committed target in the baseline file (the trend gate above
+    // only catches *relative* drift; a slow creep back toward the
+    // pre-optimization cost would pass it run over run).
+    let Some(latest) = records.iter().rev().find(|r| r.mode == "full") else {
+        return;
+    };
+    let Ok(text) = std::fs::read_to_string(&opts.baseline) else {
+        return; // no baseline file, no targets to enforce
+    };
+    let baseline = PerfReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {}: {e}", opts.baseline);
+        std::process::exit(2);
+    });
+    let target_violations = baseline.check_targets(&latest.report);
+    if target_violations.is_empty() {
+        let n = baseline.targets().len();
+        if n > 0 {
+            println!("target gate OK: latest full run meets all {n} committed target(s)");
+        }
+    } else {
+        for v in &target_violations {
+            eprintln!("target gate FAIL: {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -208,11 +263,14 @@ fn main() {
     let mut sink = 0usize; // keeps the timed work observable
     for &p in p_values {
         let matrix = instance_matrix(p);
-        for scheduler in all_schedulers() {
-            if !opts.quick {
-                // One untimed warm-up to page in code and allocator state.
-                sink ^= scheduler.send_order(&matrix).order.len();
-            }
+        for scheduler in all_schedulers_threaded(opts.threads) {
+            // One untimed warm-up to page in code and allocator state.
+            // For the matching schedulers this is also the cold build:
+            // the timed repetitions then measure the retained-plan
+            // replay, the cost a steady-state caller actually pays —
+            // in both modes, so quick runs gate against like-for-like
+            // baseline cells.
+            sink ^= scheduler.send_order(&matrix).order.len();
             let mut samples = Vec::with_capacity(reps);
             for _ in 0..reps {
                 let (ms, token) = time_one(|| scheduler.send_order(&matrix).order.len());
@@ -289,6 +347,26 @@ fn main() {
             "matching-max P={p}: cold reference {cold_ms:.1} ms vs warm {warm_ms:.1} ms -> {:.1}x",
             cold_ms / warm_ms
         );
+        // Rebaselining must not drop the committed improvement targets:
+        // carry them forward from the existing baseline file.
+        if let Ok(text) = std::fs::read_to_string(&opts.baseline) {
+            if let Ok(prior) = PerfReport::from_json(&text) {
+                report.adopt_targets(&prior);
+            }
+        }
+        for (name, tp, budget) in report.targets() {
+            if let Some(stats) = report.get(&name, tp) {
+                println!(
+                    "target {name} P={tp}: measured {:.3} ms vs budget {budget:.3} ms{}",
+                    stats.median_ms,
+                    if stats.median_ms > budget {
+                        "  ** OVER BUDGET **"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
         std::fs::write(&opts.out, report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {}: {e}", opts.out);
             std::process::exit(2);
@@ -308,7 +386,7 @@ fn main() {
         println!("appended {}", opts.history);
     }
     if let Some(dir) = &opts.obs_dir {
-        obs_pass(dir, p_values);
+        obs_pass(dir, p_values, opts.threads);
     }
     // Defeat dead-code elimination of the timed closures.
     assert!(sink != usize::MAX);

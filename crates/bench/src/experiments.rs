@@ -305,6 +305,7 @@ pub fn adaptivity_study(p: usize, trials: u64) -> Vec<(&'static str, Millis, f64
                     rule: RescheduleRule {
                         deviation_threshold: 0.10,
                     },
+                    replanner: adaptcomm_sim::dynamic::Replanner::OpenShop,
                 },
             );
             makespan_sum += outcome.makespan.as_ms();

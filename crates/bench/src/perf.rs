@@ -54,6 +54,12 @@ pub struct PerfReport {
     /// and lose the canonical baseline→…→openshop presentation order).
     order: Vec<String>,
     cells: BTreeMap<String, BTreeMap<usize, PerfStats>>,
+    /// Committed absolute budgets: `scheduler → P → max median ms`.
+    /// Unlike the relative trend gate, a target is an improvement
+    /// ratchet — once sub-second matching lands, the `"targets"` block
+    /// keeps `--check-history` failing if the median ever climbs back,
+    /// even across rebaselines (full runs carry targets forward).
+    targets: BTreeMap<String, BTreeMap<usize, f64>>,
 }
 
 impl PerfReport {
@@ -91,6 +97,55 @@ impl PerfReport {
             .unwrap_or_default()
     }
 
+    /// Commits an absolute budget for one `(scheduler, P)` cell: the
+    /// median must never exceed `max_median_ms`.
+    pub fn set_target(&mut self, scheduler: &str, p: usize, max_median_ms: f64) {
+        self.targets
+            .entry(scheduler.to_string())
+            .or_default()
+            .insert(p, max_median_ms);
+    }
+
+    /// All committed `(scheduler, P, max median ms)` targets.
+    pub fn targets(&self) -> Vec<(String, usize, f64)> {
+        self.targets
+            .iter()
+            .flat_map(|(name, cells)| cells.iter().map(move |(&p, &ms)| (name.clone(), p, ms)))
+            .collect()
+    }
+
+    /// Copies `other`'s targets into `self` (used by full-mode perfgate
+    /// runs so rebaselining `BENCH_sched.json` never drops the ratchet).
+    pub fn adopt_targets(&mut self, other: &PerfReport) {
+        for (name, cells) in &other.targets {
+            for (&p, &ms) in cells {
+                self.set_target(name, p, ms);
+            }
+        }
+    }
+
+    /// Checks `report`'s measured cells against `self`'s committed
+    /// targets. Returns the violations (empty = all budgets met);
+    /// target cells the report did not measure are skipped — a quick
+    /// run that never reaches P=1024 cannot vacuously pass or fail a
+    /// P=1024 budget.
+    pub fn check_targets(&self, report: &PerfReport) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (name, cells) in &self.targets {
+            for (&p, &budget) in cells {
+                if let Some(stats) = report.get(name, p) {
+                    if stats.median_ms > budget {
+                        violations.push(format!(
+                            "{name} P={p}: {:.3} ms exceeds committed target {budget:.3} ms",
+                            stats.median_ms
+                        ));
+                    }
+                }
+            }
+        }
+        violations
+    }
+
     /// Serializes to the committed `BENCH_sched.json` schema.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -111,8 +166,33 @@ impl PerfReport {
             let _ = writeln!(
                 out,
                 "  }}{}",
-                if si + 1 < self.order.len() { "," } else { "" }
+                if si + 1 < self.order.len() || !self.targets.is_empty() {
+                    ","
+                } else {
+                    ""
+                }
             );
+        }
+        if !self.targets.is_empty() {
+            out.push_str("  \"targets\": {\n");
+            for (ti, (name, cells)) in self.targets.iter().enumerate() {
+                let _ = write!(out, "    {}: {{", json_string(name));
+                for (pi, (p, ms)) in cells.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "{}\"{}\": {}",
+                        if pi > 0 { ", " } else { "" },
+                        p,
+                        json_number(*ms)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "}}{}",
+                    if ti + 1 < self.targets.len() { "," } else { "" }
+                );
+            }
+            out.push_str("  }\n");
         }
         out.push_str("}\n");
         out
@@ -143,6 +223,29 @@ impl PerfReport {
             }
             out.push('}');
         }
+        if !self.targets.is_empty() {
+            if !self.order.is_empty() {
+                out.push(',');
+            }
+            out.push_str("\"targets\":{");
+            for (ti, (name, cells)) in self.targets.iter().enumerate() {
+                if ti > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{{", json_string(name));
+                for (pi, (p, ms)) in cells.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "{}\"{}\":{}",
+                        if pi > 0 { "," } else { "" },
+                        p,
+                        json_number(*ms)
+                    );
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
         out.push('}');
         out
     }
@@ -169,16 +272,53 @@ impl PerfReport {
             loop {
                 let scheduler = p.string()?;
                 p.expect(':')?;
+                if scheduler == "targets" {
+                    // The reserved targets block: scheduler → P → ms.
+                    Self::parse_targets(p, &mut report)?;
+                } else {
+                    p.expect('{')?;
+                    if !p.peek_is('}') {
+                        loop {
+                            let p_key = p.string()?;
+                            let procs: usize = p_key
+                                .parse()
+                                .map_err(|_| format!("non-numeric P key {p_key:?}"))?;
+                            p.expect(':')?;
+                            let stats = p.stats_object()?;
+                            report.insert(&scheduler, procs, stats);
+                            if !p.comma_or_end('}')? {
+                                break;
+                            }
+                        }
+                    }
+                    p.expect('}')?;
+                }
+                if !p.comma_or_end('}')? {
+                    break;
+                }
+            }
+        }
+        p.expect('}')?;
+        Ok(report)
+    }
+
+    /// Parses the `"targets"` block body (`{"sched": {"1024": ms, ..}, ..}`).
+    fn parse_targets(p: &mut JsonParser, report: &mut PerfReport) -> Result<(), String> {
+        p.expect('{')?;
+        if !p.peek_is('}') {
+            loop {
+                let scheduler = p.string()?;
+                p.expect(':')?;
                 p.expect('{')?;
                 if !p.peek_is('}') {
                     loop {
                         let p_key = p.string()?;
                         let procs: usize = p_key
                             .parse()
-                            .map_err(|_| format!("non-numeric P key {p_key:?}"))?;
+                            .map_err(|_| format!("non-numeric target P key {p_key:?}"))?;
                         p.expect(':')?;
-                        let stats = p.stats_object()?;
-                        report.insert(&scheduler, procs, stats);
+                        let ms = p.number()?;
+                        report.set_target(&scheduler, procs, ms);
                         if !p.comma_or_end('}')? {
                             break;
                         }
@@ -191,7 +331,7 @@ impl PerfReport {
             }
         }
         p.expect('}')?;
-        Ok(report)
+        Ok(())
     }
 
     /// The regression gate: every cell of `current` must stay within
@@ -727,6 +867,76 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn targets_round_trip_and_gate() {
+        let mut r = PerfReport::new();
+        r.insert(
+            "matching-max",
+            1024,
+            PerfStats {
+                median_ms: 40.0,
+                p90_ms: 55.0,
+                reps: 5,
+            },
+        );
+        r.set_target("matching-max", 1024, 60.0);
+        r.set_target("matching-min", 1024, 75.5);
+
+        // Both serializations carry the block and parse back equal.
+        let parsed = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        let parsed_line = PerfReport::from_json(&r.to_json_line()).unwrap();
+        assert_eq!(parsed_line, r);
+        assert_eq!(parsed.targets().len(), 2);
+
+        // Within budget: passes. A target with no measured cell is
+        // skipped (matching-min was never measured here).
+        assert!(r.check_targets(&r).is_empty());
+
+        // Over budget: named violation.
+        let mut slow = PerfReport::new();
+        slow.insert(
+            "matching-max",
+            1024,
+            PerfStats {
+                median_ms: 61.0,
+                p90_ms: 61.0,
+                reps: 5,
+            },
+        );
+        let violations = r.check_targets(&slow);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("matching-max P=1024"),
+            "{}",
+            violations[0]
+        );
+        assert!(violations[0].contains("target 60.000"), "{}", violations[0]);
+
+        // Rebaselining carries the ratchet forward.
+        let mut fresh = PerfReport::new();
+        fresh.insert(
+            "matching-max",
+            1024,
+            PerfStats {
+                median_ms: 39.0,
+                p90_ms: 41.0,
+                reps: 5,
+            },
+        );
+        fresh.adopt_targets(&r);
+        assert_eq!(fresh.targets(), r.targets());
+    }
+
+    #[test]
+    fn targets_only_report_serializes() {
+        // A report with nothing but targets (degenerate but legal).
+        let mut r = PerfReport::new();
+        r.set_target("matching-max", 1024, 100.0);
+        assert_eq!(PerfReport::from_json(&r.to_json()).unwrap(), r);
+        assert_eq!(PerfReport::from_json(&r.to_json_line()).unwrap(), r);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! figures and summaries built on top of this engine reproduce the
 //! numbers of the original serial loops exactly.
 
-use adaptcomm_core::algorithms::{all_schedulers, Scheduler};
+use adaptcomm_core::algorithms::all_schedulers;
 use adaptcomm_model::generator::GeneratorConfig;
 use adaptcomm_workloads::Scenario;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -192,11 +192,10 @@ impl SweepRunner {
     /// for every thread count.
     pub fn run(&self, grid: &SweepGrid) -> Vec<InstanceResult> {
         let points = grid.points();
-        let schedulers = all_schedulers();
         if self.threads == 1 || points.len() <= 1 {
             return points
                 .iter()
-                .map(|pt| evaluate_point(pt, grid.cfg, &schedulers))
+                .map(|pt| evaluate_point(pt, grid.cfg))
                 .collect();
         }
 
@@ -205,17 +204,15 @@ impl SweepRunner {
         let mut tagged: Vec<(usize, InstanceResult)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    // Shared by reference across workers: the point list,
-                    // the claim counter, and the scheduler set (the
-                    // `Scheduler: Send + Sync` supertraits make the boxed
-                    // trait objects shareable).
-                    let (points, next, schedulers) = (&points, &next, &schedulers);
+                    // Shared by reference across workers: the point list
+                    // and the claim counter.
+                    let (points, next) = (&points, &next);
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             let Some(pt) = points.get(idx) else { break };
-                            local.push((idx, evaluate_point(pt, grid.cfg, schedulers)));
+                            local.push((idx, evaluate_point(pt, grid.cfg)));
                         }
                         local
                     })
@@ -248,11 +245,16 @@ impl Default for SweepRunner {
 
 /// Prices one grid point: builds the instance from its coordinate seed
 /// and schedules it with every registered algorithm.
-fn evaluate_point(
-    point: &SweepPoint,
-    cfg: GeneratorConfig,
-    schedulers: &[Box<dyn Scheduler>],
-) -> InstanceResult {
+///
+/// The scheduler set is built fresh per point, NOT shared across the
+/// run: the matching schedulers retain their last plan and replan
+/// same-dimension matrices incrementally, which is exact but — on
+/// tied instances — can pick a different equally-optimal matching
+/// than a cold build. A shared set would make results depend on which
+/// matrices each worker happened to see, breaking the thread-count
+/// invariance this engine guarantees.
+fn evaluate_point(point: &SweepPoint, cfg: GeneratorConfig) -> InstanceResult {
+    let schedulers = all_schedulers();
     let inst = point.scenario.instance_with(point.p, point.seed, cfg);
     InstanceResult {
         point: *point,

@@ -51,8 +51,12 @@ USAGE:
       Schedule a total exchange. Algorithms: baseline, matching-max,
       matching-min, greedy, openshop (default).
 
-  adaptcomm compare --matrix <file.csv> [--obs <path>]
-      Run every algorithm and print the comparison table.
+  adaptcomm compare --matrix <file.csv> [--threads <N>] [--obs <path>]
+      Run every algorithm and print the comparison table. --threads
+      (default 1) parallelizes the matching LAP solves; plans are
+      bit-identical at any thread count. The `construction` column
+      reports how each plan was produced (cold / warm / incremental /
+      hit, `-` for stateless schedulers).
 
   adaptcomm sweep [--scenario <all|fig9|fig10|fig11|fig12>] [--pmin <N>]
                   [--pmax <N>] [--pstep <N>] [--trials <N>] [--threads <N>]
@@ -65,7 +69,9 @@ USAGE:
   adaptcomm run [--backend <channel|tcp>] [--p <N>] [--scenario <name>]
                 [--seed <u64>] [--algorithm <name>] [--adapt]
                 [--drift <factor>] [--drift-at <ms>] [--threshold <frac>]
-                [--trigger <deviation|detector>] [--status <path>]
+                [--trigger <deviation|detector>]
+                [--replanner <openshop|matching-max|matching-min>]
+                [--threads <N>] [--status <path>]
                 [--pace <us-per-ms>] [--trace] [--obs <path>]
       Execute a total exchange live: one OS thread per processor moving
       real bytes through the chosen transport under the paper's port
@@ -73,11 +79,14 @@ USAGE:
       adapt loop (probe, publish to the directory, replan at
       checkpoints). --trigger picks the replan decision: `deviation`
       (progress slips past --threshold) or `detector` (per-link CUSUM
-      change detection). --drift scales a few links' bandwidth by
-      <factor> at --drift-at modeled ms to provoke adaptation. --status
-      publishes a live JSON status file at every checkpoint for
-      `adaptcomm top` to poll. --trace dumps the per-event wall/modeled
-      timeline.
+      change detection). --replanner picks the replan algorithm
+      (default matching-max, which retains its plan across checkpoints
+      and serves repeat replans via the paper's §6 incremental
+      rescheduling); --threads parallelizes its LAP solves. --drift
+      scales a few links' bandwidth by <factor> at --drift-at modeled
+      ms to provoke adaptation. --status publishes a live JSON status
+      file at every checkpoint for `adaptcomm top` to poll. --trace
+      dumps the per-event wall/modeled timeline.
 
   adaptcomm chaos [--scenario <crash|partition|liar|mixed|spec>] [--p <N>]
                   [--seed <u64>] [--workload <name>] [--obs <path>]
@@ -111,10 +120,12 @@ USAGE:
 
   adaptcomm plan-server [--addr <host:port>] [--workers <N>] [--shards <N>]
                         [--cache <entries>] [--near-tolerance <frac>]
-                        [--pace-ms <ms>] [--obs <path>]
+                        [--threads <N>] [--pace-ms <ms>] [--obs <path>]
       Run the multi-tenant scheduling service: a TCP plan server with a
       fingerprint-keyed plan cache (exact hits replay plans; near hits
-      warm-start the LAP solver across jobs) and QoS admission control
+      are re-solved incrementally from the cached plan, or warm-start
+      the LAP solver when no plan was retained; --threads parallelizes
+      the matching solves) and QoS admission control
       (priority tiers, EDF, deadline rejection). --addr defaults to an
       ephemeral loopback port, printed on startup. Runs until a client
       sends the shutdown frame (`plan-client --shutdown`); prints cache
@@ -128,7 +139,7 @@ USAGE:
                         [--critical <s-d,s-d,..>] [--repeat <N>]
                         [--probe] [--shutdown]
       Request plans from a running plan server. Prints one `cache: ..`
-      line per response (cold / hit / warm) with epoch, serving
+      line per response (cold / hit / warm / incremental) with epoch, serving
       sequence, completion estimate and solver counters. --probe sends
       a fingerprint-only request (no P^2 matrix on the wire); --repeat
       re-sends the same request to exercise the cache; --shutdown asks
@@ -447,12 +458,13 @@ fn sweep(opts: &args::Options) -> Result<(), String> {
 }
 
 fn run_live(opts: &args::Options) -> Result<(), String> {
+    use adaptcomm_core::algorithms::MatchingKind;
     use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
     use adaptcomm_directory::DirectoryService;
     use adaptcomm_model::units::Millis;
     use adaptcomm_runtime::{
         execute, execute_adaptive_monitored, AdaptSettings, BackendKind, DetectorSettings,
-        ReplanTrigger, ShapedConfig,
+        ReplanTrigger, Replanner, ShapedConfig,
     };
     use adaptcomm_sim::{Fault, ScriptedFaults};
 
@@ -531,6 +543,27 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
     if (status_path.is_some() || opts.get("trigger").is_some()) && !adapt {
         return Err("--status and --trigger require --adapt".into());
     }
+    // The matching replanner is the default for adaptive runs: it
+    // retains its plan and serves replans incrementally (§6). The
+    // library default stays open-shop for backward compatibility.
+    let replanner_name = opts.get("replanner").unwrap_or_else(|| "matching".into());
+    let replanner = match replanner_name.as_str() {
+        "openshop" => Replanner::OpenShop,
+        "matching" | "matching-max" => Replanner::Matching(MatchingKind::Max),
+        "matching-min" => Replanner::Matching(MatchingKind::Min),
+        other => {
+            return Err(format!(
+                "unknown replanner `{other}` (openshop|matching-max|matching-min)"
+            ))
+        }
+    };
+    let threads: usize = opts.parsed_or("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if opts.get("replanner").is_some() && !adapt {
+        return Err("--replanner requires --adapt".into());
+    }
 
     let report = if adapt {
         let directory = DirectoryService::new(inst.network.clone());
@@ -538,6 +571,8 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
             policy: CheckpointPolicy::EveryEvent,
             trigger,
             pace_us_per_ms: pace,
+            replanner,
+            threads,
             ..Default::default()
         };
         execute_adaptive_monitored(
@@ -603,9 +638,10 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
     }
     if adapt {
         println!(
-            "  loop: trigger {trigger_name} | {} checkpoint(s), {} reschedule(s), {} attempt(s), {} measurement(s) published",
+            "  loop: trigger {trigger_name} | replanner {replanner_name} | {} checkpoint(s), {} reschedule(s) ({} incremental), {} attempt(s), {} measurement(s) published",
             report.checkpoints_evaluated,
             report.reschedules,
+            report.incremental_reschedules,
             report.attempts,
             report.measurements_published
         );
@@ -732,15 +768,25 @@ fn chaos_run(opts: &args::Options) -> Result<(), String> {
 }
 
 fn compare(opts: &args::Options) -> Result<(), String> {
+    use adaptcomm_core::algorithms::all_schedulers_threaded;
     let matrix = load_matrix(opts)?;
+    let threads: usize = opts.parsed_or("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let obs_path = obs_begin(opts);
     let obs = adaptcomm_obs::global();
-    println!("P = {}, lower bound {}", matrix.len(), matrix.lower_bound());
     println!(
-        "{:>14} {:>14} {:>8} {:>12}",
-        "algorithm", "completion", "ratio", "sched-ms"
+        "P = {}, lower bound {}, {} solver thread(s)",
+        matrix.len(),
+        matrix.lower_bound(),
+        threads
     );
-    for scheduler in all_schedulers() {
+    println!(
+        "{:>14} {:>14} {:>8} {:>12} {:>12}",
+        "algorithm", "completion", "ratio", "sched-ms", "construction"
+    );
+    for scheduler in all_schedulers_threaded(threads) {
         // Construction cost is reported alongside quality — the §6.2
         // concern that run-time scheduling overhead can dominate.
         let span = obs.span("schedule").attr("algorithm", scheduler.name());
@@ -748,12 +794,18 @@ fn compare(opts: &args::Options) -> Result<(), String> {
         let s = scheduler.schedule(&matrix);
         let sched_ms = clock.elapsed().as_secs_f64() * 1e3;
         span.end();
+        // How the plan was produced: cold/warm/incremental/hit for the
+        // matching schedulers (which retain a reuse surface), "-" for
+        // algorithms without one. A second `schedule` on the same
+        // scheduler value would report "hit".
+        let disposition = scheduler.construction_disposition().unwrap_or("-");
         println!(
-            "{:>14} {:>14} {:>8.4} {:>12.3}",
+            "{:>14} {:>14} {:>8.4} {:>12.3} {:>12}",
             scheduler.name(),
             format!("{}", s.completion_time()),
             s.lb_ratio(),
-            sched_ms
+            sched_ms,
+            disposition
         );
     }
     if let Some(path) = obs_path {
@@ -777,6 +829,7 @@ fn plan_server(opts: &args::Options) -> Result<(), String> {
         near_tolerance: opts.parsed_or("near-tolerance", 0.10)?,
         default_est_ms: opts.parsed_or("est-ms", 10.0)?,
         pace: (pace_ms > 0.0).then(|| std::time::Duration::from_secs_f64(pace_ms / 1e3)),
+        threads: opts.parsed_or("threads", 1)?,
     };
     let server = PlanServer::bind(&addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
     println!("plan server listening on {}", server.local_addr());
@@ -788,9 +841,14 @@ fn plan_server(opts: &args::Options) -> Result<(), String> {
 
     let stats = service.cache_stats();
     println!(
-        "plan server stopped: {} plan(s) cached, {} exact hit(s), {} warm hit(s), \
-         {} miss(es), {} eviction(s)",
-        stats.inserts, stats.exact_hits, stats.warm_hits, stats.misses, stats.evictions
+        "plan server stopped: {} plan(s) cached, {} exact hit(s), {} incremental hit(s), \
+         {} warm hit(s), {} miss(es), {} eviction(s)",
+        stats.inserts,
+        stats.exact_hits,
+        stats.incremental_hits,
+        stats.warm_hits,
+        stats.misses,
+        stats.evictions
     );
     for (tenant, dir) in service.directory().per_tenant_stats() {
         println!(

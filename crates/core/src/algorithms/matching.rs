@@ -1,4 +1,4 @@
-//! Matching-based scheduling (§4.3).
+//! Matching-based scheduling (§4.3) with §6 incremental rescheduling.
 //!
 //! Construct a bipartite graph with `P` senders on the left, `P`
 //! receivers on the right, and edge weights equal to the communication
@@ -16,19 +16,41 @@
 //! together in the same step keeps them from serializing behind each
 //! other later, reducing idle cycles. The paper finds minimum matchings
 //! perform comparably.
+//!
+//! # Incremental rescheduling (§6)
+//!
+//! The paper observes that when link estimates drift mid-run, the
+//! schedule need not be rebuilt from scratch: most rounds of the old
+//! construction remain optimal. [`MatchingScheduler::replan_incremental`]
+//! makes that concrete. A [`MatchingPlan`] retains, per round, the
+//! column potentials the solver ended the round with; those potentials
+//! are an optimality *certificate* for the round (every assigned edge
+//! attains its row's minimum reduced cost). Given a changed matrix, the
+//! replan diffs it against the plan's retained matrix and checks each
+//! changed cell against the certificates of the rounds where the cell
+//! was still live: a cost increase can only invalidate the round where
+//! the cell was matched, while a decrease is checked against
+//! `c'(i,j) ≥ u_i + v_j` round by round. Every round before the first
+//! violated certificate is spliced verbatim; the solver re-solves only
+//! from the first dirty round, warm-started from that round's retained
+//! potentials, on a work matrix rebuilt by *patching* the retained
+//! pristine complement (only the dirty cells are rewritten). On
+//! tie-free instances the result is bit-identical to a cold re-solve of
+//! the mutated matrix.
 
 use super::Scheduler;
 use crate::matrix::CommMatrix;
 use crate::schedule::SendOrder;
-use adaptcomm_lap::{solve_min_warm, DenseCost, Duals, SolveStats};
+use adaptcomm_lap::{solve_min_warm_par, DenseCost, Duals, SolveStats};
+use std::sync::Mutex;
 
-/// A matching construction together with the cross-job reuse surface:
-/// the dual potentials retained from the first round's solve (the only
-/// round that pays a cold cost) and the solver counters that show what
-/// the construction actually cost. Produced by
-/// [`MatchingScheduler::plan_seeded`]; a plan cache stores
-/// `seed_potentials` and feeds them back as the seed for a similar
-/// job's first round.
+/// A matching construction together with the reuse surface for
+/// cross-job warm starts and §6 incremental replans: the instance it
+/// was built for, the pristine (pre-deletion) work matrix, and the
+/// per-round dual potentials that certify each round's optimality.
+/// Produced by [`MatchingScheduler::plan_seeded`] and
+/// [`MatchingScheduler::replan_incremental`]; a plan cache stores the
+/// whole plan and feeds it back when a similar job arrives.
 #[derive(Debug, Clone)]
 pub struct MatchingPlan {
     /// The permutation steps, as from [`MatchingScheduler::steps`].
@@ -36,11 +58,46 @@ pub struct MatchingPlan {
     /// Column potentials of the *work matrix* after round 1 — the
     /// warm-start seed to retain for future jobs on similar matrices.
     pub seed_potentials: Vec<f64>,
-    /// Solver counters for round 1 (cold on an unseeded run, warm on a
-    /// seeded one — the cross-job savings show up here).
+    /// Solver counters for the first round actually solved (round 1 on
+    /// a full build; the first dirty round on an incremental replan).
     pub round1: SolveStats,
-    /// Total column scans across all `P` rounds.
+    /// Total column scans across the rounds actually solved.
     pub total_col_scans: u64,
+    /// How the plan was produced: `"cold"` (full unseeded build),
+    /// `"warm"` (full build seeded from retained potentials),
+    /// `"incremental"` (dirty rounds re-solved, the prefix spliced) or
+    /// `"hit"` (nothing changed; the previous plan replayed verbatim).
+    pub disposition: &'static str,
+    /// Rounds spliced verbatim from the previous plan (`0` on a full
+    /// build, `P` on a pure replay).
+    pub spliced_rounds: usize,
+    /// The instance the plan was built for, retained so a replan can
+    /// diff the new matrix against it.
+    matrix: CommMatrix,
+    /// The pristine work matrix (the min-complement, before any
+    /// per-round deletions) — replans patch only the changed cells
+    /// instead of rebuilding it from scratch.
+    complement: DenseCost,
+    /// Column potentials after each round's solve: the per-round
+    /// optimality certificates, and the warm-start state for resuming
+    /// the round loop mid-construction.
+    round_potentials: Vec<Vec<f64>>,
+    /// The matrix maximum the complement and deletion sentinel were
+    /// derived from; a change invalidates every cell of the complement,
+    /// so replans fall back to a full (seeded) build.
+    hi: f64,
+}
+
+impl MatchingPlan {
+    /// The instance this plan was built for.
+    pub fn matrix(&self) -> &CommMatrix {
+        &self.matrix
+    }
+
+    /// The number of processors the plan covers.
+    pub fn processors(&self) -> usize {
+        self.steps.len()
+    }
 }
 
 /// Whether each round extracts the maximum- or minimum-weight matching.
@@ -53,19 +110,67 @@ pub enum MatchingKind {
 }
 
 /// The matching-based scheduler.
-#[derive(Debug, Clone, Copy)]
+///
+/// The scheduler retains the last plan it produced (behind a mutex, so
+/// shared `&self` access stays possible): a repeated [`Scheduler::send_order`]
+/// call on the same matrix replays the plan, and a call on a
+/// same-dimension changed matrix goes through
+/// [`MatchingScheduler::replan_incremental`] instead of a cold build.
+/// Cloning a scheduler clones its configuration, not its retained plan.
+#[derive(Debug)]
 pub struct MatchingScheduler {
     kind: MatchingKind,
+    threads: usize,
+    retained: Mutex<Option<MatchingPlan>>,
+}
+
+impl Clone for MatchingScheduler {
+    fn clone(&self) -> Self {
+        MatchingScheduler {
+            kind: self.kind,
+            threads: self.threads,
+            retained: Mutex::new(None),
+        }
+    }
+}
+
+/// Counters accumulated by one run of the round loop.
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundLoopStats {
+    first: SolveStats,
+    warm_hits: u64,
+    cold_solves: u64,
+    aug_paths: u64,
+    col_scans: u64,
+    worker_scans: u64,
 }
 
 impl MatchingScheduler {
     /// Creates a scheduler extracting matchings of the given kind.
     pub fn new(kind: MatchingKind) -> Self {
-        MatchingScheduler { kind }
+        Self::with_threads(kind, 1)
+    }
+
+    /// Like [`MatchingScheduler::new`], but sharding each cold LAP
+    /// solve's column-reduction scans across `threads` workers (see
+    /// [`adaptcomm_lap::solve_min_par`]); results are bit-identical at
+    /// any thread count.
+    pub fn with_threads(kind: MatchingKind, threads: usize) -> Self {
+        MatchingScheduler {
+            kind,
+            threads: threads.max(1),
+            retained: Mutex::new(None),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The sequence of permutation steps (including self-send slots),
-    /// exposed for the barrier-execution ablation.
+    /// exposed for the barrier-execution ablation. Always a full cold
+    /// construction — retained state is neither consulted nor updated.
     ///
     /// Exactly `P` steps are produced; together they partition all `P²`
     /// sender/receiver pairs. After `k` deletions every vertex has degree
@@ -85,74 +190,111 @@ impl MatchingScheduler {
     /// potentials and scratch buffers of the previous round instead of
     /// re-running the full Jonker–Volgenant reduction phases cold. The
     /// max-weight variant minimizes the *complement* matrix `hi − c`,
-    /// built once and edited in place (the per-round cold path rebuilt
-    /// it from scratch). Both edits only *raise* entries (a deleted edge
-    /// becomes strictly worse), which is exactly the perturbation shape
-    /// warm starts absorb cheaply. The original cold-per-round
+    /// built once and edited in place with compacted live-cell tracking
+    /// (deleted cells leave the scan stream entirely). Both edits only
+    /// *raise* entries (a deleted edge becomes strictly worse), which is
+    /// exactly the perturbation shape warm starts absorb cheaply — the
+    /// monotone-edit contract ([`Duals::assume_monotone_edits`] plus
+    /// per-cell [`Duals::note_cost_increase`]) lets the solver keep its
+    /// candidate caches across rounds. The original cold-per-round
     /// formulation is retained in [`super::reference::matching_steps`]
     /// and property-tested to emit identical steps.
     pub fn steps(&self, matrix: &CommMatrix) -> Vec<Vec<Option<usize>>> {
         self.plan_seeded(matrix, None).steps
     }
 
-    /// Like [`MatchingScheduler::steps`], but optionally seeding the
-    /// first round's LAP solve from dual potentials retained by a
-    /// *previous job* (see [`MatchingPlan::seed_potentials`]), and
-    /// returning the potentials and solver counters alongside the
-    /// steps. A seed of the wrong dimension is ignored — the run is
-    /// then exactly the unseeded construction. Warm starts are exact
-    /// for any finite seed, so the steps differ from an unseeded run
-    /// only where the instance has multiple optimal matchings.
-    pub fn plan_seeded(&self, matrix: &CommMatrix, seed: Option<&[f64]>) -> MatchingPlan {
-        let p = matrix.len();
+    /// The plan for `matrix`, consulting and updating the retained
+    /// plan: an identical matrix replays the retained plan (`"hit"`), a
+    /// same-dimension changed matrix pays only its dirty rounds
+    /// (`"incremental"`), anything else is a full build. This is what
+    /// [`Scheduler::send_order`] uses.
+    pub fn plan(&self, matrix: &CommMatrix) -> MatchingPlan {
+        let mut slot = self.retained.lock().unwrap();
+        let plan = match slot.as_ref() {
+            Some(prev) if prev.processors() == matrix.len() => {
+                self.replan_incremental(prev, matrix)
+            }
+            _ => self.plan_seeded(matrix, None),
+        };
+        *slot = Some(plan.clone());
+        let obs = adaptcomm_obs::global();
+        if obs.is_enabled() {
+            obs.add(
+                match plan.disposition {
+                    "hit" => "sched.matching.plan_hits",
+                    "incremental" => "sched.matching.plan_incremental",
+                    "warm" => "sched.matching.plan_warm",
+                    _ => "sched.matching.plan_cold",
+                },
+                1,
+            );
+        }
+        plan
+    }
+
+    /// The deletion sentinel written into the work matrix: matching the
+    /// cold reference bit-for-bit, deletion writes `∓big` into the
+    /// *weights*, so the min-complement holds `hi − (−big) = hi + big`
+    /// (Max) or `big` (Min) for deleted edges.
+    fn deleted_weight(&self, p: usize, hi: f64) -> f64 {
         // Sentinel strictly dominating any complete matching built from
         // real edges.
-        let big = (p as f64 + 1.0) * (matrix.max_cost().as_ms() + 1.0);
-        let hi = matrix.max_cost().as_ms();
-        // The work matrix is always *minimized*: the original weights
-        // for Min, the complement `hi − c` for Max. Matching the cold
-        // path bit-for-bit: there, deletion writes `∓big` into the
-        // weights, so the complement the cold Max path minimizes holds
-        // `hi − (−big) = hi + big` for deleted edges — the exact values
-        // used here.
-        let mut work = match self.kind {
-            MatchingKind::Max => DenseCost::from_fn(p, |src, dst| {
-                let row = matrix.row(src);
-                hi - row[dst]
-            }),
-            MatchingKind::Min => DenseCost::from_fn(p, |src, dst| matrix.row(src)[dst]),
-        };
-        let deleted_weight = match self.kind {
+        let big = (p as f64 + 1.0) * (hi + 1.0);
+        match self.kind {
             MatchingKind::Max => hi + big,
             MatchingKind::Min => big,
-        };
-        let mut deleted = vec![false; p * p];
-        let mut duals = match seed {
-            Some(v) if v.len() == p => Duals::from_potentials(v.to_vec()),
-            _ => Duals::new(),
-        };
-        let mut steps = Vec::with_capacity(p);
-        let mut seed_potentials = Vec::new();
-        let mut round1 = SolveStats::default();
-        // Aggregate LAP stats in locals; one obs record after the loop.
-        let (mut warm_hits, mut cold_solves, mut aug_paths, mut col_scans) = (0u64, 0u64, 0, 0);
-        for round in 0..p {
-            let assignment = solve_min_warm(&work, &mut duals);
+        }
+    }
+
+    /// The pristine work matrix: the original weights for Min, the
+    /// complement `hi − c` for Max — always *minimized*.
+    fn pristine_complement(&self, matrix: &CommMatrix, hi: f64) -> DenseCost {
+        let p = matrix.len();
+        match self.kind {
+            MatchingKind::Max => DenseCost::from_fn(p, |src, dst| hi - matrix.row(src)[dst]),
+            MatchingKind::Min => DenseCost::from_fn(p, |src, dst| matrix.row(src)[dst]),
+        }
+    }
+
+    /// Runs rounds `start..p` of the matching loop on `work`, appending
+    /// to `steps` and `round_potentials` and marking deletions in
+    /// `deleted`. `duals` must be fresh for round `start` (new, or
+    /// seeded via [`Duals::from_potentials`]); later rounds run under
+    /// the monotone-edit contract.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rounds(
+        &self,
+        work: &mut DenseCost,
+        duals: &mut Duals,
+        start: usize,
+        p: usize,
+        deleted_weight: f64,
+        deleted: &mut [bool],
+        steps: &mut Vec<Vec<Option<usize>>>,
+        round_potentials: &mut Vec<Vec<f64>>,
+    ) -> RoundLoopStats {
+        let mut out = RoundLoopStats::default();
+        for round in start..p {
+            if round > start {
+                // All edits since the previous solve were deletions
+                // (cost increases declared cell by cell below), so the
+                // solver may keep its candidate caches.
+                duals.assume_monotone_edits();
+            }
+            let assignment = solve_min_warm_par(work, duals, self.threads);
             let stats = duals.last_stats();
-            if round == 0 {
-                // Retained *before* later rounds edit the work matrix:
-                // these potentials correspond to the pristine instance,
-                // which is what a future similar job will solve.
-                seed_potentials = duals.potentials().to_vec();
-                round1 = stats;
+            if round == start {
+                out.first = stats;
             }
             if stats.warm {
-                warm_hits += 1;
+                out.warm_hits += 1;
             } else {
-                cold_solves += 1;
+                out.cold_solves += 1;
             }
-            aug_paths += stats.aug_paths;
-            col_scans += stats.col_scans;
+            out.aug_paths += stats.aug_paths;
+            out.col_scans += stats.col_scans;
+            out.worker_scans += stats.worker_scans;
+            round_potentials.push(duals.potentials().to_vec());
             let mut step = Vec::with_capacity(p);
             for (src, &dst) in assignment.row_to_col.iter().enumerate() {
                 assert!(
@@ -161,23 +303,237 @@ impl MatchingScheduler {
                 );
                 deleted[src * p + dst] = true;
                 step.push(Some(dst));
-                work.set(src, dst, deleted_weight);
+                work.delete(src, dst, deleted_weight);
+                duals.note_cost_increase(src, dst, deleted_weight);
             }
             steps.push(step);
         }
+        out
+    }
+
+    fn record_obs(&self, p: usize, out: &RoundLoopStats) {
         let obs = adaptcomm_obs::global();
         if obs.is_enabled() {
             obs.add("sched.matching.rounds", p as u64);
-            obs.add("sched.matching.lap_warm_hits", warm_hits);
-            obs.add("sched.matching.lap_cold_solves", cold_solves);
-            obs.add("sched.matching.lap_aug_paths", aug_paths);
-            obs.add("sched.matching.lap_col_scans", col_scans);
+            obs.add("sched.matching.lap_warm_hits", out.warm_hits);
+            obs.add("sched.matching.lap_cold_solves", out.cold_solves);
+            obs.add("sched.matching.lap_aug_paths", out.aug_paths);
+            obs.add("sched.matching.lap_col_scans", out.col_scans);
+            obs.add("sched.matching.lap_worker_scans", out.worker_scans);
+        }
+    }
+
+    /// Like [`MatchingScheduler::steps`], but optionally seeding the
+    /// first round's LAP solve from dual potentials retained by a
+    /// *previous job* (see [`MatchingPlan::seed_potentials`]), and
+    /// returning the retained reuse surface alongside the steps. A seed
+    /// of the wrong dimension is ignored — the run is then exactly the
+    /// unseeded construction. Warm starts are exact for any finite
+    /// seed, so the steps differ from an unseeded run only where the
+    /// instance has multiple optimal matchings. Pure: retained state is
+    /// neither consulted nor updated.
+    pub fn plan_seeded(&self, matrix: &CommMatrix, seed: Option<&[f64]>) -> MatchingPlan {
+        let p = matrix.len();
+        let hi = matrix.max_cost().as_ms();
+        let deleted_weight = self.deleted_weight(p, hi);
+        let complement = self.pristine_complement(matrix, hi);
+        let mut work = complement.clone();
+        work.enable_live_tracking();
+        let mut deleted = vec![false; p * p];
+        let seeded = matches!(seed, Some(v) if v.len() == p);
+        let mut duals = match seed {
+            Some(v) if v.len() == p => Duals::from_potentials(v.to_vec()),
+            _ => Duals::new(),
+        };
+        let mut steps = Vec::with_capacity(p);
+        let mut round_potentials = Vec::with_capacity(p);
+        let out = self.run_rounds(
+            &mut work,
+            &mut duals,
+            0,
+            p,
+            deleted_weight,
+            &mut deleted,
+            &mut steps,
+            &mut round_potentials,
+        );
+        self.record_obs(p, &out);
+        MatchingPlan {
+            steps,
+            // Retained from the round-1 state *before* later rounds
+            // edited the work matrix: these potentials correspond to
+            // the pristine instance, which is what a future similar
+            // job will solve.
+            seed_potentials: round_potentials.first().cloned().unwrap_or_default(),
+            round1: out.first,
+            total_col_scans: out.col_scans,
+            disposition: if seeded { "warm" } else { "cold" },
+            spliced_rounds: 0,
+            matrix: matrix.clone(),
+            complement,
+            round_potentials,
+            hi,
+        }
+    }
+
+    /// §6 incremental rescheduling: re-plans `matrix` given the plan of
+    /// a previous, similar instance. Diffs the matrices cell by cell,
+    /// finds the first round whose retained optimality certificate a
+    /// changed cell violates (see the module docs), splices every
+    /// earlier round verbatim, and re-solves only from that round —
+    /// warm-started from the round's retained potentials, on a work
+    /// matrix produced by *patching* the retained pristine complement
+    /// rather than rebuilding it. Falls back to a full seeded build
+    /// when the dimension or the matrix maximum changed (the latter
+    /// shifts every complement cell). An unchanged matrix replays the
+    /// previous plan verbatim (`"hit"`). Pure: retained state is
+    /// neither consulted nor updated — [`MatchingScheduler::plan`]
+    /// layers retention on top.
+    ///
+    /// On tie-free instances the result is bit-identical to a cold
+    /// re-solve of the mutated matrix: spliced rounds are certified
+    /// still-optimal (and tie-freeness makes the optimum unique), and
+    /// re-solved rounds run on exactly the work matrix a cold build
+    /// would have at that round.
+    pub fn replan_incremental(&self, prev: &MatchingPlan, matrix: &CommMatrix) -> MatchingPlan {
+        let p = matrix.len();
+        let hi = matrix.max_cost().as_ms();
+        if prev.processors() != p || prev.hi != hi {
+            let seed = (!prev.seed_potentials.is_empty()).then_some(&prev.seed_potentials[..]);
+            return self.plan_seeded(matrix, seed);
+        }
+
+        // The delta set: cells whose cost changed. Diffing raw costs is
+        // equivalent to diffing complement cells because `hi` matched.
+        let mut delta: Vec<(usize, usize)> = Vec::new();
+        for s in 0..p {
+            let new_row = matrix.row(s);
+            let old_row = prev.matrix.row(s);
+            for d in 0..p {
+                if new_row[d] != old_row[d] {
+                    delta.push((s, d));
+                }
+            }
+        }
+        if delta.is_empty() {
+            let mut plan = prev.clone();
+            plan.disposition = "hit";
+            plan.spliced_rounds = p;
+            plan.round1 = SolveStats::default();
+            plan.total_col_scans = 0;
+            return plan;
+        }
+
+        // Patch only the dirty cells of the retained pristine
+        // complement — the complement is never rebuilt from scratch.
+        let mut pristine = prev.complement.clone();
+        for &(s, d) in &delta {
+            let w = match self.kind {
+                MatchingKind::Max => hi - matrix.row(s)[d],
+                MatchingKind::Min => matrix.row(s)[d],
+            };
+            pristine.set(s, d, w);
+        }
+
+        // Each pair is matched (and then deleted) in exactly one round.
+        let mut matched_at = vec![0usize; p * p];
+        for (r, step) in prev.steps.iter().enumerate() {
+            for (src, dst) in step.iter().enumerate() {
+                matched_at[src * p + dst.expect("complete step")] = r;
+            }
+        }
+
+        // First dirty round. A changed cell always dirties the round
+        // where it was matched (the round's weight changed). A cell
+        // whose complement value *decreased* can additionally break an
+        // earlier round's certificate: with the retained potentials
+        // `v_r` and the implicit row potential
+        // `u = c(s, x_r(s)) − v_r[x_r(s)]` (the assigned edge attains
+        // the row minimum after every solve), optimality of round `r`
+        // requires `c'(s,d) ≥ u + v_r[d]`. Increases can never violate
+        // a certificate for a round where the cell was unmatched. If
+        // the cell's matched *partner* in some round also changed, the
+        // stale `u` used here does not matter: that partner cell marks
+        // the round dirty through its own matched-round rule, and the
+        // minimum over all cells wins.
+        let mut first_dirty = p;
+        for &(s, d) in &delta {
+            let m = matched_at[s * p + d];
+            let mut dirty_at = m;
+            if pristine.at(s, d) < prev.complement.at(s, d) {
+                let w_new = pristine.at(s, d);
+                for r in 0..m.min(first_dirty) {
+                    let x = prev.steps[r][s].expect("complete step");
+                    let v_r = &prev.round_potentials[r];
+                    let u = prev.complement.at(s, x) - v_r[x];
+                    if w_new < u + v_r[d] {
+                        dirty_at = r;
+                        break;
+                    }
+                }
+            }
+            first_dirty = first_dirty.min(dirty_at);
+        }
+        debug_assert!(first_dirty < p, "a non-empty delta always dirties a round");
+
+        // Splice the certified prefix, then resume the round loop from
+        // the first dirty round, warm-started from its retained entry
+        // potentials.
+        let deleted_weight = self.deleted_weight(p, hi);
+        let mut work = pristine.clone();
+        work.enable_live_tracking();
+        let mut deleted = vec![false; p * p];
+        let mut steps = Vec::with_capacity(p);
+        let mut round_potentials = Vec::with_capacity(p);
+        for r in 0..first_dirty {
+            let step = prev.steps[r].clone();
+            for (src, dst) in step.iter().enumerate() {
+                let dst = dst.expect("complete step");
+                deleted[src * p + dst] = true;
+                work.delete(src, dst, deleted_weight);
+            }
+            round_potentials.push(prev.round_potentials[r].clone());
+            steps.push(step);
+        }
+        let mut duals = if first_dirty == 0 {
+            if prev.seed_potentials.len() == p {
+                Duals::from_potentials(prev.seed_potentials.clone())
+            } else {
+                Duals::new()
+            }
+        } else {
+            Duals::from_potentials(prev.round_potentials[first_dirty - 1].clone())
+        };
+        let out = self.run_rounds(
+            &mut work,
+            &mut duals,
+            first_dirty,
+            p,
+            deleted_weight,
+            &mut deleted,
+            &mut steps,
+            &mut round_potentials,
+        );
+        self.record_obs(p - first_dirty, &out);
+        let obs = adaptcomm_obs::global();
+        if obs.is_enabled() {
+            obs.add("sched.matching.replan_spliced_rounds", first_dirty as u64);
+            obs.add(
+                "sched.matching.replan_solved_rounds",
+                (p - first_dirty) as u64,
+            );
         }
         MatchingPlan {
             steps,
-            seed_potentials,
-            round1,
-            total_col_scans: col_scans,
+            seed_potentials: round_potentials.first().cloned().unwrap_or_default(),
+            round1: out.first,
+            total_col_scans: out.col_scans,
+            disposition: "incremental",
+            spliced_rounds: first_dirty,
+            matrix: matrix.clone(),
+            complement: pristine,
+            round_potentials,
+            hi,
         }
     }
 }
@@ -191,7 +547,16 @@ impl Scheduler for MatchingScheduler {
     }
 
     fn send_order(&self, matrix: &CommMatrix) -> SendOrder {
-        SendOrder::from_steps(matrix.len(), &self.steps(matrix))
+        let plan = self.plan(matrix);
+        SendOrder::from_steps(matrix.len(), &plan.steps)
+    }
+
+    fn construction_disposition(&self) -> Option<&'static str> {
+        self.retained
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|plan| plan.disposition)
     }
 }
 
@@ -205,6 +570,17 @@ mod tests {
                 0.0
             } else {
                 ((s * 31 + d * 17) % 23 + 1) as f64
+            }
+        })
+    }
+
+    /// A continuous (tie-free in practice) instance.
+    fn continuous(p: usize, salt: f64) -> CommMatrix {
+        CommMatrix::from_fn(p, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                50.0 + salt + 40.0 * ((s as f64) * 1.37).sin() * ((d as f64) * 0.73).cos()
             }
         })
     }
@@ -281,7 +657,10 @@ mod tests {
 
     #[test]
     fn adapts_when_costs_change() {
-        // Unlike the baseline, the matching order changes with the matrix.
+        // Unlike the baseline, the matching order changes with the
+        // matrix — and with a shared scheduler instance, the second
+        // call takes the incremental replan path, which must still
+        // react to the change.
         let a = heterogeneous(6);
         let mut b = a.clone();
         // Make one link catastrophically slow.
@@ -349,13 +728,7 @@ mod tests {
         // Continuous, tie-free costs: with integer-derived cells the
         // instance has multiple optimal matchings and the seeded run
         // may legitimately pick a different one.
-        let a = CommMatrix::from_fn(p, |s, d| {
-            if s == d {
-                0.0
-            } else {
-                50.0 + 40.0 * ((s as f64) * 1.37).sin() * ((d as f64) * 0.73).cos()
-            }
-        });
+        let a = continuous(p, 0.0);
         // A ±1 % perturbation of job A — a "similar job" arriving later.
         let b = CommMatrix::from_fn(p, |s, d| {
             let sign = if (s + 2 * d) % 2 == 0 { 1.0 } else { -1.0 };
@@ -365,10 +738,12 @@ mod tests {
         let cold_a = sched.plan_seeded(&a, None);
         assert!(!cold_a.round1.warm);
         assert_eq!(cold_a.seed_potentials.len(), p);
+        assert_eq!(cold_a.disposition, "cold");
 
         let cold_b = sched.plan_seeded(&b, None);
         let seeded_b = sched.plan_seeded(&b, Some(&cold_a.seed_potentials));
         assert!(seeded_b.round1.warm, "seeded round 1 must run warm");
+        assert_eq!(seeded_b.disposition, "warm");
         assert!(
             seeded_b.round1.col_scans < cold_b.round1.col_scans,
             "cross-job seed must cut round-1 work ({} vs {})",
@@ -396,6 +771,135 @@ mod tests {
         let ignored = sched.plan_seeded(&b, Some(&[1.0, 2.0]));
         assert!(!ignored.round1.warm);
         assert_eq!(ignored.steps, cold_b.steps);
+    }
+
+    #[test]
+    fn replan_with_empty_delta_is_a_pure_splice() {
+        let m = continuous(12, 0.0);
+        let sched = MatchingScheduler::new(MatchingKind::Max);
+        let prev = sched.plan_seeded(&m, None);
+        let replay = sched.replan_incremental(&prev, &m);
+        assert_eq!(replay.disposition, "hit");
+        assert_eq!(replay.spliced_rounds, 12);
+        assert_eq!(replay.total_col_scans, 0, "nothing was solved");
+        assert_eq!(replay.steps, prev.steps);
+    }
+
+    #[test]
+    fn replan_with_random_delta_matches_cold_resolve() {
+        for kind in [MatchingKind::Max, MatchingKind::Min] {
+            let p = 24;
+            let a = continuous(p, 0.0);
+            let sched = MatchingScheduler::new(kind);
+            let prev = sched.plan_seeded(&a, None);
+
+            // Perturb a handful of off-diagonal links (keeping the
+            // matrix maximum, so the complement base is unchanged).
+            let mut b = a.clone();
+            let mut state = 0xD1CEu64;
+            for _ in 0..6 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let s = (state >> 33) as usize % p;
+                let d = (state >> 13) as usize % p;
+                if s == d {
+                    continue;
+                }
+                let jitter = 1.0 + (((state >> 3) % 100) as f64 - 50.0) / 1000.0;
+                b.set_cost(
+                    s,
+                    d,
+                    adaptcomm_model::units::Millis::new(a.cost(s, d).as_ms() * jitter),
+                );
+            }
+            assert_eq!(
+                a.max_cost().as_ms(),
+                b.max_cost().as_ms(),
+                "perturbation must keep the complement base"
+            );
+
+            let incremental = sched.replan_incremental(&prev, &b);
+            let cold = sched.plan_seeded(&b, None);
+            assert_eq!(incremental.disposition, "incremental");
+            assert_eq!(
+                incremental.steps, cold.steps,
+                "{kind:?}: incremental replan must be bit-identical to a cold re-solve"
+            );
+            // The retained surface must describe the *new* instance, so
+            // a further replan off this plan stays correct.
+            let again = sched.replan_incremental(&incremental, &b);
+            assert_eq!(again.disposition, "hit");
+            assert_eq!(again.steps, cold.steps);
+        }
+    }
+
+    #[test]
+    fn replan_with_all_cells_dirty_degenerates_to_full_solve() {
+        let p = 10;
+        let a = continuous(p, 0.0);
+        let sched = MatchingScheduler::new(MatchingKind::Max);
+        let prev = sched.plan_seeded(&a, None);
+        // Scale every off-diagonal cell: all rows dirty from round 0.
+        // Scaling changes the matrix maximum, so this also exercises
+        // the full-rebuild fallback.
+        let b = CommMatrix::from_fn(p, |s, d| a.cost(s, d).as_ms() * 1.5);
+        let incremental = sched.replan_incremental(&prev, &b);
+        let cold = sched.plan_seeded(&b, None);
+        assert_eq!(incremental.steps, cold.steps);
+        assert_eq!(
+            incremental.disposition, "warm",
+            "hi changed: full seeded rebuild"
+        );
+
+        // Same-maximum all-dirty delta: every cell but the max cell
+        // shifts, staying on the incremental path with few spliced
+        // rounds.
+        let (mut ms, mut md) = (0, 0);
+        let mut hi = f64::NEG_INFINITY;
+        for s in 0..p {
+            for d in 0..p {
+                if a.cost(s, d).as_ms() > hi {
+                    hi = a.cost(s, d).as_ms();
+                    (ms, md) = (s, d);
+                }
+            }
+        }
+        let c = CommMatrix::from_fn(p, |s, d| {
+            let v = a.cost(s, d).as_ms();
+            if (s, d) == (ms, md) || s == d {
+                v
+            } else {
+                v * 0.93 + 0.011 * (s as f64) + 0.017 * (d as f64)
+            }
+        });
+        let incremental = sched.replan_incremental(&prev, &c);
+        let cold = sched.plan_seeded(&c, None);
+        assert_eq!(incremental.disposition, "incremental");
+        assert_eq!(incremental.steps, cold.steps);
+    }
+
+    #[test]
+    fn retained_plan_drives_send_order_dispositions() {
+        let a = continuous(9, 0.0);
+        let mut b = a.clone();
+        b.set_cost(2, 5, adaptcomm_model::units::Millis::new(61.125));
+        let sched = MatchingScheduler::new(MatchingKind::Max);
+        assert_eq!(sched.construction_disposition(), None);
+        sched.send_order(&a);
+        assert_eq!(sched.construction_disposition(), Some("cold"));
+        sched.send_order(&a);
+        assert_eq!(sched.construction_disposition(), Some("hit"));
+        sched.send_order(&b);
+        assert_eq!(sched.construction_disposition(), Some("incremental"));
+        // The incremental order equals a cold scheduler's order.
+        let fresh = MatchingScheduler::new(MatchingKind::Max);
+        assert_eq!(sched.send_order(&b), fresh.send_order(&b));
+        // A dimension change falls back to a full cold build.
+        sched.send_order(&continuous(7, 0.0));
+        assert_eq!(sched.construction_disposition(), Some("cold"));
+        // Cloning a scheduler does not clone its retained plan.
+        assert_eq!(sched.clone().construction_disposition(), None);
     }
 
     #[test]

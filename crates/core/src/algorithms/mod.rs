@@ -48,16 +48,31 @@ pub trait Scheduler: Send + Sync {
     fn schedule(&self, matrix: &CommMatrix) -> Schedule {
         execute_listed(&self.send_order(matrix), matrix)
     }
+
+    /// How the most recent construction was produced, for schedulers
+    /// that distinguish reuse paths (`"cold"`, `"warm"`,
+    /// `"incremental"`, `"hit"` for the matching scheduler). `None`
+    /// when the scheduler has no reuse surface or has not run yet.
+    fn construction_disposition(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// Every built-in scheduler, for experiment sweeps. The returned
 /// collection matches the algorithm set evaluated in the paper's §5:
 /// baseline, max matching, min matching, greedy, open shop.
 pub fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    all_schedulers_threaded(1)
+}
+
+/// [`all_schedulers`] with the matching schedulers running their LAP
+/// solves on `threads` workers. Plans are bit-identical at any thread
+/// count, so this only changes construction latency.
+pub fn all_schedulers_threaded(threads: usize) -> Vec<Box<dyn Scheduler>> {
     vec![
         Box::new(Baseline),
-        Box::new(MatchingScheduler::new(MatchingKind::Max)),
-        Box::new(MatchingScheduler::new(MatchingKind::Min)),
+        Box::new(MatchingScheduler::with_threads(MatchingKind::Max, threads)),
+        Box::new(MatchingScheduler::with_threads(MatchingKind::Min, threads)),
         Box::new(Greedy),
         Box::new(OpenShop),
     ]

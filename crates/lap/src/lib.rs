@@ -49,6 +49,7 @@ pub mod jv;
 pub mod matrix;
 
 pub use jv::{Duals, SolveStats};
+
 pub use matrix::DenseCost;
 
 /// A complete assignment of rows to columns.
@@ -117,6 +118,24 @@ pub fn solve_min(costs: &DenseCost) -> Assignment {
 /// `duals`; later calls skip the reduction phases entirely.
 pub fn solve_min_warm(costs: &DenseCost, duals: &mut Duals) -> Assignment {
     jv::solve_warm(costs, duals)
+}
+
+/// Like [`solve_min`], but sharding the cold phase-1 column scans
+/// across `threads` workers. Bit-identical to [`solve_min`] at any
+/// thread count — per-column minima are computed independently with the
+/// serial tie-break and applied in the serial order (see
+/// [`jv::solve_par`]). Sharded scans are counted in
+/// [`SolveStats::worker_scans`].
+pub fn solve_min_par(costs: &DenseCost, threads: usize) -> Assignment {
+    jv::solve_par(costs, threads)
+}
+
+/// The warm-started counterpart of [`solve_min_par`]: warm rounds are
+/// inherently sequential (each augmentation reads the potentials the
+/// previous one wrote), so `threads` only accelerates the cold solve
+/// that initialises `duals`.
+pub fn solve_min_warm_par(costs: &DenseCost, duals: &mut Duals, threads: usize) -> Assignment {
+    jv::solve_warm_par(costs, duals, threads)
 }
 
 /// Solves the maximum-weight LAP by cost complementation.

@@ -22,6 +22,7 @@
 //! entries (per-tenant *dispositions* are still metered separately by
 //! the server). Capacity is bounded with FIFO eviction.
 
+use adaptcomm_core::algorithms::MatchingPlan;
 use adaptcomm_core::matrix::CommMatrix;
 use adaptcomm_core::schedule::SendOrder;
 use std::collections::{BTreeMap, VecDeque};
@@ -40,6 +41,11 @@ struct CachedPlan {
     /// Round-1 LAP potentials; empty when the producing algorithm has
     /// no duals to retain (non-matching schedulers).
     seed: Vec<f64>,
+    /// The producing job's whole matching plan, when the algorithm has
+    /// one — the §6 incremental-replan surface: a confirmed near-hit
+    /// hands it back so the server re-solves only the dirty rounds
+    /// instead of warm-starting a full build.
+    plan: Option<Box<MatchingPlan>>,
     bucket: u64,
 }
 
@@ -52,6 +58,14 @@ pub enum CacheLookup {
     Warm {
         /// Retained round-1 dual potentials of the cached job.
         seed: Vec<f64>,
+        /// Measured relative deviation from the cached matrix.
+        deviation: f64,
+    },
+    /// Near-hit whose cached job retained its whole matching plan:
+    /// replan it incrementally (§6) instead of re-solving every round.
+    Incremental {
+        /// The cached job's retained plan, to diff and patch.
+        plan: Box<MatchingPlan>,
         /// Measured relative deviation from the cached matrix.
         deviation: f64,
     },
@@ -68,6 +82,9 @@ pub struct CacheStats {
     pub exact_hits: u64,
     /// Confirmed near-hits that seeded a warm start.
     pub warm_hits: u64,
+    /// Confirmed near-hits answered with a retained plan for §6
+    /// incremental rescheduling.
+    pub incremental_hits: u64,
     /// Lookups that found nothing usable.
     pub misses: u64,
     /// Entries dropped by FIFO eviction.
@@ -191,13 +208,22 @@ impl PlanCache {
             }
         }
         match best {
-            Some((deviation, entry)) => {
-                self.stats.warm_hits += 1;
-                CacheLookup::Warm {
-                    seed: entry.seed.clone(),
-                    deviation,
+            Some((deviation, entry)) => match &entry.plan {
+                Some(plan) => {
+                    self.stats.incremental_hits += 1;
+                    CacheLookup::Incremental {
+                        plan: plan.clone(),
+                        deviation,
+                    }
                 }
-            }
+                None => {
+                    self.stats.warm_hits += 1;
+                    CacheLookup::Warm {
+                        seed: entry.seed.clone(),
+                        deviation,
+                    }
+                }
+            },
             None => {
                 self.stats.misses += 1;
                 CacheLookup::Miss
@@ -206,13 +232,16 @@ impl PlanCache {
     }
 
     /// Retains a freshly computed plan. `seed` is the producing job's
-    /// round-1 dual potentials (empty when the algorithm has none).
+    /// round-1 dual potentials (empty when the algorithm has none);
+    /// `plan` is its whole matching plan when the algorithm produces
+    /// one, enabling §6 incremental replans on future near-hits.
     pub fn insert(
         &mut self,
         algorithm: &str,
         matrix: &CommMatrix,
         order: SendOrder,
         seed: Vec<f64>,
+        plan: Option<Box<MatchingPlan>>,
     ) {
         let fp = matrix.fingerprint();
         let p = matrix.len();
@@ -230,6 +259,7 @@ impl PlanCache {
                 matrix: matrix.clone(),
                 order,
                 seed,
+                plan,
                 bucket,
             },
         );
@@ -302,7 +332,7 @@ mod tests {
     fn exact_key_replays_and_near_key_warms() {
         let mut cache = PlanCache::new(8, 0.10);
         let m = matrix(6, 0.0);
-        cache.insert("matching-max", &m, order_for(6), vec![1.0; 6]);
+        cache.insert("matching-max", &m, order_for(6), vec![1.0; 6], None);
 
         assert!(matches!(
             cache.lookup("matching-max", &m),
@@ -339,10 +369,40 @@ mod tests {
     }
 
     #[test]
+    fn entries_with_retained_plans_answer_near_hits_incrementally() {
+        use adaptcomm_core::algorithms::{MatchingKind, MatchingScheduler};
+        let mut cache = PlanCache::new(8, 0.10);
+        let m = matrix(6, 0.0);
+        let sched = MatchingScheduler::new(MatchingKind::Max);
+        let plan = sched.plan_seeded(&m, None);
+        cache.insert(
+            "matching-max",
+            &m,
+            order_for(6),
+            plan.seed_potentials.clone(),
+            Some(Box::new(plan)),
+        );
+        // A small perturbation confirms against the cached matrix and
+        // hands back the retained plan instead of bare potentials.
+        let mut rows: Vec<Vec<f64>> = (0..6).map(|s| m.row(s).to_vec()).collect();
+        rows[0][1] *= 1.02;
+        let near = CommMatrix::from_rows(&rows);
+        match cache.lookup("matching-max", &near) {
+            CacheLookup::Incremental { plan, deviation } => {
+                assert_eq!(plan.processors(), 6);
+                assert!(deviation <= 0.0201, "measured {deviation}");
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+        assert_eq!(cache.stats().incremental_hits, 1);
+        assert_eq!(cache.stats().warm_hits, 0);
+    }
+
+    #[test]
     fn entries_without_seeds_never_nominate_warm_starts() {
         let mut cache = PlanCache::new(8, 0.10);
         let m = matrix(5, 0.0);
-        cache.insert("greedy", &m, order_for(5), Vec::new());
+        cache.insert("greedy", &m, order_for(5), Vec::new(), None);
         let mut rows: Vec<Vec<f64>> = (0..5).map(|s| m.row(s).to_vec()).collect();
         rows[0][1] *= 1.01;
         let near = CommMatrix::from_rows(&rows);
@@ -355,9 +415,9 @@ mod tests {
     fn fifo_eviction_unindexes_the_oldest_entry() {
         let mut cache = PlanCache::new(2, 0.10);
         let (a, b, c) = (matrix(4, 0.0), matrix(4, 10.0), matrix(4, 20.0));
-        cache.insert("matching-max", &a, order_for(4), vec![0.0; 4]);
-        cache.insert("matching-max", &b, order_for(4), vec![0.0; 4]);
-        cache.insert("matching-max", &c, order_for(4), vec![0.0; 4]);
+        cache.insert("matching-max", &a, order_for(4), vec![0.0; 4], None);
+        cache.insert("matching-max", &b, order_for(4), vec![0.0; 4], None);
+        cache.insert("matching-max", &c, order_for(4), vec![0.0; 4], None);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
         assert!(matches!(
@@ -378,7 +438,7 @@ mod tests {
     fn probe_answers_from_the_exact_key_alone() {
         let mut cache = PlanCache::new(4, 0.10);
         let m = matrix(4, 0.0);
-        cache.insert("matching-max", &m, order_for(4), Vec::new());
+        cache.insert("matching-max", &m, order_for(4), Vec::new(), None);
         let fp = m.fingerprint();
         assert!(cache.probe("matching-max", fp).is_some());
         assert!(cache.probe("matching-max", fp ^ 1).is_none());

@@ -237,6 +237,11 @@ pub enum CacheDisposition {
     Hit,
     /// Near-hit: new solve warm-started from a cached job's duals.
     Warm,
+    /// Near-hit served by §6 incremental rescheduling: the cached
+    /// job's retained matching plan was patched in place and only the
+    /// rounds the perturbation invalidated were re-solved; certified
+    /// rounds were spliced verbatim.
+    Incremental,
 }
 
 impl CacheDisposition {
@@ -246,6 +251,7 @@ impl CacheDisposition {
             CacheDisposition::Cold => "cold",
             CacheDisposition::Hit => "hit",
             CacheDisposition::Warm => "warm",
+            CacheDisposition::Incremental => "incremental",
         }
     }
 
@@ -254,6 +260,7 @@ impl CacheDisposition {
             "cold" => Ok(CacheDisposition::Cold),
             "hit" => Ok(CacheDisposition::Hit),
             "warm" => Ok(CacheDisposition::Warm),
+            "incremental" => Ok(CacheDisposition::Incremental),
             other => Err(malformed(format!("unknown cache disposition {other:?}"))),
         }
     }

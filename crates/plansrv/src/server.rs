@@ -16,7 +16,9 @@ use crate::cache::{CacheLookup, PlanCache};
 use crate::proto::{
     self, CacheDisposition, PlanOk, PlanRequest, PlanResponse, PlanStats, ProtocolError, Request,
 };
-use adaptcomm_core::algorithms::{all_schedulers, MatchingKind, MatchingScheduler, Scheduler};
+use adaptcomm_core::algorithms::{
+    all_schedulers, MatchingKind, MatchingPlan, MatchingScheduler, Scheduler,
+};
 use adaptcomm_core::execution::execute_listed;
 use adaptcomm_core::matrix::CommMatrix;
 use adaptcomm_core::schedule::SendOrder;
@@ -56,6 +58,10 @@ pub struct PlanServerConfig {
     /// every cold or warm solve (replays are exempt). The determinism
     /// knob for QoS tests and the CI smoke run; `None` in production.
     pub pace: Option<Duration>,
+    /// LAP solver threads per solve (see
+    /// [`adaptcomm_lap::solve_min_par`]) — bit-identical results at any
+    /// value, so this is purely a latency knob.
+    pub threads: usize,
 }
 
 impl Default for PlanServerConfig {
@@ -67,6 +73,7 @@ impl Default for PlanServerConfig {
             near_tolerance: 0.10,
             default_est_ms: 10.0,
             pace: None,
+            threads: 1,
         }
     }
 }
@@ -293,27 +300,51 @@ impl PlanService {
                         (matrix, order, CacheDisposition::Hit, false, 0, 0)
                     }
                     other => {
-                        let (seed, cache) = match other {
-                            CacheLookup::Warm { seed, .. } => (Some(seed), CacheDisposition::Warm),
-                            _ => (None, CacheDisposition::Cold),
+                        let (seed, prev) = match other {
+                            CacheLookup::Warm { seed, .. } => (Some(seed), None),
+                            CacheLookup::Incremental { plan, .. } => (None, Some(plan)),
+                            _ => (None, None),
+                        };
+                        if let Some(pace) = self.config.pace {
+                            std::thread::sleep(pace);
+                        }
+                        let solved = solve(
+                            &request.algorithm,
+                            matrix,
+                            seed.as_deref(),
+                            prev.as_deref(),
+                            self.config.threads,
+                        )?;
+                        // The wire disposition reports what the solver
+                        // actually did: a retained plan whose hi/dims
+                        // drifted falls back to a warm full build and
+                        // is reported as such.
+                        let cache = match solved.disposition {
+                            "incremental" | "hit" => CacheDisposition::Incremental,
+                            "warm" => CacheDisposition::Warm,
+                            _ => CacheDisposition::Cold,
                         };
                         let name = match cache {
+                            CacheDisposition::Incremental => "cache_incremental",
                             CacheDisposition::Warm => "cache_warm",
                             _ => "cache_miss",
                         };
                         obs.add(&format!("plansrv.tenant.{}.{name}", request.tenant), 1);
-                        if let Some(pace) = self.config.pace {
-                            std::thread::sleep(pace);
-                        }
-                        let (order, r1_warm, r1_scans, total, seed_out) =
-                            solve(&request.algorithm, matrix, seed.as_deref())?;
                         self.cache.lock().expect("cache poisoned").insert(
                             &request.algorithm,
                             matrix,
-                            order.clone(),
-                            seed_out,
+                            solved.order.clone(),
+                            solved.seed,
+                            solved.plan,
                         );
-                        (matrix, order, cache, r1_warm, r1_scans, total)
+                        (
+                            matrix,
+                            solved.order,
+                            cache,
+                            solved.round1_warm,
+                            solved.round1_col_scans,
+                            solved.total_col_scans,
+                        )
                     }
                 }
             }
@@ -367,34 +398,63 @@ impl PlanService {
     }
 }
 
-/// Runs the requested scheduler, warm-started when a seed is given.
-/// Returns `(order, round1_warm, round1_col_scans, total_col_scans,
-/// seed_potentials_to_retain)`.
-#[allow(clippy::type_complexity)]
+/// What one scheduler run produced, plus the reuse surface to retain.
+struct Solved {
+    order: SendOrder,
+    round1_warm: bool,
+    round1_col_scans: u64,
+    total_col_scans: u64,
+    /// Round-1 duals to retain (empty for non-matching algorithms).
+    seed: Vec<f64>,
+    /// The whole matching plan to retain for §6 incremental replans.
+    plan: Option<Box<MatchingPlan>>,
+    /// The matching construction's own disposition; `"cold"` for
+    /// algorithms without a reuse surface.
+    disposition: &'static str,
+}
+
+/// Runs the requested scheduler: incrementally replanned from `prev`
+/// when a retained plan is given, warm-started from `seed` otherwise.
 fn solve(
     algorithm: &str,
     matrix: &CommMatrix,
     seed: Option<&[f64]>,
-) -> Result<(SendOrder, bool, u64, u64, Vec<f64>), String> {
+    prev: Option<&MatchingPlan>,
+    threads: usize,
+) -> Result<Solved, String> {
     let kind = [MatchingKind::Max, MatchingKind::Min]
         .into_iter()
         .find(|&k| MatchingScheduler::new(k).name() == algorithm);
     if let Some(kind) = kind {
-        let plan = MatchingScheduler::new(kind).plan_seeded(matrix, seed);
+        let sched = MatchingScheduler::with_threads(kind, threads);
+        let plan = match prev {
+            Some(prev) => sched.replan_incremental(prev, matrix),
+            None => sched.plan_seeded(matrix, seed),
+        };
         let order = SendOrder::from_steps(matrix.len(), &plan.steps);
-        return Ok((
+        return Ok(Solved {
             order,
-            plan.round1.warm,
-            plan.round1.col_scans,
-            plan.total_col_scans,
-            plan.seed_potentials,
-        ));
+            round1_warm: plan.round1.warm,
+            round1_col_scans: plan.round1.col_scans,
+            total_col_scans: plan.total_col_scans,
+            seed: plan.seed_potentials.clone(),
+            disposition: plan.disposition,
+            plan: Some(Box::new(plan)),
+        });
     }
     let scheduler = all_schedulers()
         .into_iter()
         .find(|s| s.name() == algorithm)
         .ok_or_else(|| format!("unknown algorithm {algorithm:?}"))?;
-    Ok((scheduler.send_order(matrix), false, 0, 0, Vec::new()))
+    Ok(Solved {
+        order: scheduler.send_order(matrix),
+        round1_warm: false,
+        round1_col_scans: 0,
+        total_col_scans: 0,
+        seed: Vec::new(),
+        plan: None,
+        disposition: "cold",
+    })
 }
 
 /// Moves each sender's critical destinations to the front of its

@@ -36,6 +36,55 @@ fn server_side_shutdown_joins_cleanly() {
 }
 
 #[test]
+fn near_requests_are_replanned_incrementally_and_match_a_cold_solve() {
+    use adaptcomm_core::algorithms::{MatchingKind, MatchingScheduler};
+    use adaptcomm_core::schedule::SendOrder;
+    use adaptcomm_plansrv::proto::CacheDisposition;
+
+    let config = PlanServerConfig {
+        threads: 2,
+        ..Default::default()
+    };
+    let server = PlanServer::bind("127.0.0.1:0", config).expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+    let m = matrix(12);
+    let ok = |r: PlanResponse| match r {
+        PlanResponse::Ok(ok) => ok,
+        other => panic!("expected a plan, got {other:?}"),
+    };
+
+    let cold = ok(client
+        .plan("t", "matching-max", &m, QosSpec::default())
+        .expect("cold"));
+    assert_eq!(cold.cache, CacheDisposition::Cold);
+
+    // The same matrix replays verbatim.
+    let hit = ok(client
+        .plan("t", "matching-max", &m, QosSpec::default())
+        .expect("hit"));
+    assert_eq!(hit.cache, CacheDisposition::Hit);
+    assert_eq!(hit.order, cold.order);
+
+    // A small perturbation (max cell untouched) is served by §6
+    // incremental rescheduling off the retained plan...
+    let mut rows: Vec<Vec<f64>> = (0..12).map(|s| m.row(s).to_vec()).collect();
+    rows[0][1] *= 1.03;
+    rows[5][7] *= 0.97;
+    let near = CommMatrix::from_rows(&rows);
+    let inc = ok(client
+        .plan("t", "matching-max", &near, QosSpec::default())
+        .expect("incremental"));
+    assert_eq!(inc.cache, CacheDisposition::Incremental);
+
+    // ...and the spliced-plus-resolved plan is exactly what a cold
+    // solve of the perturbed instance would produce.
+    let reference = MatchingScheduler::new(MatchingKind::Max).plan_seeded(&near, None);
+    assert_eq!(inc.order, SendOrder::from_steps(12, &reference.steps));
+
+    server.shutdown();
+}
+
+#[test]
 fn in_flight_requests_complete_before_the_server_stops() {
     // One deliberately slow worker: the pace knob stretches the solve
     // so the shutdown frame provably arrives while work is in flight.

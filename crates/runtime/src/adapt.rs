@@ -41,12 +41,14 @@ use crate::prober::{MeasurementTamper, Prober, TrustPolicy};
 use crate::telemetry::Telemetry;
 use crate::trace::RunTrace;
 use crate::transport::{ChannelTransport, Transport};
+use adaptcomm_core::algorithms::{MatchingScheduler, Scheduler};
 use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
+use adaptcomm_core::matrix::CommMatrix;
 use adaptcomm_directory::DirectoryService;
 use adaptcomm_model::params::NetParams;
 use adaptcomm_model::units::{Bytes, Millis};
 use adaptcomm_obs::{Cusum, CusumConfig};
-use adaptcomm_sim::dynamic::openshop_replan;
+use adaptcomm_sim::dynamic::{matching_replan, openshop_replan, Replanner};
 use adaptcomm_sim::executor::TransferRecord;
 use adaptcomm_sim::NetworkEvolution;
 use std::path::PathBuf;
@@ -119,6 +121,16 @@ pub struct AdaptSettings {
     pub policy: CheckpointPolicy,
     /// How the loop decides a replan is justified.
     pub trigger: ReplanTrigger,
+    /// How a fired replan reschedules the remaining traffic: the
+    /// open-shop earliest-available rule, or the §4.3 matching
+    /// construction replanned incrementally (§6) — the run retains the
+    /// previous matching plan and each replan re-solves only the rounds
+    /// the drift delta invalidated.
+    pub replanner: Replanner,
+    /// LAP solver threads for the matching replanner (see
+    /// [`adaptcomm_lap::solve_min_par`]); bit-identical plans at any
+    /// value, so purely a latency knob. Ignored by the open shop.
+    pub threads: usize,
     /// Link-failure detection (see [`FaultPolicy`]).
     pub faults: FaultPolicy,
     /// Wall-clock pacing passed through to the engine.
@@ -145,6 +157,8 @@ impl Default for AdaptSettings {
         AdaptSettings {
             policy: CheckpointPolicy::Halving,
             trigger: ReplanTrigger::default(),
+            replanner: Replanner::default(),
+            threads: 1,
             faults: FaultPolicy::default(),
             pace_us_per_ms: None,
             payload_cap: None,
@@ -241,6 +255,10 @@ pub struct AdaptReport {
     pub checkpoints_evaluated: usize,
     /// Checkpoints that replanned the remaining traffic.
     pub reschedules: usize,
+    /// Replans served by the §6 incremental path (the retained matching
+    /// plan was patched and only dirty rounds re-solved). Always 0 for
+    /// [`Replanner::OpenShop`]; at most `reschedules` otherwise.
+    pub incremental_reschedules: usize,
     /// Execution attempts (> 1 iff typed link failures were retried).
     pub attempts: usize,
     /// Link measurements published into the directory.
@@ -270,6 +288,8 @@ struct AttemptStats {
     checkpoints: usize,
     /// 1-based ordinal *within this attempt* of the first replan.
     first_replan: Option<usize>,
+    /// Replans the matching replanner served incrementally.
+    incremental: usize,
 }
 
 /// Bandwidth floor-published for a link observed dead, kbit/s: low
@@ -404,6 +424,19 @@ impl<'a> CheckpointedRun<'a> {
             published: 0,
             checkpoints: 0,
             first_replan: None,
+            incremental: 0,
+        };
+        // The matching replanner retains its plan across checkpoints;
+        // priming it with the instance the current plan was priced from
+        // makes even the *first* in-run replan incremental (§6) — it
+        // pays only for the rounds the measured drift invalidated.
+        let matching_sched = match self.settings.replanner {
+            Replanner::Matching(kind) => {
+                let sched = MatchingScheduler::with_threads(kind, self.settings.threads.max(1));
+                sched.plan(&CommMatrix::from_model(&ref_params, self.sizes));
+                Some(sched)
+            }
+            Replanner::OpenShop => None,
         };
         let mut base_obs = start_at.as_ms();
         let mut base_plan = start_at.as_ms();
@@ -481,30 +514,21 @@ impl<'a> CheckpointedRun<'a> {
                     fired
                 }
             };
-            if let Some(t) = telemetry.as_mut() {
-                let remaining: usize = view.remaining.iter().map(|q| q.len()).sum();
-                t.checkpoint(
-                    view.now.as_ms(),
-                    view.completed,
-                    view.total,
-                    remaining,
-                    &self.directory.health_view(),
-                    replan,
-                );
-            }
+            let queued: usize = view.remaining.iter().map(|q| q.len()).sum();
             if !replan {
+                if let Some(t) = telemetry.as_mut() {
+                    t.checkpoint(
+                        view.now.as_ms(),
+                        view.completed,
+                        view.total,
+                        queued,
+                        &self.directory.health_view(),
+                        None,
+                    );
+                }
                 return CheckpointAction::Continue;
             }
             stats_ref.first_replan.get_or_insert(stats_ref.checkpoints);
-            if obs.is_enabled() {
-                obs.add("runtime.replans", 1);
-                obs.mark("runtime.replan")
-                    .attr("now_ms", view.now.as_ms())
-                    .attr("seg_plan_ms", seg_plan)
-                    .attr("seg_obs_ms", seg_obs)
-                    .attr("cost_delta_ms", seg_obs - seg_plan)
-                    .emit();
-            }
             base_obs = view.now.as_ms();
             base_plan = planned[view.completed - 1];
             // 4. adapt: replan the remainder from the refreshed directory.
@@ -515,14 +539,51 @@ impl<'a> CheckpointedRun<'a> {
                 .iter()
                 .map(|q| q.iter().copied().collect())
                 .collect();
-            let new_plan = openshop_replan(
-                &remaining,
-                view.send_busy_until,
-                view.recv_busy_until,
-                view.now.as_ms(),
-                fresh.params(),
-                self.sizes,
-            );
+            let new_plan = match &matching_sched {
+                Some(sched) => matching_replan(sched, &remaining, fresh.params(), self.sizes),
+                None => openshop_replan(
+                    &remaining,
+                    view.send_busy_until,
+                    view.recv_busy_until,
+                    view.now.as_ms(),
+                    fresh.params(),
+                    self.sizes,
+                ),
+            };
+            // "incremental" and "hit" both mean the retained matching
+            // plan survived the drift: certified rounds were spliced
+            // instead of re-solved. "cold"/"warm" (and the open-shop
+            // path, which rebuilds unconditionally) count as full.
+            let kind = match matching_sched
+                .as_ref()
+                .and_then(|s| s.construction_disposition())
+            {
+                Some("incremental") | Some("hit") => "incremental",
+                _ => "full",
+            };
+            if kind == "incremental" {
+                stats_ref.incremental += 1;
+            }
+            if obs.is_enabled() {
+                obs.add("runtime.replans", 1);
+                obs.mark("runtime.replan")
+                    .attr("now_ms", view.now.as_ms())
+                    .attr("seg_plan_ms", seg_plan)
+                    .attr("seg_obs_ms", seg_obs)
+                    .attr("cost_delta_ms", seg_obs - seg_plan)
+                    .attr("kind", kind)
+                    .emit();
+            }
+            if let Some(t) = telemetry.as_mut() {
+                t.checkpoint(
+                    view.now.as_ms(),
+                    view.completed,
+                    view.total,
+                    queued,
+                    &self.directory.health_view(),
+                    Some(kind),
+                );
+            }
             // The old plan is gone: judge future transfers against the
             // estimates the new one was priced from, with fresh evidence.
             ref_params = fresh.params().clone();
@@ -616,6 +677,7 @@ impl<'a> CheckpointedRun<'a> {
             planned_makespan,
             checkpoints_evaluated: 0,
             reschedules: 0,
+            incremental_reschedules: 0,
             attempts: 0,
             measurements_published: 0,
             retried_links: Vec::new(),
@@ -643,6 +705,7 @@ impl<'a> CheckpointedRun<'a> {
             let (result, stats) =
                 self.attempt(&lists, start_at, evolution, transport, &mut telemetry);
             report.measurements_published += stats.published;
+            report.incremental_reschedules += stats.incremental;
             if report.first_replan_checkpoint.is_none() {
                 report.first_replan_checkpoint = stats.first_replan.map(|n| checkpoint_offset + n);
             }
@@ -978,6 +1041,77 @@ mod tests {
         // Drift is not a fault: no recovery events, no quarantines.
         assert!(report.recovery_events.is_empty());
         assert!(report.quarantined_links.is_empty());
+        // The open-shop replanner rebuilds from scratch every time.
+        assert_eq!(report.incremental_reschedules, 0);
+    }
+
+    #[test]
+    fn matching_replanner_serves_incremental_replans_under_drift() {
+        use adaptcomm_core::algorithms::MatchingKind;
+        use adaptcomm_obs::json::Value;
+        let p = 6;
+        let net = hetero_net(p);
+        let sz = sizes(p);
+        let lists = initial_lists(&net, &sz);
+        let mut evolution = ScriptedFaults::new(
+            net.clone(),
+            vec![
+                Fault {
+                    at: Millis::new(50.0),
+                    src: 0,
+                    dst: 1,
+                    factor: 0.2,
+                },
+                Fault {
+                    at: Millis::new(50.0),
+                    src: 3,
+                    dst: 4,
+                    factor: 0.25,
+                },
+            ],
+        );
+        let directory = DirectoryService::new(net);
+        let transport = ChannelTransport::new(p);
+        let dir = std::env::temp_dir().join("adaptcomm-adapt-incremental-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let status = dir.join("status.json");
+        let driver = CheckpointedRun::new(
+            &directory,
+            &sz,
+            AdaptSettings {
+                policy: CheckpointPolicy::EveryEvent,
+                trigger: ReplanTrigger::Deviation(RescheduleRule {
+                    deviation_threshold: 0.05,
+                }),
+                replanner: Replanner::Matching(MatchingKind::Max),
+                ..Default::default()
+            },
+        )
+        .with_status_path(&status);
+        let report = driver
+            .execute(&lists, &mut evolution, &transport)
+            .expect("drift without faults must complete");
+        assert_eq!(report.records.len(), p * (p - 1));
+        assert!(report.reschedules >= 1, "drift must trigger a replan");
+        // The retained matching plan was primed from the same estimates
+        // the initial order was priced from, so every in-run replan can
+        // splice certified rounds instead of re-solving from scratch.
+        assert!(
+            report.incremental_reschedules >= 1,
+            "the matching replanner must serve at least one incremental replan, got {}",
+            report.incremental_reschedules
+        );
+        assert!(report.incremental_reschedules <= report.reschedules);
+        // The replan kind reaches the status file for `adaptcomm top`.
+        let doc = Value::parse(&std::fs::read_to_string(&status).unwrap()).unwrap();
+        let replans = doc.get("replans").and_then(Value::as_arr).unwrap();
+        assert!(
+            replans
+                .iter()
+                .any(|r| r.get("kind").and_then(Value::as_str) == Some("incremental")),
+            "status JSON must tag at least one replan as incremental"
+        );
+        std::fs::remove_file(&status).ok();
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub use adapt::{
     AdaptReport, AdaptSettings, CheckpointedRun, DetectorSettings, FaultKind, RecoveryEvent,
     ReplanTrigger,
 };
+pub use adaptcomm_sim::dynamic::Replanner;
 pub use channel::{
     run_shaped, CheckpointAction, CheckpointView, FaultPolicy, FrozenNetwork, ShapedConfig,
     ShapedFailure, ShapedOutcome,

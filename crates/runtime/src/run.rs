@@ -69,6 +69,9 @@ pub struct RunReport {
     pub checkpoints_evaluated: usize,
     /// Replans performed (0 for static runs).
     pub reschedules: usize,
+    /// Replans served by §6 incremental rescheduling (matching
+    /// replanner only; 0 for static and open-shop-replanned runs).
+    pub incremental_reschedules: usize,
     /// Execution attempts (1 unless link failures were retried).
     pub attempts: usize,
     /// Link measurements published into the directory (adaptive only).
@@ -122,6 +125,7 @@ where
         receipts_ok,
         checkpoints_evaluated: out.checkpoints_evaluated,
         reschedules: out.reschedules,
+        incremental_reschedules: 0,
         attempts: 1,
         measurements_published: 0,
         planned_makespan,
@@ -183,6 +187,7 @@ where
         receipts_ok,
         checkpoints_evaluated: report.checkpoints_evaluated,
         reschedules: report.reschedules,
+        incremental_reschedules: report.incremental_reschedules,
         attempts: report.attempts,
         measurements_published: report.measurements_published,
         planned_makespan: report.planned_makespan,

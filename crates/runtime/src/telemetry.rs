@@ -37,8 +37,10 @@ pub struct Telemetry {
     now_ms: f64,
     completed: usize,
     total: usize,
-    /// `(checkpoint ordinal, modeled time)` of every replan so far.
-    replans: Vec<(usize, f64)>,
+    /// `(checkpoint ordinal, modeled time, kind)` of every replan so
+    /// far; kind is `"incremental"` when the retained matching plan was
+    /// patched in place, `"full"` for a from-scratch rebuild.
+    replans: Vec<(usize, f64, &'static str)>,
     queue_depth: TimeSeries,
     /// Per-link recent bandwidth, keyed `(src, dst)`, insertion order.
     links: Vec<((usize, usize), TimeSeries)>,
@@ -64,7 +66,9 @@ impl Telemetry {
     /// Records one checkpoint and rewrites the status file
     /// (`state: "running"`). `remaining` is the total grant-queue depth
     /// across senders; `health` is the directory's current per-link
-    /// view; `replanned` marks checkpoints that replaced the plan.
+    /// view; `replanned` marks checkpoints that replaced the plan and
+    /// carries how (`"incremental"` or `"full"`), `None` when the plan
+    /// was kept.
     #[allow(clippy::too_many_arguments)]
     pub fn checkpoint(
         &mut self,
@@ -73,14 +77,14 @@ impl Telemetry {
         total: usize,
         remaining: usize,
         health: &HealthView,
-        replanned: bool,
+        replanned: Option<&'static str>,
     ) {
         self.checkpoints += 1;
         self.now_ms = now_ms;
         self.completed = completed;
         self.total = total;
-        if replanned {
-            self.replans.push((self.checkpoints, now_ms));
+        if let Some(kind) = replanned {
+            self.replans.push((self.checkpoints, now_ms, kind));
         }
         self.queue_depth.push(now_ms, remaining as f64);
         for link in &health.links {
@@ -142,10 +146,11 @@ impl Telemetry {
         let replans = self
             .replans
             .iter()
-            .map(|&(ckpt, at)| {
+            .map(|&(ckpt, at, kind)| {
                 Value::Obj(vec![
                     ("checkpoint".into(), Value::Num(ckpt as f64)),
                     ("now_ms".into(), Value::Num(at)),
+                    ("kind".into(), Value::Str(kind.into())),
                 ])
             })
             .collect();
@@ -198,8 +203,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("status.json");
         let mut t = Telemetry::new(&path, 4);
-        t.checkpoint(10.0, 3, 12, 9, &view(), false);
-        t.checkpoint(20.0, 5, 12, 7, &view(), true);
+        t.checkpoint(10.0, 3, 12, 9, &view(), None);
+        t.checkpoint(20.0, 5, 12, 7, &view(), Some("incremental"));
         let doc = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(doc.get("state").and_then(Value::as_str), Some("running"));
         assert_eq!(doc.get("completed").and_then(Value::as_u64), Some(5));
@@ -209,6 +214,10 @@ mod tests {
         assert_eq!(
             replans[0].get("checkpoint").and_then(Value::as_u64),
             Some(2)
+        );
+        assert_eq!(
+            replans[0].get("kind").and_then(Value::as_str),
+            Some("incremental")
         );
         let links = doc.get("links").and_then(Value::as_arr).unwrap();
         assert_eq!(
@@ -229,7 +238,7 @@ mod tests {
     #[test]
     fn unwritable_path_is_survived() {
         let mut t = Telemetry::new("/nonexistent-dir/status.json", 2);
-        t.checkpoint(1.0, 1, 2, 1, &view(), false); // must not panic
+        t.checkpoint(1.0, 1, 2, 1, &view(), None); // must not panic
         assert_eq!(t.path(), Path::new("/nonexistent-dir/status.json"));
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::engine::{Calendar, ScheduleError};
 use crate::executor::TransferRecord;
+use adaptcomm_core::algorithms::{MatchingKind, MatchingScheduler};
 use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
 use adaptcomm_core::execution::execute_listed;
 use adaptcomm_core::matrix::CommMatrix;
@@ -77,6 +78,20 @@ impl NetworkEvolution for adaptcomm_model::trace_io::RecordedTrace {
     }
 }
 
+/// Which algorithm recomputes the remaining schedule at a replan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replanner {
+    /// The open-shop earliest-available rule (cheap, order-based).
+    #[default]
+    OpenShop,
+    /// The §4.3 matching construction, replanned *incrementally* (§6):
+    /// the run retains the previous matching plan and each replan
+    /// re-solves only the rounds invalidated by the drift delta,
+    /// splicing certified rounds verbatim — see
+    /// [`MatchingScheduler::replan_incremental`].
+    Matching(MatchingKind),
+}
+
 /// Adaptation configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct AdaptiveConfig {
@@ -84,6 +99,8 @@ pub struct AdaptiveConfig {
     pub policy: CheckpointPolicy,
     /// Whether a deviation is large enough to act on.
     pub rule: RescheduleRule,
+    /// How the remaining messages are rescheduled when the rule fires.
+    pub replanner: Replanner,
 }
 
 impl AdaptiveConfig {
@@ -92,6 +109,7 @@ impl AdaptiveConfig {
         AdaptiveConfig {
             policy: CheckpointPolicy::Never,
             rule: RescheduleRule::default(),
+            replanner: Replanner::OpenShop,
         }
     }
 }
@@ -187,6 +205,42 @@ pub fn openshop_replan(
     order
 }
 
+/// Replans the remaining messages with the matching scheduler (§6): the
+/// full instance is re-planned from fresh estimates — *incrementally*,
+/// against the scheduler's retained plan, so only the rounds the drift
+/// delta invalidated are re-solved — and each sender's remaining
+/// messages are emitted in the new plan's round order. Busy ports are
+/// not modelled: the matching schedule is step-structured, and the
+/// already-running transfers simply delay their senders' first new
+/// message.
+pub fn matching_replan(
+    scheduler: &MatchingScheduler,
+    remaining: &[Vec<usize>],
+    estimates: &NetParams,
+    sizes: &[Vec<Bytes>],
+) -> Vec<VecDeque<usize>> {
+    let p = remaining.len();
+    let matrix = CommMatrix::from_model(estimates, sizes);
+    let plan = scheduler.plan(&matrix);
+    let mut keep: Vec<Vec<bool>> = vec![vec![false; p]; p];
+    for (s, dsts) in remaining.iter().enumerate() {
+        for &d in dsts {
+            keep[s][d] = true;
+        }
+    }
+    let mut order: Vec<VecDeque<usize>> = vec![VecDeque::new(); p];
+    for step in &plan.steps {
+        for (src, dst) in step.iter().enumerate() {
+            if let Some(d) = *dst {
+                if keep[src][d] {
+                    order[src].push_back(d);
+                }
+            }
+        }
+    }
+    order
+}
+
 /// Executes `initial_order` while the network follows `trace`.
 ///
 /// The *plan* against which progress is judged is the analytic execution
@@ -224,14 +278,25 @@ pub fn run_adaptive_checked(
     let total_events: usize = initial_order.order.iter().map(|l| l.len()).sum();
 
     // Planned completion instants from the base estimates.
+    let est_matrix = CommMatrix::from_model(&trace.planning_estimates(), sizes);
     let planned: Vec<f64> = {
-        let est_matrix = CommMatrix::from_model(&trace.planning_estimates(), sizes);
         let sched = execute_listed(initial_order, &est_matrix);
         let mut finishes: Vec<f64> = sched.events().iter().map(|e| e.finish.as_ms()).collect();
         finishes.sort_by(f64::total_cmp);
         finishes
     };
     let checkpoint_set: Vec<usize> = config.policy.checkpoints(total_events);
+    // The matching replanner retains its plan across replans; priming
+    // it with the planning-estimates instance makes even the *first*
+    // in-run replan incremental (it pays only the drifted rounds).
+    let matching_sched = match config.replanner {
+        Replanner::Matching(kind) => {
+            let sched = MatchingScheduler::new(kind);
+            sched.plan(&est_matrix);
+            Some(sched)
+        }
+        Replanner::OpenShop => None,
+    };
 
     #[derive(Clone, Copy)]
     enum Ev {
@@ -320,14 +385,17 @@ pub fn run_adaptive_checked(
                         let remaining: Vec<Vec<usize>> =
                             queues.iter().map(|q| q.iter().copied().collect()).collect();
                         let fresh = trace.state_at(Millis::new(now));
-                        queues = openshop_replan(
-                            &remaining,
-                            &send_busy_until,
-                            &recv_busy_until,
-                            now,
-                            &fresh,
-                            sizes,
-                        );
+                        queues = match &matching_sched {
+                            Some(sched) => matching_replan(sched, &remaining, &fresh, sizes),
+                            None => openshop_replan(
+                                &remaining,
+                                &send_busy_until,
+                                &recv_busy_until,
+                                now,
+                                &fresh,
+                                sizes,
+                            ),
+                        };
                         for s in blocked {
                             cal.schedule(now, CLS_READY, Ev::SenderReady(s));
                         }
@@ -447,6 +515,7 @@ mod tests {
         let cfg = AdaptiveConfig {
             policy: CheckpointPolicy::EveryEvent,
             rule: RescheduleRule::default(),
+            replanner: Replanner::OpenShop,
         };
         let out = run_adaptive(&o, &sizes(p), &mut trace, &cfg);
         assert!(out.checkpoints_evaluated > 0);
@@ -466,6 +535,7 @@ mod tests {
             let cfg = AdaptiveConfig {
                 policy,
                 rule: RescheduleRule::default(),
+                replanner: Replanner::OpenShop,
             };
             let out = run_adaptive(&o, &sizes(p), &mut trace, &cfg);
             assert_eq!(out.records.len(), p * (p - 1), "{policy:?} lost messages");
@@ -495,6 +565,7 @@ mod tests {
             rule: RescheduleRule {
                 deviation_threshold: 0.05,
             },
+            replanner: Replanner::OpenShop,
         };
         let out = run_adaptive(&o, &sizes(p), &mut trace, &cfg);
         assert!(
@@ -502,6 +573,38 @@ mod tests {
             "heavy degradation must trigger replans"
         );
         assert!(out.checkpoints_evaluated >= out.reschedules);
+    }
+
+    #[test]
+    fn matching_replanner_adapts_and_completes() {
+        let p = 8;
+        let o = order(p);
+        let mut trace = drifting_trace(p, 7);
+        let cfg = AdaptiveConfig {
+            policy: CheckpointPolicy::EveryEvent,
+            rule: RescheduleRule {
+                deviation_threshold: 0.05,
+            },
+            replanner: Replanner::Matching(MatchingKind::Max),
+        };
+        let out = run_adaptive(&o, &sizes(p), &mut trace, &cfg);
+        assert_eq!(
+            out.records.len(),
+            p * (p - 1),
+            "matching replans lost messages"
+        );
+        assert!(
+            out.reschedules > 0,
+            "heavy degradation must trigger matching replans"
+        );
+        // Port-exclusivity still holds under replanned orders.
+        for proc in 0..p {
+            let mut sends: Vec<_> = out.records.iter().filter(|r| r.src == proc).collect();
+            sends.sort_by(|a, b| a.start.as_ms().total_cmp(&b.start.as_ms()));
+            for w in sends.windows(2) {
+                assert!(w[0].finish.as_ms() <= w[1].start.as_ms() + 1e-9);
+            }
+        }
     }
 
     /// An evolution whose live state carries a NaN startup on one link:
@@ -566,6 +669,7 @@ mod tests {
                     rule: RescheduleRule {
                         deviation_threshold: 0.05,
                     },
+                    replanner: Replanner::OpenShop,
                 },
             );
             total += 1;

@@ -105,7 +105,7 @@ impl NetworkEvolution for ScriptedFaults {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dynamic::{run_adaptive, AdaptiveConfig};
+    use crate::dynamic::{run_adaptive, AdaptiveConfig, Replanner};
     use adaptcomm_core::algorithms::{OpenShop, Scheduler};
     use adaptcomm_core::checkpointed::{CheckpointPolicy, RescheduleRule};
     use adaptcomm_core::matrix::CommMatrix;
@@ -211,6 +211,7 @@ mod tests {
                 rule: RescheduleRule {
                     deviation_threshold: 0.05,
                 },
+                replanner: Replanner::OpenShop,
             },
         );
         assert_eq!(adaptive.records.len(), p * (p - 1));

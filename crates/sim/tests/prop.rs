@@ -9,7 +9,7 @@ use adaptcomm_model::params::NetParams;
 use adaptcomm_model::units::{Bandwidth, Bytes, Millis};
 use adaptcomm_model::variation::{VariationConfig, VariationTrace};
 use adaptcomm_sim::buffered::run_buffered;
-use adaptcomm_sim::dynamic::{run_adaptive, AdaptiveConfig};
+use adaptcomm_sim::dynamic::{run_adaptive, AdaptiveConfig, Replanner};
 use adaptcomm_sim::interleaved::run_interleaved;
 use adaptcomm_sim::run_static;
 use proptest::prelude::*;
@@ -136,6 +136,7 @@ proptest! {
             &AdaptiveConfig {
                 policy: adaptcomm_core::checkpointed::CheckpointPolicy::Halving,
                 rule: adaptcomm_core::checkpointed::RescheduleRule::default(),
+                replanner: Replanner::OpenShop,
             },
         );
         let p = inst.net.len();

@@ -10,7 +10,7 @@ use adaptcomm::model::variation::{VariationConfig, VariationTrace};
 use adaptcomm::prelude::*;
 use adaptcomm::scheduling::checkpointed::{CheckpointPolicy, RescheduleRule};
 use adaptcomm::scheduling::incremental::{IncrementalConfig, IncrementalScheduler};
-use adaptcomm::sim::dynamic::{run_adaptive, AdaptiveConfig};
+use adaptcomm::sim::dynamic::{run_adaptive, AdaptiveConfig, Replanner};
 
 const P: usize = 12;
 
@@ -49,6 +49,7 @@ fn main() {
                 rule: RescheduleRule {
                     deviation_threshold: 0.10,
                 },
+                replanner: Replanner::default(),
             },
         );
         println!(

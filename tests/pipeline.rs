@@ -5,7 +5,7 @@ use adaptcomm::directory::DirectoryService;
 use adaptcomm::model::variation::{VariationConfig, VariationTrace};
 use adaptcomm::prelude::*;
 use adaptcomm::scheduling::checkpointed::{CheckpointPolicy, RescheduleRule};
-use adaptcomm::sim::dynamic::{run_adaptive, AdaptiveConfig};
+use adaptcomm::sim::dynamic::{run_adaptive, AdaptiveConfig, Replanner};
 use adaptcomm::sim::run_static;
 
 #[test]
@@ -91,6 +91,7 @@ fn adaptive_execution_beats_oblivious_on_average_under_degradation() {
                 rule: RescheduleRule {
                     deviation_threshold: 0.10,
                 },
+                replanner: Replanner::default(),
             },
         )
         .makespan

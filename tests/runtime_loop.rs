@@ -8,7 +8,7 @@ use adaptcomm::prelude::*;
 use adaptcomm::runtime::channel::{run_shaped, CheckpointAction, FaultPolicy};
 use adaptcomm::runtime::transport::{expected_receipts, ChannelTransport, Transport};
 use adaptcomm::scheduling::checkpointed::{CheckpointPolicy, RescheduleRule};
-use adaptcomm::sim::dynamic::{run_adaptive, AdaptiveConfig};
+use adaptcomm::sim::dynamic::{run_adaptive, AdaptiveConfig, Replanner};
 use adaptcomm::sim::{Fault, ScriptedFaults};
 
 const P: usize = 8;
@@ -95,7 +95,11 @@ fn closed_loop_adapts_and_cross_validates() {
         &order,
         &sizes,
         &mut sim_evo,
-        &AdaptiveConfig { policy, rule },
+        &AdaptiveConfig {
+            policy,
+            rule,
+            replanner: Replanner::default(),
+        },
     );
     assert!(sim.reschedules >= 1, "the scenario must provoke adaptation");
 
