@@ -8,7 +8,10 @@
 //! Times the construction cost (`Scheduler::send_order`) of all five
 //! paper schedulers on GUSTO-guided Figure-10 instances, plus the
 //! plan-server round trip at `P = 64` split by cache disposition
-//! (`plansrv-cold` / `plansrv-hit` / `plansrv-warm`), and reports
+//! (`plansrv-cold` / `plansrv-hit` / `plansrv-warm`), plus an
+//! `obs-overhead` cell (the `P = 256` matching-max replay with the
+//! observability registry and flight recorder recording — the
+//! enabled-path tax, gated like any other cell), and reports
 //! median/p90 wall milliseconds per `(scheduler, P)` cell:
 //!
 //! * **Full mode** (default): `P ∈ {64, 128, 256, 512, 1024}`, 5 timed
@@ -307,6 +310,48 @@ fn main() {
             name, 64, stats.median_ms, stats.p90_ms, reps
         );
         report.insert(name, 64, stats);
+    }
+
+    // The observability tax: the same matching-max replay as the
+    // P = 256 cell above, but with the global registry recording a span
+    // and the flight recorder taking a note per construction — the full
+    // enabled-path cost. Gated like every other cell, so instrumentation
+    // creeping from "a span and a ring write" into real work fails CI
+    // the same way a scheduler regression would.
+    {
+        let p = 256;
+        let matrix = instance_matrix(p);
+        let scheduler = all_schedulers_threaded(opts.threads)
+            .into_iter()
+            .find(|s| s.name() == "matching-max")
+            .expect("matching-max is always registered");
+        let obs = adaptcomm_obs::global();
+        obs.clear();
+        obs.set_enabled(true);
+        sink ^= scheduler.send_order(&matrix).order.len(); // instrumented warm-up
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let (ms, token) = time_one(|| {
+                let span = obs.span("schedule").attr("algorithm", "matching-max");
+                let steps = scheduler.send_order(&matrix).order.len();
+                adaptcomm_obs::flight()
+                    .note("perfgate.cell")
+                    .attr("steps", steps)
+                    .emit();
+                span.attr("steps", steps).end();
+                steps
+            });
+            sink ^= token;
+            samples.push(ms);
+        }
+        obs.set_enabled(false);
+        obs.clear();
+        let stats = PerfStats::from_samples(&samples);
+        println!(
+            "{:<14} P={:<5} median {:>10.3} ms   p90 {:>10.3} ms   ({} reps)",
+            "obs-overhead", p, stats.median_ms, stats.p90_ms, reps
+        );
+        report.insert("obs-overhead", p, stats);
     }
 
     if opts.quick {

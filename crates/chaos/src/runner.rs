@@ -169,6 +169,15 @@ pub fn run_chaos(
     plan: &ChaosPlan,
 ) -> Result<ChaosReport, RuntimeError> {
     let fault_free_ms = fault_free_makespan(net, sizes)?;
+    // Log the injected scenario into the flight recorder before the
+    // run: a post-mortem dump then shows what was injected right next
+    // to the `runtime.fault` / `runtime.heal` notes it provoked.
+    for event in &plan.events {
+        adaptcomm_obs::flight()
+            .note("chaos.inject")
+            .attr("spec", event.to_string())
+            .emit();
+    }
     let (report, receipts) = run_plan(net, sizes, plan)?;
     let faults: Vec<FaultSummary> = report
         .recovery_events

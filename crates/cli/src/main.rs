@@ -73,6 +73,7 @@ USAGE:
                 [--replanner <openshop|matching-max|matching-min>]
                 [--threads <N>] [--status <path>]
                 [--pace <us-per-ms>] [--trace] [--obs <path>]
+                [--metrics-port <port>]
       Execute a total exchange live: one OS thread per processor moving
       real bytes through the chosen transport under the paper's port
       model. --adapt attaches the measure -> schedule -> execute ->
@@ -90,6 +91,7 @@ USAGE:
 
   adaptcomm chaos [--scenario <crash|partition|liar|mixed|spec>] [--p <N>]
                   [--seed <u64>] [--workload <name>] [--obs <path>]
+                  [--flight <path>]
       Inject faults into a live total exchange and grade the recovery.
       --scenario names a generated fault class (seeded from --seed and
       scaled to the workload's fault-free makespan) or gives an explicit
@@ -99,6 +101,10 @@ USAGE:
       per-fault recovery report, the quarantine roster, the
       recovery-time histogram, and a final `SLO:` verdict line; exits
       nonzero when the SLO is blown or a message was lost or duplicated.
+      On an SLO breach the always-on flight recorder dumps its recent
+      event window (injected faults, runtime fault/heal notes) to
+      --flight (default chaos-flight.jsonl) for post-mortem replay
+      through obs-summary.
 
   adaptcomm top --input <status.json> [--interval <ms>] [--frames <N>]
                 [--once]
@@ -115,12 +121,23 @@ USAGE:
       assets — the file opens anywhere.
 
   adaptcomm obs-summary --input <path>
-      Summarize an observability dump (JSONL or Chrome trace): per-phase
-      span totals, instants, counters.
+      Summarize an observability dump: per-phase span totals, instants,
+      counters. The format follows the extension: `.jsonl` (event
+      stream, including flight-recorder dumps), `.prom`/`.txt`
+      (Prometheus text), `.json`/`.trace` (Chrome trace). Unknown
+      extensions are a typed error naming the supported ones.
+
+  adaptcomm obs-merge --out <trace.json> --inputs <a.jsonl,b.jsonl,..>
+      Merge per-process JSONL captures into one Chrome trace, one
+      process lane per input (labeled by file stem). Spans that carry
+      the same propagated trace id — e.g. a plan-client request and the
+      server-side admission/worker/solve spans it fanned into — line up
+      as one cross-process request tree in Perfetto.
 
   adaptcomm plan-server [--addr <host:port>] [--workers <N>] [--shards <N>]
                         [--cache <entries>] [--near-tolerance <frac>]
                         [--threads <N>] [--pace-ms <ms>] [--obs <path>]
+                        [--metrics-port <port>] [--flight-dir <dir>]
       Run the multi-tenant scheduling service: a TCP plan server with a
       fingerprint-keyed plan cache (exact hits replay plans; near hits
       are re-solved incrementally from the cached plan, or warm-start
@@ -131,13 +148,18 @@ USAGE:
       sends the shutdown frame (`plan-client --shutdown`); prints cache
       and per-tenant directory statistics on exit. --pace-ms stretches
       every cold/warm solve for deterministic queueing demos.
+      --metrics-port serves a live scrape surface on 127.0.0.1:
+      GET /metrics (Prometheus text), /healthz, and /tenants (per-tenant
+      JSON: requests, cache dispositions, deadline-hit ratio, rejects,
+      latency digest). A streak of deadline rejections auto-dumps the
+      flight recorder into --flight-dir (default: working directory).
 
   adaptcomm plan-client --addr <host:port>
                         (--matrix <file.csv> | --scenario <name> --p <N>)
                         [--seed <u64>] [--algorithm <name>] [--tenant <name>]
                         [--deadline <ms>] [--priority <0-255>]
                         [--critical <s-d,s-d,..>] [--repeat <N>]
-                        [--probe] [--shutdown]
+                        [--probe] [--shutdown] [--obs <path>]
       Request plans from a running plan server. Prints one `cache: ..`
       line per response (cold / hit / warm / incremental) with epoch, serving
       sequence, completion estimate and solver counters. --probe sends
@@ -145,16 +167,20 @@ USAGE:
       re-sends the same request to exercise the cache; --shutdown asks
       the server to drain and stop after the requests. --critical pins
       the listed src-dst links to the front of their senders' orders.
+      Every request carries a deterministic trace context; --obs captures
+      the client-side spans so `obs-merge` can stitch them with the
+      server's capture into one cross-process trace.
 
   adaptcomm help
       This text.
 
-The --obs <path> option on run/compare/sweep enables the in-process
-observability registry for the duration of the command and writes the
-collected metrics when it finishes. The export format follows the file
-extension: `.jsonl` -> JSONL event stream, `.prom`/`.txt` ->
-Prometheus-style text dump, anything else -> Chrome trace_event JSON
-(load in Perfetto / chrome://tracing, or feed to obs-summary).
+The --obs <path> option (run, compare, sweep, chaos, plan-server,
+plan-client) enables the in-process observability registry for the
+duration of the command and writes the collected metrics when it
+finishes. The export format follows the file extension: `.jsonl` ->
+JSONL event stream, `.prom`/`.txt` -> Prometheus-style text dump,
+anything else -> Chrome trace_event JSON (load in Perfetto /
+chrome://tracing, or feed to obs-summary).
 ";
 
 fn run() -> Result<(), String> {
@@ -183,6 +209,7 @@ fn run() -> Result<(), String> {
         "top" => top_live(&opts),
         "report" => report_html(&opts),
         "obs-summary" => obs_summary(&opts),
+        "obs-merge" => obs_merge(&opts),
         "plan-server" => plan_server(&opts),
         "plan-client" => plan_client(&opts),
         other => Err(format!("unknown command `{other}`")),
@@ -311,9 +338,58 @@ fn report_html(opts: &args::Options) -> Result<(), String> {
 fn obs_summary(opts: &args::Options) -> Result<(), String> {
     let path = opts.require("input")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-    let summary = adaptcomm_obs::Summary::from_text(&text)?;
+    // Extension-based dispatch: `.prom` parses as Prometheus text,
+    // unknown extensions get a typed error naming what is supported.
+    let summary =
+        adaptcomm_obs::Summary::from_named_text(&path, &text).map_err(|e| e.to_string())?;
     print!("{}", summary.render());
     Ok(())
+}
+
+/// `adaptcomm obs-merge`: stitch per-process JSONL captures into one
+/// Chrome trace, one process lane per input. Spans that share a
+/// propagated trace id line up as a single cross-process request tree.
+fn obs_merge(opts: &args::Options) -> Result<(), String> {
+    let out = opts.require("out")?;
+    let inputs = opts.require("inputs")?;
+    let mut parts: Vec<(String, adaptcomm_obs::Snapshot)> = Vec::new();
+    for path in inputs.split(',').filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let snap = adaptcomm_obs::Snapshot::from_jsonl(&text)
+            .map_err(|e| format!("{path} is not snapshot JSONL: {e}"))?;
+        // The process label is the file stem: client.jsonl -> "client".
+        let base = path.rsplit(['/', '\\']).next().unwrap_or(path);
+        let label = base.strip_suffix(".jsonl").unwrap_or(base).to_string();
+        parts.push((label, snap));
+    }
+    if parts.is_empty() {
+        return Err("`--inputs` needs at least one comma-separated JSONL path".into());
+    }
+    let trace = adaptcomm_obs::merge_chrome_trace(&parts);
+    std::fs::write(&out, &trace).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out} ({} process(es))", parts.len());
+    Ok(())
+}
+
+/// Starts the scrape server when `--metrics-port` was given. Serving
+/// implies an enabled registry — a scrape of a disabled one would read
+/// as "all quiet" — so this enables it (obs_begin may already have).
+fn metrics_begin(
+    opts: &args::Options,
+    endpoints: adaptcomm_obs::ScrapeEndpoints,
+) -> Result<Option<adaptcomm_obs::MetricsServer>, String> {
+    let Some(port) = opts.get("metrics-port") else {
+        return Ok(None);
+    };
+    let port: u16 = port
+        .parse()
+        .map_err(|_| "`--metrics-port` has an invalid value".to_string())?;
+    let obs = adaptcomm_obs::global();
+    obs.set_enabled(true);
+    let server = adaptcomm_obs::serve_metrics_with(obs.clone(), ("127.0.0.1", port), endpoints)
+        .map_err(|e| format!("binding metrics port {port}: {e}"))?;
+    println!("metrics on http://{}/metrics", server.local_addr());
+    Ok(Some(server))
 }
 
 fn scenario_by_name(name: &str, n: usize) -> Result<Scenario, String> {
@@ -484,6 +560,7 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
     let algorithm = opts.get("algorithm").unwrap_or_else(|| "openshop".into());
 
     let obs_path = obs_begin(opts);
+    let metrics = metrics_begin(opts, adaptcomm_obs::ScrapeEndpoints::new())?;
     let obs = adaptcomm_obs::global();
     let run_start_us = obs.now_us();
 
@@ -501,6 +578,7 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
                 ("algorithm".to_string(), algorithm.as_str().into()),
                 ("p".to_string(), p.into()),
             ],
+            trace: None,
         });
     }
 
@@ -607,6 +685,7 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
                 ("algorithm".to_string(), algorithm.as_str().into()),
                 ("p".to_string(), p.into()),
             ],
+            trace: None,
         });
     }
 
@@ -662,6 +741,7 @@ fn run_live(opts: &args::Options) -> Result<(), String> {
             );
         }
     }
+    drop(metrics);
     if let Some(path) = obs_path {
         obs_finish(&path)?;
     }
@@ -759,6 +839,20 @@ fn chaos_run(opts: &args::Options) -> Result<(), String> {
         return Err("receipt verification failed: a message was lost or duplicated".into());
     }
     if !report.slo_ok() {
+        // Post-mortem black box: the recent event window (injected
+        // faults, runtime fault/heal notes) goes to disk before the
+        // nonzero exit, whether or not --obs was given.
+        let flight_path = opts
+            .get("flight")
+            .unwrap_or_else(|| "chaos-flight.jsonl".into());
+        let reason = format!(
+            "chaos SLO breach at {:.2}x fault-free (limit {SLO_FACTOR:.2}x)",
+            report.slowdown()
+        );
+        match adaptcomm_obs::flight().dump(std::path::Path::new(&flight_path), &reason) {
+            Ok(()) => println!("  flight recorder dumped to {flight_path}"),
+            Err(e) => eprintln!("  flight recorder: cannot write {flight_path}: {e}"),
+        }
         return Err(format!(
             "recovery blew the SLO: {:.2}x fault-free exceeds the {SLO_FACTOR:.2}x limit",
             report.slowdown()
@@ -820,6 +914,20 @@ fn plan_server(opts: &args::Options) -> Result<(), String> {
     use adaptcomm_plansrv::{PlanServer, PlanServerConfig};
 
     let obs_path = obs_begin(opts);
+    // The scrape surface: /metrics + /healthz plus the per-tenant JSON
+    // rollup, all read from the global registry the service records to.
+    let metrics = metrics_begin(
+        opts,
+        adaptcomm_obs::ScrapeEndpoints::new().json("/tenants", || {
+            let snap = adaptcomm_obs::global().snapshot();
+            adaptcomm_obs::json::Value::parse(&adaptcomm_plansrv::server::tenants_json(&snap))
+                .expect("tenants_json emits valid JSON")
+        }),
+    )?;
+    // Arm the black box: a deadline-rejection streak dumps the recent
+    // event window into --flight-dir (default: the working directory).
+    let flight_dir = opts.get("flight-dir").unwrap_or_else(|| ".".into());
+    adaptcomm_obs::flight().set_auto_dir(Some(flight_dir.into()));
     let addr = opts.get("addr").unwrap_or_else(|| "127.0.0.1:0".into());
     let pace_ms: f64 = opts.parsed_or("pace-ms", 0.0)?;
     let config = PlanServerConfig {
@@ -858,6 +966,7 @@ fn plan_server(opts: &args::Options) -> Result<(), String> {
             service.directory().epoch(&tenant)
         );
     }
+    drop(metrics);
     if let Some(path) = obs_path {
         obs_finish(&path)?;
     }
@@ -872,6 +981,10 @@ fn plan_client(opts: &args::Options) -> Result<(), String> {
 
     let addr = opts.require("addr")?;
     let shutdown = opts.flag("shutdown");
+    // With --obs, the client records its own `plansrv.client` spans
+    // (each carrying the request's trace context); merging that dump
+    // with the server's via `obs-merge` yields one cross-process tree.
+    let obs_path = obs_begin(opts);
     let mut client = PlanClient::connect_retry(addr.as_str(), std::time::Duration::from_secs(5))
         .map_err(|e| format!("connecting to {addr}: {e}"))?;
 
@@ -924,6 +1037,9 @@ fn plan_client(opts: &args::Options) -> Result<(), String> {
             other => return Err(format!("unexpected shutdown reply: {other:?}")),
         }
     }
+    if let Some(path) = obs_path {
+        obs_finish(&path)?;
+    }
     Ok(())
 }
 
@@ -953,7 +1069,7 @@ fn print_plan_response(response: &adaptcomm_plansrv::proto::PlanResponse) -> Res
         PlanResponse::Ok(ok) => {
             println!(
                 "cache: {}  epoch: {}  seq: {}  completion: {:.3} ms  service: {:.3} ms  \
-                 round1: {} scan(s){}  total: {} scan(s)",
+                 round1: {} scan(s){}  total: {} scan(s){}",
                 ok.cache.as_str(),
                 ok.epoch,
                 ok.served_seq,
@@ -962,6 +1078,10 @@ fn print_plan_response(response: &adaptcomm_plansrv::proto::PlanResponse) -> Res
                 ok.stats.round1_col_scans,
                 if ok.stats.round1_warm { " (warm)" } else { "" },
                 ok.stats.total_col_scans,
+                match ok.trace_id {
+                    Some(id) => format!("  trace: {}", adaptcomm_obs::trace::id_to_hex(id)),
+                    None => String::new(),
+                },
             );
             Ok(())
         }

@@ -292,6 +292,376 @@ fn status_and_trigger_require_adapt() {
     assert!(!out.status.success());
 }
 
+/// Kills a spawned server on panic so a failed assertion cannot leak a
+/// listener into later test runs. `take()` hands the child back for a
+/// clean `wait_with_output` on the success path.
+struct ChildGuard(Option<std::process::Child>);
+
+impl ChildGuard {
+    fn take(&mut self) -> std::process::Child {
+        self.0.take().unwrap()
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// One blocking HTTP/1.0 exchange against the scrape server, retrying
+/// the connect while it races its bind. Returns `(status_line, body)`.
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    use std::io::{Read as _, Write as _};
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let mut stream = loop {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) if std::time::Instant::now() >= deadline => {
+                panic!("connecting to metrics server {addr}: {e}")
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    };
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+/// The tentpole acceptance test: a real client process and a real
+/// server process, each writing its own JSONL capture, merged by
+/// `obs-merge` into one Chrome trace in which the client's span and the
+/// server's spans share one propagated trace id with correct
+/// parent/child nesting across the process boundary — and a raw
+/// old-protocol request (no trace field, the pre-trace wire format)
+/// still gets served.
+#[test]
+fn cross_process_trace_merges_into_one_request_tree() {
+    use adaptcomm_obs::json::Value;
+    use adaptcomm_obs::trace::{id_to_hex, TraceContext};
+
+    let addr = "127.0.0.1:47907";
+    let server_jsonl = temp_path("xproc-server.jsonl");
+    let client_jsonl = temp_path("xproc-client.jsonl");
+    let merged = temp_path("xproc-merged.json");
+
+    let mut server = ChildGuard(Some(
+        bin()
+            .args([
+                "plan-server",
+                "--addr",
+                addr,
+                "--obs",
+                server_jsonl.to_str().unwrap(),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap(),
+    ));
+
+    // One traced request from a fresh client: tenant `alice`, seq 0 —
+    // every id in the tree is recomputable from that pair.
+    let out = bin()
+        .args([
+            "plan-client",
+            "--addr",
+            addr,
+            "--scenario",
+            "fig11",
+            "--p",
+            "6",
+            "--tenant",
+            "alice",
+            "--obs",
+            client_jsonl.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let root = TraceContext::root("alice", 0);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(&format!("trace: {}", id_to_hex(root.trace_id))),
+        "client must print the echoed trace id: {stdout}"
+    );
+
+    // An old-protocol client: encode a request with no trace field —
+    // byte-identical to the pre-trace wire format — over a raw socket.
+    {
+        use adaptcomm_plansrv::proto::{
+            encode_request, parse_response, PlanRequest, PlanResponse, QosSpec, Request, MAX_FRAME,
+            PROTO_VERSION,
+        };
+        use adaptcomm_runtime::tcp::{read_frame, write_frame};
+        let matrix = adaptcomm_core::matrix::CommMatrix::from_fn(4, |s, d| {
+            if s == d {
+                0.0
+            } else {
+                (s * 4 + d) as f64
+            }
+        });
+        let request = Request::Plan(PlanRequest {
+            tenant: "legacy".into(),
+            algorithm: "matching-max".into(),
+            matrix: Some(matrix.clone()),
+            fingerprint: Some(matrix.fingerprint()),
+            qos: QosSpec::default(),
+            trace: None,
+        });
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, PROTO_VERSION, &encode_request(&request)).unwrap();
+        let (tag, payload) = read_frame(&mut stream, MAX_FRAME).unwrap();
+        assert_eq!(tag, PROTO_VERSION);
+        match parse_response(&payload).unwrap() {
+            PlanResponse::Ok(ok) => assert_eq!(ok.trace_id, None, "no trace in, no trace out"),
+            other => panic!("legacy request failed: {other:?}"),
+        }
+    }
+
+    let out = bin()
+        .args(["plan-client", "--addr", addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = server.take().wait_with_output().unwrap();
+    assert!(out.status.success(), "server exit: {:?}", out.status);
+
+    let out = bin()
+        .args([
+            "obs-merge",
+            "--out",
+            merged.to_str().unwrap(),
+            "--inputs",
+            &format!(
+                "{},{}",
+                client_jsonl.to_str().unwrap(),
+                server_jsonl.to_str().unwrap()
+            ),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The merged document: find each span's begin event and check the
+    // propagated ids. Nesting is asserted via parent ids, not
+    // timestamps — each process keeps its own clock epoch.
+    let doc = Value::parse(&std::fs::read_to_string(&merged).unwrap()).unwrap();
+    let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+    let begin = |name: &str| {
+        events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("B")
+                    && e.get("name").and_then(Value::as_str) == Some(name)
+            })
+            .unwrap_or_else(|| panic!("no begin event for span {name:?}"))
+    };
+    let arg = |e: &Value, key: &str| {
+        e.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+    let worker_ctx = root.child(2);
+    let client_span = begin("plansrv.client");
+    let admission = begin("plansrv.admission");
+    let worker = begin("plansrv.worker");
+    let solve = begin("plansrv.solve");
+    // One trace id across the process boundary.
+    for (label, span) in [
+        ("client", client_span),
+        ("admission", admission),
+        ("worker", worker),
+        ("solve", solve),
+    ] {
+        assert_eq!(
+            arg(span, "trace_id").as_deref(),
+            Some(id_to_hex(root.trace_id).as_str()),
+            "{label} span trace id"
+        );
+    }
+    // The client's span IS the root: no parent.
+    assert_eq!(
+        arg(client_span, "span_id").as_deref(),
+        Some(id_to_hex(root.span_id).as_str())
+    );
+    assert_eq!(arg(client_span, "parent_id"), None);
+    // Server-side spans hang off the propagated root, children off the
+    // worker — the exact derivation the client can recompute.
+    assert_eq!(
+        arg(admission, "parent_id").as_deref(),
+        Some(id_to_hex(root.span_id).as_str())
+    );
+    assert_eq!(
+        arg(worker, "span_id").as_deref(),
+        Some(id_to_hex(worker_ctx.span_id).as_str())
+    );
+    assert_eq!(
+        arg(worker, "parent_id").as_deref(),
+        Some(id_to_hex(root.span_id).as_str())
+    );
+    assert_eq!(
+        arg(solve, "parent_id").as_deref(),
+        Some(id_to_hex(worker_ctx.span_id).as_str())
+    );
+    // And the tree genuinely crosses processes: the client span and the
+    // worker span live on different Chrome pids.
+    assert_ne!(
+        client_span.get("pid").and_then(Value::as_f64),
+        worker.get("pid").and_then(Value::as_f64)
+    );
+
+    let _ = std::fs::remove_file(server_jsonl);
+    let _ = std::fs::remove_file(client_jsonl);
+    let _ = std::fs::remove_file(merged);
+}
+
+#[test]
+fn metrics_endpoints_serve_wellformed_output() {
+    use adaptcomm_obs::json::Value;
+
+    let addr = "127.0.0.1:47911";
+    let metrics_addr = "127.0.0.1:47912";
+    let mut server = ChildGuard(Some(
+        bin()
+            .args(["plan-server", "--addr", addr, "--metrics-port", "47912"])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap(),
+    ));
+
+    let out = bin()
+        .args([
+            "plan-client",
+            "--addr",
+            addr,
+            "--scenario",
+            "fig9",
+            "--p",
+            "4",
+            "--tenant",
+            "mtr",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // /metrics: Prometheus text with the per-tenant counter under its
+    // sanitized name.
+    let (status, body) = http_get(metrics_addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        body.contains("plansrv_tenant_mtr_requests 1"),
+        "metrics body:\n{body}"
+    );
+    assert!(body.contains("# TYPE"), "metrics body:\n{body}");
+
+    let (status, body) = http_get(metrics_addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body.trim(), "ok");
+
+    // /tenants: JSON that parses with the workspace's own parser.
+    let (status, body) = http_get(metrics_addr, "/tenants");
+    assert!(status.contains("200"), "{status}");
+    let doc = Value::parse(&body).expect("/tenants must be valid JSON");
+    let tenants = doc.get("tenants").and_then(Value::as_arr).unwrap();
+    let row = tenants
+        .iter()
+        .find(|t| t.get("name").and_then(Value::as_str) == Some("mtr"))
+        .expect("tenant row for mtr");
+    assert_eq!(row.get("requests").and_then(Value::as_u64), Some(1));
+
+    let (status, _) = http_get(metrics_addr, "/definitely-not-a-route");
+    assert!(status.contains("404"), "{status}");
+
+    let out = bin()
+        .args(["plan-client", "--addr", addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = server.take().wait_with_output().unwrap();
+    assert!(out.status.success(), "server exit: {:?}", out.status);
+}
+
+/// The flight-recorder acceptance path: a chaos run that blows the SLO
+/// exits nonzero AND leaves a dump of the recent event window behind,
+/// containing the injected faults and the replans they provoked, and
+/// the dump replays through `obs-summary`.
+#[test]
+fn chaos_slo_breach_dumps_flight_recorder() {
+    let flight = temp_path("chaos-flight.jsonl");
+    // A ring of liar faults at 100x degradation from t=0: the run
+    // completes (nothing is dead, so nothing parks), but every link
+    // crawls — deterministically far past the 3x completion SLO.
+    let out = bin()
+        .args([
+            "chaos",
+            "--p",
+            "6",
+            "--seed",
+            "0",
+            "--scenario",
+            "liar:0-1@0x100;liar:1-2@0x100;liar:2-3@0x100;\
+             liar:3-4@0x100;liar:4-5@0x100;liar:5-0@0x100",
+            "--flight",
+            flight.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "an SLO breach must exit nonzero");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("blew the SLO"), "{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("flight recorder dumped to"), "{stdout}");
+
+    // The dump exists, names its trigger, and holds the fault window:
+    // the injected specs and the replans they caused.
+    let text = std::fs::read_to_string(&flight).unwrap();
+    assert!(text.contains("flight.dump"), "dump must name its trigger");
+    assert!(text.contains("chaos SLO breach"));
+    assert!(text.contains("chaos.inject"));
+    assert!(text.contains("runtime.replan"));
+
+    // And it replays through the normal summary pipeline.
+    let out = bin()
+        .args(["obs-summary", "--input", flight.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8(out.stdout).unwrap();
+    assert!(summary.contains("chaos.inject"));
+
+    let _ = std::fs::remove_file(flight);
+}
+
 #[test]
 fn errors_exit_nonzero_with_message() {
     let out = bin().arg("frobnicate").output().unwrap();

@@ -301,6 +301,32 @@ mod tests {
     }
 
     #[test]
+    fn quarantined_link_reports_max_badness_not_its_healthy_history() {
+        let mut m = HealthMonitor::new();
+        // A long, clean history: the link's smoothed badness is ~0.
+        for i in 0..50 {
+            feed(&mut m, 1000.0, i as f64);
+        }
+        let before = m.view();
+        let link = before.link(0, 1).unwrap();
+        assert_eq!(link.state, HealthState::Healthy);
+        assert!(link.score < 0.01);
+        // The trust cross-check catches it lying: the aggregated view
+        // must show the verdict (Dead, maximum badness), not the last
+        // healthy score the detector had smoothed to.
+        m.quarantine(0, 1, 1.0, 1000.0, Millis::new(50.0));
+        let after = m.view();
+        let link = after.link(0, 1).unwrap();
+        assert!(link.quarantined);
+        assert_eq!(link.state, HealthState::Dead);
+        assert_eq!(link.score, 1.0);
+        // And it sorts ahead of genuinely healthy links, worst first.
+        m.observe(2, 3, 1.0, 500.0, Millis::new(51.0));
+        let view = m.view();
+        assert_eq!((view.links[0].src, view.links[0].dst), (0, 1));
+    }
+
+    #[test]
     fn view_orders_worst_first_and_tracks_timestamps() {
         let mut m = HealthMonitor::new();
         m.observe(2, 3, 1.0, 500.0, Millis::new(0.0));

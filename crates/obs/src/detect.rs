@@ -368,7 +368,13 @@ impl LinkHealth {
 
     /// Smoothed badness in `[0, 1]`: an EWMA (α = 0.3) of the alarm
     /// indicator. 0 = consistently quiet, 1 = consistently alarmed.
+    /// Quarantine pins the score to 1 — a link the trust cross-check
+    /// removed must never look healthier than its verdict, whatever
+    /// its pre-quarantine history smoothed to.
     pub fn score(&self) -> f64 {
+        if self.quarantined {
+            return 1.0;
+        }
         self.score.value().unwrap_or(0.0)
     }
 }
@@ -505,6 +511,29 @@ mod tests {
         }
         h.release_quarantine();
         assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn quarantine_pins_the_score_at_max_badness() {
+        let mut h = LinkHealth::default();
+        // A long healthy history smooths the badness EWMA to ~0.
+        for _ in 0..50 {
+            h.observe(false);
+        }
+        assert!(h.score() < 0.01);
+        h.quarantine();
+        // The report must reflect the trust verdict, not the healthy
+        // history: state Dead, score pinned to maximum badness.
+        assert_eq!(h.state(), HealthState::Dead);
+        assert_eq!(h.score(), 1.0);
+        // More quiet observations change neither while quarantined.
+        for _ in 0..10 {
+            h.observe(false);
+        }
+        assert_eq!(h.score(), 1.0);
+        // Release restores the statistical view.
+        h.release_quarantine();
+        assert!(h.score() < 0.01);
     }
 
     #[test]

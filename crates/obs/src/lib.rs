@@ -29,21 +29,27 @@
 //! `schedule`, `replan`, `transfer`.
 
 pub mod detect;
+pub mod flight;
 pub mod json;
 pub mod report;
 pub mod series;
+pub mod serve;
 pub mod snapshot;
 mod summary;
+pub mod trace;
 
 pub use detect::{
     Cusum, CusumConfig, DriftDirection, Ewma, HealthState, LinkHealth, LinkHealthConfig,
 };
+pub use flight::{flight, FlightRecorder};
 pub use series::{TimeSeries, WindowStats};
+pub use serve::{serve_metrics, serve_metrics_with, MetricsServer, ScrapeEndpoints};
 pub use snapshot::{
-    CounterSnapshot, Event, GaugeSnapshot, HistogramSnapshot, InstantRecord, SeriesSnapshot,
-    Snapshot, SpanRecord,
+    merge_chrome_trace, prom_name, CounterSnapshot, Event, GaugeSnapshot, HistogramSnapshot,
+    InstantRecord, SeriesSnapshot, Snapshot, SpanRecord,
 };
-pub use summary::{PhaseTotal, Summary};
+pub use summary::{PhaseTotal, Summary, SummaryError};
+pub use trace::TraceContext;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -346,6 +352,7 @@ impl Registry {
                 tid: current_tid(),
                 start_us: self.now_us(),
                 attrs: Vec::new(),
+                trace: None,
             }),
         }
     }
@@ -376,6 +383,9 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        // Mirror into the always-on flight recorder so the last seconds
+        // before a trigger are replayable post-mortem.
+        flight::flight().record(Event::Span(record.clone()));
         self.inner
             .events
             .lock()
@@ -389,6 +399,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        flight::flight().record(Event::Instant(record.clone()));
         self.inner
             .events
             .lock()
@@ -562,6 +573,7 @@ struct LiveSpan {
     tid: u64,
     start_us: u64,
     attrs: Vec<(String, AttrValue)>,
+    trace: Option<TraceContext>,
 }
 
 /// An open span; records itself (name, duration, attributes) into the
@@ -581,6 +593,16 @@ impl Span {
         self
     }
 
+    /// Places the span in a cross-process request tree: the recorded
+    /// span carries `ctx`'s trace/span/parent ids, so merged traces
+    /// can stitch it to its parent in another process.
+    pub fn trace(mut self, ctx: TraceContext) -> Self {
+        if let Some(live) = &mut self.live {
+            live.trace = Some(ctx);
+        }
+        self
+    }
+
     /// Closes the span now (otherwise scope end does).
     pub fn end(self) {}
 }
@@ -595,6 +617,7 @@ impl Drop for Span {
                 start_us: live.start_us,
                 dur_us: end_us.saturating_sub(live.start_us),
                 attrs: live.attrs,
+                trace: live.trace,
             });
         }
     }

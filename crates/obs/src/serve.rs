@@ -1,0 +1,238 @@
+//! The scrape server: a hand-rolled HTTP/1.0 listener exposing a
+//! registry's Prometheus dump while the process runs.
+//!
+//! `GET /metrics` renders [`crate::Snapshot::to_prometheus`] fresh per
+//! scrape, `GET /healthz` answers `ok` (liveness for harnesses), and
+//! embedders can register extra JSON endpoints (the plan server mounts
+//! `/tenants`). The protocol support is deliberately minimal — parse
+//! the request line of a `GET`, answer one `Connection: close`
+//! response — which is all `curl` and a Prometheus scraper need, and
+//! keeps the crate zero-dependency.
+//!
+//! Lifecycle mirrors the plan server: bind (port 0 supported), a
+//! single accept thread serving requests serially, stop via flag +
+//! self-connect, [`MetricsServer::stop`] joins.
+
+use crate::json::Value;
+use crate::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A JSON-producing endpoint body, rendered fresh per scrape.
+type JsonEndpoint = Box<dyn Fn() -> Value + Send + Sync + 'static>;
+
+/// Extra endpoints to mount next to `/metrics` and `/healthz`.
+#[derive(Default)]
+pub struct ScrapeEndpoints {
+    entries: Vec<(String, JsonEndpoint)>,
+}
+
+impl ScrapeEndpoints {
+    /// No extra endpoints.
+    pub fn new() -> ScrapeEndpoints {
+        ScrapeEndpoints::default()
+    }
+
+    /// Mounts `path` (must start with `/`) serving `body()` as
+    /// `application/json`.
+    pub fn json(mut self, path: &str, body: impl Fn() -> Value + Send + Sync + 'static) -> Self {
+        assert!(path.starts_with('/'), "endpoint paths start with '/'");
+        self.entries.push((path.to_string(), Box::new(body)));
+        self
+    }
+}
+
+/// A running scrape server; [`MetricsServer::stop`] shuts it down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call the same way the plan server does.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves `/metrics` + `/healthz` for `registry` on `addr`.
+pub fn serve_metrics(
+    registry: Registry,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<MetricsServer> {
+    serve_metrics_with(registry, addr, ScrapeEndpoints::new())
+}
+
+/// [`serve_metrics`] plus caller-supplied JSON endpoints.
+pub fn serve_metrics_with(
+    registry: Registry,
+    addr: impl ToSocketAddrs,
+    endpoints: ScrapeEndpoints,
+) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("obs-scrape".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                serve_one(stream, &registry, &endpoints);
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Reads one request line and writes one close-delimited response.
+fn serve_one(mut stream: TcpStream, registry: &Registry, endpoints: &ScrapeEndpoints) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the header terminator; a request line alone is enough
+    // for routing, so a client that omits the blank line still works
+    // once the read times out or the buffer fills.
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = match std::str::from_utf8(&buf) {
+        Ok(text) => text.lines().next().unwrap_or("").to_string(),
+        Err(_) => String::new(),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is served\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                registry.snapshot().to_prometheus(),
+            ),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => match endpoints.entries.iter().find(|(p, _)| p == path) {
+                Some((_, render)) => {
+                    let mut body = render().to_json();
+                    body.push('\n');
+                    ("200 OK", "application/json", body)
+                }
+                None => ("404 Not Found", "text/plain", format!("no route {path}\n")),
+            },
+        }
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal HTTP/1.0 GET, returning (status line, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        (head.lines().next().unwrap().to_string(), body.to_string())
+    }
+
+    #[test]
+    fn scrape_endpoints_answer() {
+        let registry = Registry::new();
+        registry.add("plansrv.requests", 3);
+        let mut server = serve_metrics_with(
+            registry,
+            "127.0.0.1:0",
+            ScrapeEndpoints::new().json("/tenants", || {
+                Value::Obj(vec![("tenants".into(), Value::Arr(vec![]))])
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("# TYPE plansrv_requests counter"));
+        assert!(body.contains("plansrv_requests 3"));
+
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"));
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = get(addr, "/tenants");
+        assert!(status.contains("200"));
+        let v = Value::parse(body.trim()).unwrap();
+        assert!(v.get("tenants").is_some());
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"));
+
+        server.stop();
+        // Stopped servers refuse further scrapes.
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly; a read must then fail/EOF.
+                let mut s = TcpStream::connect(addr).unwrap();
+                let _ = write!(s, "GET /healthz HTTP/1.0\r\n\r\n");
+                let mut out = String::new();
+                s.read_to_string(&mut out).unwrap_or(0) == 0
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_reflect_live_updates() {
+        let registry = Registry::new();
+        let mut server = serve_metrics(registry.clone(), "127.0.0.1:0").unwrap();
+        registry.add("live.updates", 1);
+        let (_, body) = get(server.local_addr(), "/metrics");
+        assert!(body.contains("live_updates 1"));
+        registry.add("live.updates", 41);
+        let (_, body) = get(server.local_addr(), "/metrics");
+        assert!(body.contains("live_updates 42"));
+        server.stop();
+    }
+}

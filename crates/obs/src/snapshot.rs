@@ -16,6 +16,7 @@
 //!   events.
 
 use crate::json::Value;
+use crate::trace::{self, TraceContext};
 use crate::AttrValue;
 
 /// One counter at snapshot time.
@@ -77,6 +78,8 @@ pub struct SpanRecord {
     pub dur_us: u64,
     /// Key/value attributes.
     pub attrs: Vec<(String, AttrValue)>,
+    /// Cross-process trace position (`None` for untraced spans).
+    pub trace: Option<TraceContext>,
 }
 
 /// A point-in-time event on a thread track.
@@ -137,6 +140,42 @@ fn attrs_from_json(v: Option<&Value>) -> Result<Vec<(String, AttrValue)>, String
                 .ok_or_else(|| format!("attr {k:?} has a non-scalar value"))
         })
         .collect()
+}
+
+/// Trace ids serialize as 16-hex-digit strings — JSON numbers are f64
+/// and would silently round u64 ids.
+fn trace_to_json(t: &Option<TraceContext>) -> Option<Value> {
+    t.as_ref().map(|t| {
+        let mut fields = vec![
+            ("id".into(), Value::Str(trace::id_to_hex(t.trace_id))),
+            ("span".into(), Value::Str(trace::id_to_hex(t.span_id))),
+        ];
+        if let Some(parent) = t.parent_id {
+            fields.push(("parent".into(), Value::Str(trace::id_to_hex(parent))));
+        }
+        Value::Obj(fields)
+    })
+}
+
+fn trace_from_json(v: Option<&Value>) -> Result<Option<TraceContext>, String> {
+    let Some(v) = v else {
+        return Ok(None);
+    };
+    let id = |field: &str| -> Result<u64, String> {
+        v.get(field)
+            .and_then(Value::as_str)
+            .and_then(trace::id_from_hex)
+            .ok_or_else(|| format!("trace field {field:?} must be 16 hex digits"))
+    };
+    let parent_id = match v.get("parent") {
+        None => None,
+        Some(_) => Some(id("parent")?),
+    };
+    Ok(Some(TraceContext {
+        trace_id: id("id")?,
+        span_id: id("span")?,
+        parent_id,
+    }))
 }
 
 impl Snapshot {
@@ -239,14 +278,20 @@ impl Snapshot {
         }
         for e in &self.events {
             let obj = match e {
-                Event::Span(s) => Value::Obj(vec![
-                    ("type".into(), Value::Str("span".into())),
-                    ("name".into(), Value::Str(s.name.clone())),
-                    ("tid".into(), Value::Num(s.tid as f64)),
-                    ("start_us".into(), Value::Num(s.start_us as f64)),
-                    ("dur_us".into(), Value::Num(s.dur_us as f64)),
-                    ("attrs".into(), attrs_to_json(&s.attrs)),
-                ]),
+                Event::Span(s) => {
+                    let mut fields = vec![
+                        ("type".into(), Value::Str("span".into())),
+                        ("name".into(), Value::Str(s.name.clone())),
+                        ("tid".into(), Value::Num(s.tid as f64)),
+                        ("start_us".into(), Value::Num(s.start_us as f64)),
+                        ("dur_us".into(), Value::Num(s.dur_us as f64)),
+                        ("attrs".into(), attrs_to_json(&s.attrs)),
+                    ];
+                    if let Some(t) = trace_to_json(&s.trace) {
+                        fields.push(("trace".into(), t));
+                    }
+                    Value::Obj(fields)
+                }
                 Event::Instant(i) => Value::Obj(vec![
                     ("type".into(), Value::Str("instant".into())),
                     ("name".into(), Value::Str(i.name.clone())),
@@ -342,6 +387,8 @@ impl Snapshot {
                     start_us: uint("start_us")?,
                     dur_us: uint("dur_us")?,
                     attrs: attrs_from_json(v.get("attrs"))?,
+                    trace: trace_from_json(v.get("trace"))
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?,
                 })),
                 "instant" => snap.events.push(Event::Instant(InstantRecord {
                     name: name("name")?,
@@ -402,6 +449,17 @@ impl Snapshot {
     /// nesting input (what RAII spans guarantee per thread) produces a
     /// well-formed `B…B…E…E` sequence.
     pub fn to_chrome_trace(&self) -> String {
+        Value::Obj(vec![
+            ("traceEvents".into(), Value::Arr(self.chrome_events(1))),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ])
+        .to_json()
+    }
+
+    /// The event list of [`Snapshot::to_chrome_trace`], attributed to an
+    /// explicit Chrome process id — the building block of
+    /// [`merge_chrome_trace`].
+    fn chrome_events(&self, pid: u64) -> Vec<Value> {
         let mut events: Vec<Value> = Vec::new();
         // Group span intervals per tid, preserving u64 precision.
         let mut spans: Vec<&SpanRecord> = self.spans().collect();
@@ -419,18 +477,18 @@ impl Snapshot {
                 let s = spans[i];
                 while let Some(top) = stack.last() {
                     if top.start_us + top.dur_us <= s.start_us {
-                        events.push(chrome_end(top));
+                        events.push(chrome_end(top, pid));
                         stack.pop();
                     } else {
                         break;
                     }
                 }
-                events.push(chrome_begin(s));
+                events.push(chrome_begin(s, pid));
                 stack.push(s);
                 i += 1;
             }
             while let Some(top) = stack.pop() {
-                events.push(chrome_end(top));
+                events.push(chrome_end(top, pid));
             }
         }
         for inst in self.instants() {
@@ -438,7 +496,7 @@ impl Snapshot {
                 ("name".into(), Value::Str(inst.name.clone())),
                 ("ph".into(), Value::Str("i".into())),
                 ("ts".into(), Value::Num(inst.ts_us as f64)),
-                ("pid".into(), Value::Num(1.0)),
+                ("pid".into(), Value::Num(pid as f64)),
                 ("tid".into(), Value::Num(inst.tid as f64)),
                 ("s".into(), Value::Str("t".into())),
                 ("args".into(), attrs_to_json(&inst.attrs)),
@@ -454,7 +512,7 @@ impl Snapshot {
                     ("name".into(), Value::Str(s.name.clone())),
                     ("ph".into(), Value::Str("C".into())),
                     ("ts".into(), Value::Num(ts)),
-                    ("pid".into(), Value::Num(1.0)),
+                    ("pid".into(), Value::Num(pid as f64)),
                     ("tid".into(), Value::Num(0.0)),
                     (
                         "args".into(),
@@ -463,30 +521,69 @@ impl Snapshot {
                 ]));
             }
         }
-        Value::Obj(vec![
-            ("traceEvents".into(), Value::Arr(events)),
-            ("displayTimeUnit".into(), Value::Str("ms".into())),
-        ])
-        .to_json()
+        events
     }
 }
 
-fn chrome_begin(s: &SpanRecord) -> Value {
+/// Merges per-process snapshots into one Chrome trace document: part
+/// `i` becomes Chrome process `i + 1`, labelled with its name via a
+/// `process_name` metadata event. Timestamps are carried verbatim —
+/// each process keeps its own registry epoch, so tracks align only
+/// loosely; cross-process causality lives in the span `trace` ids, not
+/// the clock.
+pub fn merge_chrome_trace(parts: &[(String, Snapshot)]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for (i, (label, snap)) in parts.iter().enumerate() {
+        let pid = i as u64 + 1;
+        events.push(Value::Obj(vec![
+            ("name".into(), Value::Str("process_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::Num(pid as f64)),
+            ("tid".into(), Value::Num(0.0)),
+            (
+                "args".into(),
+                Value::Obj(vec![("name".into(), Value::Str(label.clone()))]),
+            ),
+        ]));
+        events.extend(snap.chrome_events(pid));
+    }
+    Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ])
+    .to_json()
+}
+
+fn chrome_begin(s: &SpanRecord, pid: u64) -> Value {
+    let mut args = s.attrs.clone();
+    if let Some(t) = &s.trace {
+        args.push((
+            "trace_id".into(),
+            AttrValue::Str(trace::id_to_hex(t.trace_id)),
+        ));
+        args.push((
+            "span_id".into(),
+            AttrValue::Str(trace::id_to_hex(t.span_id)),
+        ));
+        if let Some(parent) = t.parent_id {
+            args.push(("parent_id".into(), AttrValue::Str(trace::id_to_hex(parent))));
+        }
+    }
     Value::Obj(vec![
         ("name".into(), Value::Str(s.name.clone())),
         ("ph".into(), Value::Str("B".into())),
         ("ts".into(), Value::Num(s.start_us as f64)),
-        ("pid".into(), Value::Num(1.0)),
+        ("pid".into(), Value::Num(pid as f64)),
         ("tid".into(), Value::Num(s.tid as f64)),
-        ("args".into(), attrs_to_json(&s.attrs)),
+        ("args".into(), attrs_to_json(&args)),
     ])
 }
 
-fn chrome_end(s: &SpanRecord) -> Value {
+fn chrome_end(s: &SpanRecord, pid: u64) -> Value {
     Value::Obj(vec![
         ("ph".into(), Value::Str("E".into())),
         ("ts".into(), Value::Num((s.start_us + s.dur_us) as f64)),
-        ("pid".into(), Value::Num(1.0)),
+        ("pid".into(), Value::Num(pid as f64)),
         ("tid".into(), Value::Num(s.tid as f64)),
     ])
 }
@@ -494,7 +591,7 @@ fn chrome_end(s: &SpanRecord) -> Value {
 /// Sanitizes a dotted metric name to the Prometheus charset. Never
 /// returns an empty name: a nameless metric would produce an
 /// unparsable exposition line.
-fn prom_name(name: &str) -> String {
+pub fn prom_name(name: &str) -> String {
     let mut out: String = name
         .chars()
         .map(|c| match c {
@@ -551,6 +648,7 @@ mod tests {
                     start_us: 10,
                     dur_us: 100,
                     attrs: vec![("algorithm".into(), AttrValue::Str("openshop".into()))],
+                    trace: None,
                 }),
                 Event::Span(SpanRecord {
                     name: "round".into(),
@@ -558,6 +656,7 @@ mod tests {
                     start_us: 20,
                     dur_us: 30,
                     attrs: vec![("round".into(), AttrValue::U64(0))],
+                    trace: None,
                 }),
                 Event::Instant(InstantRecord {
                     name: "replan".into(),
@@ -648,6 +747,7 @@ mod tests {
                     start_us: 0,
                     dur_us: 10,
                     attrs: vec![],
+                    trace: None,
                 }),
                 Event::Span(SpanRecord {
                     name: "b".into(),
@@ -655,6 +755,7 @@ mod tests {
                     start_us: 10,
                     dur_us: 10,
                     attrs: vec![],
+                    trace: None,
                 }),
             ],
             ..Default::default()
@@ -668,6 +769,80 @@ mod tests {
             .map(|e| e.get("ph").and_then(Value::as_str).unwrap())
             .collect();
         assert_eq!(phases, ["B", "E", "B", "E"]);
+    }
+
+    #[test]
+    fn traced_spans_round_trip_jsonl_and_reach_chrome_args() {
+        let root = TraceContext::root("tenant-a", 4);
+        let child = root.child(1);
+        let snap = Snapshot {
+            events: vec![
+                Event::Span(SpanRecord {
+                    name: "request".into(),
+                    tid: 1,
+                    start_us: 0,
+                    dur_us: 50,
+                    attrs: vec![],
+                    trace: Some(root),
+                }),
+                Event::Span(SpanRecord {
+                    name: "serve".into(),
+                    tid: 1,
+                    start_us: 5,
+                    dur_us: 30,
+                    attrs: vec![],
+                    trace: Some(child),
+                }),
+            ],
+            ..Default::default()
+        };
+        // Lossless JSONL round trip, trace ids included.
+        let back = Snapshot::from_jsonl(&snap.to_jsonl()).unwrap();
+        assert_eq!(back, snap);
+        // The Chrome view exposes the ids as hex-string args.
+        let v = Value::parse(&snap.to_chrome_trace()).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let args = events[1].get("args").unwrap();
+        assert_eq!(
+            args.get("trace_id").and_then(Value::as_str),
+            Some(trace::id_to_hex(root.trace_id).as_str())
+        );
+        assert_eq!(
+            args.get("parent_id").and_then(Value::as_str),
+            Some(trace::id_to_hex(root.span_id).as_str())
+        );
+    }
+
+    #[test]
+    fn merged_traces_get_distinct_labelled_pids() {
+        let client = sample();
+        let server = sample();
+        let text = merge_chrome_trace(&[
+            ("client".to_string(), client),
+            ("server".to_string(), server),
+        ]);
+        let v = Value::parse(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        // Two process_name metadata events with the part labels.
+        let meta: Vec<(&str, f64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .map(|e| {
+                (
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                        .unwrap(),
+                    e.get("pid").and_then(Value::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(meta, [("client", 1.0), ("server", 2.0)]);
+        // Every non-metadata event belongs to pid 1 or 2.
+        assert!(events.iter().all(
+            |e| matches!(e.get("pid").and_then(Value::as_f64), Some(p) if p == 1.0
+                || p == 2.0)
+        ));
     }
 
     #[test]

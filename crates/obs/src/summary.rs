@@ -1,12 +1,47 @@
 //! Per-phase rollups of a recorded trace, for `adaptcomm obs-summary`.
 //!
-//! A [`Summary`] is built from either exporter output — a Chrome
-//! `trace_event` document or a JSONL event stream — and aggregates
-//! spans by name into [`PhaseTotal`] rows (count, total/min/max
-//! duration), alongside any counters the trace carried.
+//! A [`Summary`] is built from any exporter output — a Chrome
+//! `trace_event` document, a JSONL event stream, or a Prometheus text
+//! dump — and aggregates spans by name into [`PhaseTotal`] rows
+//! (count, total/min/max duration), alongside any counters and gauges
+//! the capture carried. [`Summary::from_named_text`] dispatches on the
+//! file extension and reports unknown ones as a typed
+//! [`SummaryError::UnknownFormat`] naming the supported set.
 
 use crate::json::Value;
 use crate::snapshot::Snapshot;
+
+/// The file extensions [`Summary::from_named_text`] understands.
+pub const SUPPORTED_EXTENSIONS: &[&str] = &[".json", ".jsonl", ".prom", ".txt"];
+
+/// Why a capture could not be summarized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryError {
+    /// The file extension names no exporter format.
+    UnknownFormat {
+        /// The offending extension (with its dot; empty when the name
+        /// had none).
+        extension: String,
+    },
+    /// The format was recognized but the content did not parse.
+    Parse(String),
+}
+
+impl std::fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummaryError::UnknownFormat { extension } => write!(
+                f,
+                "unsupported capture format {:?} (supported: {})",
+                extension,
+                SUPPORTED_EXTENSIONS.join(", ")
+            ),
+            SummaryError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
 
 /// Aggregated timing for one span name ("phase").
 #[derive(Debug, Clone, PartialEq)]
@@ -28,8 +63,12 @@ pub struct PhaseTotal {
 pub struct Summary {
     /// Per-phase totals, descending by total time.
     pub phases: Vec<PhaseTotal>,
-    /// Counters carried by the trace (JSONL only), name-ascending.
+    /// Counters carried by the trace (JSONL and Prometheus),
+    /// name-ascending.
     pub counters: Vec<(String, u64)>,
+    /// Gauges carried by the trace (JSONL and Prometheus),
+    /// name-ascending.
+    pub gauges: Vec<(String, f64)>,
     /// Instant-event counts by name, name-ascending.
     pub instants: Vec<(String, u64)>,
 }
@@ -50,6 +89,104 @@ impl Summary {
         Ok(Self::from_snapshot(&Snapshot::from_jsonl(text)?))
     }
 
+    /// Parses `text` according to `name`'s file extension: `.json` /
+    /// `.jsonl` via [`Summary::from_text`], `.prom` / `.txt` via
+    /// [`Summary::from_prometheus`]. Anything else is a typed
+    /// [`SummaryError::UnknownFormat`] listing the supported set.
+    pub fn from_named_text(name: &str, text: &str) -> Result<Summary, SummaryError> {
+        let base = name.rsplit(['/', '\\']).next().unwrap_or(name);
+        let extension = match base.rfind('.') {
+            Some(dot) => base[dot..].to_ascii_lowercase(),
+            None => String::new(),
+        };
+        match extension.as_str() {
+            ".json" | ".jsonl" => Self::from_text(text).map_err(SummaryError::Parse),
+            ".prom" | ".txt" => Self::from_prometheus(text).map_err(SummaryError::Parse),
+            _ => Err(SummaryError::UnknownFormat { extension }),
+        }
+    }
+
+    /// Rolls up a Prometheus text dump ([`Snapshot::to_prometheus`]
+    /// output): counters and gauges come back by their sanitized names;
+    /// a histogram contributes its `_count` as a counter and its `_sum`
+    /// as a gauge (bucket lines carry no per-span information to
+    /// recover). A Prometheus dump has no spans, so `phases` is empty.
+    pub fn from_prometheus(text: &str) -> Result<Summary, String> {
+        let mut summary = Summary::default();
+        let mut kinds: Vec<(String, String)> = Vec::new();
+        let kind_of = |kinds: &[(String, String)], name: &str| -> Option<String> {
+            kinds
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, k)| k.clone())
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                let mut words = rest.split_whitespace();
+                if words.next() == Some("TYPE") {
+                    if let (Some(name), Some(kind)) = (words.next(), words.next()) {
+                        kinds.push((name.to_string(), kind.to_string()));
+                    }
+                }
+                continue;
+            }
+            let (name_part, value_part) = line
+                .rsplit_once(char::is_whitespace)
+                .ok_or_else(|| format!("line {}: expected \"name value\"", lineno + 1))?;
+            let value: f64 = value_part
+                .parse()
+                .map_err(|_| format!("line {}: bad sample value {value_part:?}", lineno + 1))?;
+            let name = name_part
+                .split_once('{')
+                .map_or(name_part, |(n, _)| n)
+                .to_string();
+            // Histogram expansion lines roll up under the declared base
+            // name: keep `_count` (as a counter) and `_sum` (as a
+            // gauge), skip the cumulative buckets.
+            let base_of = |suffix: &str| {
+                name.strip_suffix(suffix)
+                    .filter(|base| kind_of(&kinds, base).as_deref() == Some("histogram"))
+                    .map(str::to_string)
+            };
+            if base_of("_bucket").is_some() {
+                continue;
+            }
+            if base_of("_count").is_some() {
+                summary.counters.push((name, value as u64));
+                continue;
+            }
+            if base_of("_sum").is_some() {
+                summary.gauges.push((name, value));
+                continue;
+            }
+            match kind_of(&kinds, &name).as_deref() {
+                Some("counter") => summary.counters.push((name, value as u64)),
+                Some("gauge") => summary.gauges.push((name, value)),
+                Some(other) => {
+                    return Err(format!(
+                        "line {}: unsupported sample type {other:?} for {name:?}",
+                        lineno + 1
+                    ))
+                }
+                // Lenient on undeclared samples, like real scrapers:
+                // integral values read as counters, the rest as gauges.
+                None => {
+                    if value >= 0.0 && value.fract() == 0.0 {
+                        summary.counters.push((name, value as u64));
+                    } else {
+                        summary.gauges.push((name, value));
+                    }
+                }
+            }
+        }
+        summary.finish();
+        Ok(summary)
+    }
+
     /// Rolls up a parsed snapshot (the JSONL path).
     pub fn from_snapshot(snap: &Snapshot) -> Summary {
         let mut summary = Summary::default();
@@ -63,6 +200,11 @@ impl Summary {
             .counters
             .iter()
             .map(|c| (c.name.clone(), c.value))
+            .collect();
+        summary.gauges = snap
+            .gauges
+            .iter()
+            .map(|g| (g.name.clone(), g.value))
             .collect();
         summary.finish();
         summary
@@ -146,6 +288,8 @@ impl Summary {
         self.phases
             .sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
         self.counters.sort();
+        self.gauges
+            .sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
         self.instants.sort();
     }
 
@@ -188,6 +332,13 @@ impl Summary {
             out.push('\n');
             let _ = writeln!(out, "counters:");
             for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name}: {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push('\n');
+            let _ = writeln!(out, "gauges:");
+            for (name, value) in &self.gauges {
                 let _ = writeln!(out, "  {name}: {value}");
             }
         }
@@ -267,5 +418,57 @@ mod tests {
         let summary = Summary::from_text("").unwrap();
         assert!(summary.phases.is_empty());
         assert_eq!(summary.render(), "no spans recorded\n");
+    }
+
+    #[test]
+    fn summarizes_prometheus_dump() {
+        let reg = sample_registry();
+        reg.gauge_set("queue.depth", 2.5);
+        reg.observe("latency.ms", &[1.0, 10.0], 3.0);
+        let text = reg.snapshot().to_prometheus();
+        let summary = Summary::from_named_text("metrics.prom", &text).unwrap();
+        assert!(summary.phases.is_empty());
+        assert!(summary.counters.contains(&("sched_rounds".to_string(), 4)));
+        assert!(summary.gauges.contains(&("queue_depth".to_string(), 2.5)));
+        // The histogram rolls up as its _count counter + _sum gauge.
+        assert!(summary
+            .counters
+            .contains(&("latency_ms_count".to_string(), 1)));
+        assert!(summary
+            .gauges
+            .contains(&("latency_ms_sum".to_string(), 3.0)));
+        let rendered = summary.render();
+        assert!(rendered.contains("sched_rounds: 4"));
+        assert!(rendered.contains("queue_depth: 2.5"));
+    }
+
+    #[test]
+    fn unknown_extensions_get_a_typed_error() {
+        let err = Summary::from_named_text("dump.csv", "a,b\n").unwrap_err();
+        assert_eq!(
+            err,
+            SummaryError::UnknownFormat {
+                extension: ".csv".into()
+            }
+        );
+        let msg = err.to_string();
+        for ext in SUPPORTED_EXTENSIONS {
+            assert!(msg.contains(ext), "{msg} should name {ext}");
+        }
+        assert!(matches!(
+            Summary::from_named_text("noextension", ""),
+            Err(SummaryError::UnknownFormat { extension }) if extension.is_empty()
+        ));
+        // Recognized extensions still surface parse failures as Parse.
+        assert!(matches!(
+            Summary::from_named_text("x.jsonl", "{\"type\":\"nope\"}"),
+            Err(SummaryError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn prometheus_rejects_malformed_samples() {
+        assert!(Summary::from_prometheus("name_only\n").is_err());
+        assert!(Summary::from_prometheus("metric not_a_number\n").is_err());
     }
 }

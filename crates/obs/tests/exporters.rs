@@ -112,6 +112,7 @@ fn pathological_snapshot() -> Snapshot {
             start_us: 10 * i as u64,
             dur_us: 5,
             attrs: vec![(name.into(), AttrValue::Str(name.into()))],
+            trace: None,
         }));
         snap.events.push(Event::Instant(InstantRecord {
             name: name.into(),

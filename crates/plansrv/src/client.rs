@@ -1,11 +1,17 @@
 //! Client library: a thin blocking wrapper over the framed protocol,
 //! sharing the runtime transport's socket plumbing
 //! ([`adaptcomm_runtime::tcp::write_frame`] / `read_frame`).
+//!
+//! Every plan/probe request carries a deterministic [`TraceContext`]
+//! root (derived from `(tenant, per-client request seq)`) and records a
+//! client-side `plansrv.client` span under it, so a client capture can
+//! be merged with the server's into one cross-process request tree.
 
 use crate::proto::{
     self, PlanRequest, PlanResponse, ProtocolError, QosSpec, Request, MAX_FRAME, PROTO_VERSION,
 };
 use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_obs::trace::TraceContext;
 use adaptcomm_runtime::tcp::{read_frame, write_frame};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -40,6 +46,9 @@ impl From<ProtocolError> for ClientError {
 /// time; the connection persists across requests.
 pub struct PlanClient {
     stream: TcpStream,
+    /// Per-connection request counter seeding each request's trace
+    /// root — deterministic, so a test can recompute every id.
+    next_seq: u64,
 }
 
 impl PlanClient {
@@ -49,7 +58,10 @@ impl PlanClient {
         // Frames go out as two writes (header, payload); Nagle would
         // hold the payload for the delayed ACK, ~40 ms per request.
         let _ = stream.set_nodelay(true);
-        Ok(PlanClient { stream })
+        Ok(PlanClient {
+            stream,
+            next_seq: 0,
+        })
     }
 
     /// Connects, retrying until `deadline` elapses — for racing a
@@ -80,6 +92,30 @@ impl PlanClient {
         Ok(proto::parse_response(&payload)?)
     }
 
+    /// The next request's root context, advancing the counter.
+    fn next_trace(&mut self, tenant: &str) -> TraceContext {
+        let ctx = TraceContext::root(tenant, self.next_seq);
+        self.next_seq += 1;
+        ctx
+    }
+
+    /// One traced request: a `plansrv.client` span (recorded into the
+    /// global registry, a no-op while observability is disabled) brackets
+    /// the wire roundtrip under the request's root context.
+    fn traced_roundtrip(
+        &mut self,
+        ctx: TraceContext,
+        request: &Request,
+    ) -> Result<PlanResponse, ClientError> {
+        let obs = adaptcomm_obs::global();
+        let tenant = match request {
+            Request::Plan(p) => p.tenant.as_str(),
+            Request::Shutdown => "",
+        };
+        let _span = obs.span("plansrv.client").attr("tenant", tenant).trace(ctx);
+        self.roundtrip(request)
+    }
+
     /// Requests a plan for a full cost matrix.
     pub fn plan(
         &mut self,
@@ -88,13 +124,18 @@ impl PlanClient {
         matrix: &CommMatrix,
         qos: QosSpec,
     ) -> Result<PlanResponse, ClientError> {
-        self.roundtrip(&Request::Plan(PlanRequest {
-            tenant: tenant.to_string(),
-            algorithm: algorithm.to_string(),
-            matrix: Some(matrix.clone()),
-            fingerprint: Some(matrix.fingerprint()),
-            qos,
-        }))
+        let ctx = self.next_trace(tenant);
+        self.traced_roundtrip(
+            ctx,
+            &Request::Plan(PlanRequest {
+                tenant: tenant.to_string(),
+                algorithm: algorithm.to_string(),
+                matrix: Some(matrix.clone()),
+                fingerprint: Some(matrix.fingerprint()),
+                qos,
+                trace: Some(ctx),
+            }),
+        )
     }
 
     /// Fingerprint-only probe: asks whether the server can replay a
@@ -107,13 +148,18 @@ impl PlanClient {
         fingerprint: u64,
         qos: QosSpec,
     ) -> Result<PlanResponse, ClientError> {
-        self.roundtrip(&Request::Plan(PlanRequest {
-            tenant: tenant.to_string(),
-            algorithm: algorithm.to_string(),
-            matrix: None,
-            fingerprint: Some(fingerprint),
-            qos,
-        }))
+        let ctx = self.next_trace(tenant);
+        self.traced_roundtrip(
+            ctx,
+            &Request::Plan(PlanRequest {
+                tenant: tenant.to_string(),
+                algorithm: algorithm.to_string(),
+                matrix: None,
+                fingerprint: Some(fingerprint),
+                qos,
+                trace: Some(ctx),
+            }),
+        )
     }
 
     /// Sends the shutdown control frame; the server acknowledges with

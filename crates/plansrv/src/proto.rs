@@ -20,20 +20,27 @@
 //! ```json
 //! {"type":"plan","tenant":"alice","algorithm":"matching-max",
 //!  "fingerprint":"<16 hex digits>", "matrix":[[0.0,1.5],[2.0,0.0]],
-//!  "qos":{"deadline_ms":5.0,"priority":3,"critical":[[0,1]]}}
+//!  "qos":{"deadline_ms":5.0,"priority":3,"critical":[[0,1]]},
+//!  "trace":{"id":"<16 hex>","span":"<16 hex>"}}
 //! {"type":"shutdown"}
 //! ```
 //!
 //! `matrix` and `fingerprint` are each optional (a fingerprint-only
 //! request probes the cache without shipping `P²` cells; the server
 //! answers `need-matrix` on a miss). Fingerprints are hex *strings*
-//! because JSON numbers are `f64` and lose `u64` precision. Responses:
+//! because JSON numbers are `f64` and lose `u64` precision; trace and
+//! span ids follow the same convention. `trace` is optional and
+//! version-tolerant both ways: parsers ignore unknown fields, so an
+//! old client's request simply has no trace (the server starts a
+//! fresh root) and an old client never sees the echoed `trace_id`.
+//! Responses:
 //!
 //! ```json
 //! {"type":"plan","status":"ok","cache":"cold|hit|warm","epoch":1,
 //!  "served_seq":3,"plan":{"order":[[1,2],[0,2],[0,1]],"completion_ms":12.5},
 //!  "stats":{"round1_warm":false,"round1_col_scans":96,
-//!           "total_col_scans":480,"service_ms":3.25}}
+//!           "total_col_scans":480,"service_ms":3.25},
+//!  "trace_id":"<16 hex>"}
 //! {"type":"plan","status":"need-matrix"}
 //! {"type":"plan","status":"rejected","retry_after_ms":10.5,"detail":"..."}
 //! {"type":"plan","status":"error","detail":"..."}
@@ -46,6 +53,8 @@
 use adaptcomm_core::matrix::CommMatrix;
 use adaptcomm_core::schedule::SendOrder;
 use adaptcomm_obs::json::Value;
+use adaptcomm_obs::trace::{id_from_hex, id_to_hex};
+use adaptcomm_obs::TraceContext;
 use std::fmt;
 
 /// Protocol version carried in every frame header's tag slot.
@@ -217,6 +226,9 @@ pub struct PlanRequest {
     pub fingerprint: Option<u64>,
     /// QoS envelope.
     pub qos: QosSpec,
+    /// The caller's trace context (`None` from old clients — the
+    /// server then starts a fresh root).
+    pub trace: Option<TraceContext>,
 }
 
 /// Everything a client can send.
@@ -296,6 +308,9 @@ pub struct PlanOk {
     pub served_seq: u64,
     /// Solver counters.
     pub stats: PlanStats,
+    /// Echo of the request's trace id (`None` when the request carried
+    /// no trace, or the answer came from an old server).
+    pub trace_id: Option<u64>,
 }
 
 /// Everything the server can answer.
@@ -389,6 +404,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 out.push_str(&format!(",\"matrix\":{}", write_matrix(m)));
             }
             out.push_str(&format!(",\"qos\":{}", write_qos(&plan.qos)));
+            if let Some(trace) = &plan.trace {
+                out.push_str(&format!(
+                    ",\"trace\":{{\"id\":\"{}\",\"span\":\"{}\"}}",
+                    id_to_hex(trace.trace_id),
+                    id_to_hex(trace.span_id)
+                ));
+            }
             out.push('}');
             out.into_bytes()
         }
@@ -424,11 +446,15 @@ pub fn encode_response(resp: &PlanResponse) -> Vec<u8> {
                     format!("[{}]", cells.join(","))
                 })
                 .collect();
+            let trace_echo = ok
+                .trace_id
+                .map(|id| format!(",\"trace_id\":\"{}\"", id_to_hex(id)))
+                .unwrap_or_default();
             format!(
                 "{{\"type\":\"plan\",\"status\":\"ok\",\"cache\":\"{}\",\"epoch\":{},\
                  \"served_seq\":{},\"plan\":{{\"order\":[{}],\"completion_ms\":{}}},\
                  \"stats\":{{\"round1_warm\":{},\"round1_col_scans\":{},\
-                 \"total_col_scans\":{},\"service_ms\":{}}}}}",
+                 \"total_col_scans\":{},\"service_ms\":{}}}{trace_echo}}}",
                 ok.cache.as_str(),
                 ok.epoch,
                 ok.served_seq,
@@ -561,6 +587,20 @@ fn parse_fingerprint(s: &str) -> Result<u64, ProtocolError> {
     u64::from_str_radix(s, 16).map_err(|e| malformed(format!("bad fingerprint {s:?}: {e}")))
 }
 
+/// Parses the optional `trace` object (`{"id","span"}`, 16-hex ids).
+fn parse_trace(v: &Value) -> Result<Option<TraceContext>, ProtocolError> {
+    let Some(t) = v.get("trace") else {
+        return Ok(None);
+    };
+    let id = |key: &str| -> Result<u64, ProtocolError> {
+        t.get(key)
+            .and_then(Value::as_str)
+            .and_then(id_from_hex)
+            .ok_or_else(|| malformed(format!("trace.{key} must be 16 hex digits")))
+    };
+    Ok(Some(TraceContext::from_wire(id("id")?, id("span")?)))
+}
+
 /// Parses a request payload.
 pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
     let v = parse_value(payload)?;
@@ -594,6 +634,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                 matrix,
                 fingerprint,
                 qos,
+                trace: parse_trace(&v)?,
             }))
         }
         other => Err(malformed(format!("unknown request type {other:?}"))),
@@ -670,6 +711,14 @@ pub fn parse_response(payload: &[u8]) -> Result<PlanResponse, ProtocolError> {
                         total_col_scans: num_field(stats, "total_col_scans")? as u64,
                         service_ms: num_field(stats, "service_ms")?,
                     },
+                    trace_id: match v.get("trace_id") {
+                        None => None,
+                        Some(t) => Some(
+                            t.as_str()
+                                .and_then(id_from_hex)
+                                .ok_or_else(|| malformed("trace_id must be 16 hex digits"))?,
+                        ),
+                    },
                 })))
             }
             other => Err(malformed(format!("unknown response status {other:?}"))),
@@ -697,6 +746,7 @@ mod tests {
                 priority: 7,
                 critical_links: vec![(0, 2), (1, 0)],
             },
+            trace: Some(TraceContext::root("alice \"a\"", 0)),
         })
     }
 
@@ -713,8 +763,54 @@ mod tests {
             matrix: None,
             fingerprint: Some(3),
             qos: QosSpec::default(),
+            trace: None,
         });
         assert_eq!(parse_request(&encode_request(&probe)).unwrap(), probe);
+    }
+
+    #[test]
+    fn trace_field_is_version_tolerant() {
+        // An old client's request — no trace field — still parses, and
+        // parses to `trace: None` (the server will start a fresh root).
+        let old = br#"{"type":"plan","tenant":"t","algorithm":"greedy","fingerprint":"0000000000000003"}"#;
+        match parse_request(old).unwrap() {
+            Request::Plan(plan) => assert_eq!(plan.trace, None),
+            other => panic!("{other:?}"),
+        }
+        // A traced request round-trips its wire ids (the parent is a
+        // client-local detail and intentionally does not travel).
+        let ctx = TraceContext::root("tenant-x", 42);
+        let req = Request::Plan(PlanRequest {
+            tenant: "tenant-x".into(),
+            algorithm: "greedy".into(),
+            matrix: None,
+            fingerprint: Some(9),
+            qos: QosSpec::default(),
+            trace: Some(ctx),
+        });
+        match parse_request(&encode_request(&req)).unwrap() {
+            Request::Plan(plan) => {
+                let got = plan.trace.unwrap();
+                assert_eq!(got.trace_id, ctx.trace_id);
+                assert_eq!(got.span_id, ctx.span_id);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Corrupt trace ids are typed protocol errors, not panics.
+        let bad = br#"{"type":"plan","tenant":"t","algorithm":"a","fingerprint":"0000000000000003","trace":{"id":"xyz","span":"0000000000000001"}}"#;
+        assert!(matches!(
+            parse_request(bad).unwrap_err(),
+            ProtocolError::Malformed { .. }
+        ));
+        // Old-server responses (no trace_id) parse to None.
+        let resp = parse_response(
+            br#"{"type":"plan","status":"ok","cache":"cold","epoch":1,"served_seq":1,"plan":{"order":[[1],[0]],"completion_ms":1.0},"stats":{"round1_warm":false,"round1_col_scans":0,"total_col_scans":0,"service_ms":0.5}}"#,
+        )
+        .unwrap();
+        match resp {
+            PlanResponse::Ok(ok) => assert_eq!(ok.trace_id, None),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -741,6 +837,7 @@ mod tests {
                     total_col_scans: 512,
                     service_ms: 1.5,
                 },
+                trace_id: Some(0x0123_4567_89ab_cdef),
             })),
         ];
         for resp in responses {

@@ -25,10 +25,12 @@ use adaptcomm_core::schedule::SendOrder;
 use adaptcomm_directory::ShardedDirectory;
 use adaptcomm_model::cost::LinkEstimate;
 use adaptcomm_model::{Bandwidth, Millis, NetParams};
+use adaptcomm_obs::json::Value;
+use adaptcomm_obs::trace::TraceContext;
 use std::collections::BTreeMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,6 +42,30 @@ const REPLAY_EST_MS: f64 = 0.05;
 
 /// EWMA smoothing for per-`(algorithm, P)` service-time estimates.
 const EWMA_ALPHA: f64 = 0.3;
+
+/// Consecutive deadline rejections (no admit in between) that trigger a
+/// flight-recorder dump: one reject is load, a streak is an incident.
+const REJECT_STREAK_DUMP: u64 = 3;
+
+/// Trace-tree slots (see [`TraceContext::child`]): the client's root
+/// span forks admission and worker children; the worker forks cache
+/// and solve grandchildren. Fixed slots keep the ids recomputable.
+const SLOT_ADMISSION: u64 = 1;
+const SLOT_WORKER: u64 = 2;
+const SLOT_CACHE: u64 = 1;
+const SLOT_SOLVE: u64 = 2;
+
+/// Per-tenant metric key. The tenant segment goes through
+/// [`adaptcomm_obs::prom_name`] so a hostile tenant name cannot smuggle
+/// dots or control characters into the metric namespace — which also
+/// makes the key parseable again: [`tenants_json`] splits on the dots
+/// *around* the sanitized segment.
+fn tenant_metric(tenant: &str, aspect: &str) -> String {
+    format!(
+        "plansrv.tenant.{}.{aspect}",
+        adaptcomm_obs::prom_name(tenant)
+    )
+}
 
 /// Tuning knobs for [`PlanServer`].
 #[derive(Debug, Clone)]
@@ -93,6 +119,9 @@ struct Job {
     request: PlanRequest,
     work: Work,
     reply: mpsc::Sender<WorkerReply>,
+    /// When admission queued the job — the deadline verdict measures
+    /// queue wait plus service, which is what the client experiences.
+    submitted: Instant,
 }
 
 struct WorkerReply {
@@ -120,6 +149,9 @@ pub struct PlanService {
     estimates: Mutex<BTreeMap<(String, usize), f64>>,
     tenant_fp: Mutex<BTreeMap<String, u64>>,
     queue: AdmissionQueue<Job>,
+    /// Consecutive deadline rejections since the last admit; at
+    /// [`REJECT_STREAK_DUMP`] the flight recorder auto-dumps.
+    reject_streak: AtomicU64,
 }
 
 impl PlanService {
@@ -130,6 +162,7 @@ impl PlanService {
             estimates: Mutex::new(BTreeMap::new()),
             tenant_fp: Mutex::new(BTreeMap::new()),
             queue: AdmissionQueue::new(),
+            reject_streak: AtomicU64::new(0),
             config,
         }
     }
@@ -182,7 +215,17 @@ impl PlanService {
             });
         }
         let obs = adaptcomm_obs::global();
-        obs.add(&format!("plansrv.tenant.{}.requests", request.tenant), 1);
+        obs.add(&tenant_metric(&request.tenant, "requests"), 1);
+        let _admission_span = {
+            let mut s = obs
+                .span("plansrv.admission")
+                .attr("tenant", request.tenant.as_str())
+                .attr("algorithm", request.algorithm.as_str());
+            if let Some(ctx) = request.trace {
+                s = s.trace(ctx.child(SLOT_ADMISSION));
+            }
+            s
+        };
 
         // Resolve into replay-vs-solve and estimate the service time.
         let (work, est_ms) = match (&request.matrix, request.fingerprint) {
@@ -232,10 +275,12 @@ impl PlanService {
                 request: request.clone(),
                 work,
                 reply,
+                submitted: Instant::now(),
             },
         );
         match submitted {
             Ok(_seq) => {
+                self.reject_streak.store(0, Ordering::Relaxed);
                 obs.gauge_set("plansrv.queue_depth", self.queue.depth() as f64);
                 Ok(())
             }
@@ -243,7 +288,20 @@ impl PlanService {
                 retry_after_ms,
                 projected_ms,
             }) => {
-                obs.add(&format!("plansrv.tenant.{}.rejected", request.tenant), 1);
+                obs.add(&tenant_metric(&request.tenant, "rejected"), 1);
+                adaptcomm_obs::flight()
+                    .note("plansrv.reject")
+                    .attr("tenant", request.tenant.as_str())
+                    .attr("projected_ms", projected_ms)
+                    .attr("retry_after_ms", retry_after_ms)
+                    .emit();
+                // A lone rejection is load shedding doing its job; a
+                // streak with no admit in between is an incident worth
+                // a black-box dump (no-op unless a driver armed it).
+                let streak = self.reject_streak.fetch_add(1, Ordering::Relaxed) + 1;
+                if streak == REJECT_STREAK_DUMP {
+                    adaptcomm_obs::flight().auto_dump("plansrv-reject-streak");
+                }
                 Err(PlanResponse::Rejected {
                     retry_after_ms,
                     detail: format!(
@@ -280,23 +338,38 @@ impl PlanService {
         self.directory.epoch(tenant)
     }
 
-    /// Executes one claimed job on a worker thread.
-    fn compute(&self, request: &PlanRequest, work: &Work) -> Result<ComputedPlan, String> {
+    /// Executes one claimed job on a worker thread. `ctx` is the
+    /// worker's trace context (the request root's [`SLOT_WORKER`]
+    /// child); cache lookups and solves record as its children.
+    fn compute(
+        &self,
+        request: &PlanRequest,
+        work: &Work,
+        ctx: Option<TraceContext>,
+    ) -> Result<ComputedPlan, String> {
         let obs = adaptcomm_obs::global();
         let (matrix, order, cache, round1_warm, round1_col_scans, total_col_scans) = match work {
             Work::Replay { order, matrix } => {
-                obs.add(&format!("plansrv.tenant.{}.cache_hit", request.tenant), 1);
+                obs.add(&tenant_metric(&request.tenant, "cache_hit"), 1);
                 (matrix, order.clone(), CacheDisposition::Hit, false, 0, 0)
             }
             Work::Solve { matrix } => {
-                let lookup = self
-                    .cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .lookup(&request.algorithm, matrix);
+                let lookup = {
+                    let mut s = obs
+                        .span("plansrv.cache_lookup")
+                        .attr("algorithm", request.algorithm.as_str());
+                    if let Some(c) = ctx {
+                        s = s.trace(c.child(SLOT_CACHE));
+                    }
+                    let _guard = s;
+                    self.cache
+                        .lock()
+                        .expect("cache poisoned")
+                        .lookup(&request.algorithm, matrix)
+                };
                 match lookup {
                     CacheLookup::Hit(order) => {
-                        obs.add(&format!("plansrv.tenant.{}.cache_hit", request.tenant), 1);
+                        obs.add(&tenant_metric(&request.tenant, "cache_hit"), 1);
                         (matrix, order, CacheDisposition::Hit, false, 0, 0)
                     }
                     other => {
@@ -304,6 +377,16 @@ impl PlanService {
                             CacheLookup::Warm { seed, .. } => (Some(seed), None),
                             CacheLookup::Incremental { plan, .. } => (None, Some(plan)),
                             _ => (None, None),
+                        };
+                        let solve_span = {
+                            let mut s = obs
+                                .span("plansrv.solve")
+                                .attr("algorithm", request.algorithm.as_str())
+                                .attr("p", matrix.len());
+                            if let Some(c) = ctx {
+                                s = s.trace(c.child(SLOT_SOLVE));
+                            }
+                            s
                         };
                         if let Some(pace) = self.config.pace {
                             std::thread::sleep(pace);
@@ -314,7 +397,9 @@ impl PlanService {
                             seed.as_deref(),
                             prev.as_deref(),
                             self.config.threads,
-                        )?;
+                        );
+                        drop(solve_span);
+                        let solved = solved?;
                         // The wire disposition reports what the solver
                         // actually did: a retained plan whose hi/dims
                         // drifted falls back to a warm full build and
@@ -329,7 +414,7 @@ impl PlanService {
                             CacheDisposition::Warm => "cache_warm",
                             _ => "cache_miss",
                         };
-                        obs.add(&format!("plansrv.tenant.{}.{name}", request.tenant), 1);
+                        obs.add(&tenant_metric(&request.tenant, name), 1);
                         self.cache.lock().expect("cache poisoned").insert(
                             &request.algorithm,
                             matrix,
@@ -373,15 +458,38 @@ impl PlanService {
         while let Some(claimed) = self.queue.pop() {
             let t0 = Instant::now();
             let job = claimed.payload;
-            let outcome = self.compute(&job.request, &job.work);
+            let ctx = job.request.trace.map(|t| t.child(SLOT_WORKER));
+            let worker_span = {
+                let mut s = obs
+                    .span("plansrv.worker")
+                    .attr("tenant", job.request.tenant.as_str())
+                    .attr("algorithm", job.request.algorithm.as_str());
+                if let Some(c) = ctx {
+                    s = s.trace(c);
+                }
+                s
+            };
+            let outcome = self.compute(&job.request, &job.work, ctx);
+            drop(worker_span);
             let service_ms = t0.elapsed().as_secs_f64() * 1e3;
             let served_seq = self.queue.complete(claimed.est_ms);
             obs.gauge_set("plansrv.queue_depth", self.queue.depth() as f64);
             obs.observe(
-                &format!("plansrv.tenant.{}.latency_ms", job.request.tenant),
+                &tenant_metric(&job.request.tenant, "latency_ms"),
                 adaptcomm_obs::MS_BUCKETS,
                 service_ms,
             );
+            // The deadline verdict is queue wait + service — what the
+            // client experiences — not service time alone.
+            if let Some(deadline) = job.request.qos.deadline_ms {
+                let total_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+                let aspect = if total_ms <= deadline {
+                    "deadline_hit"
+                } else {
+                    "deadline_miss"
+                };
+                obs.add(&tenant_metric(&job.request.tenant, aspect), 1);
+            }
             if let (Ok(plan), Work::Solve { matrix }) = (&outcome, &job.work) {
                 if plan.cache != CacheDisposition::Hit {
                     self.learn_estimate(&job.request.algorithm, matrix.len(), service_ms);
@@ -707,6 +815,7 @@ fn serve_frame(
             false
         }
         Request::Plan(plan) => {
+            let trace_id = plan.trace.map(|t| t.trace_id);
             let (tx, rx) = mpsc::channel();
             let response = match service.admit(plan, tx) {
                 Err(immediate) => immediate,
@@ -722,6 +831,7 @@ fn serve_frame(
                             cache: plan.cache,
                             epoch: plan.epoch,
                             served_seq: reply.served_seq,
+                            trace_id,
                             stats: PlanStats {
                                 round1_warm: plan.round1_warm,
                                 round1_col_scans: plan.round1_col_scans,
@@ -741,4 +851,102 @@ fn serve_frame(
 fn respond(stream: &mut TcpStream, response: &PlanResponse) {
     let payload = proto::encode_response(response);
     let _ = adaptcomm_runtime::tcp::write_frame(stream, proto::PROTO_VERSION, &payload);
+}
+
+/// Renders the `/tenants` scrape document from a registry snapshot:
+/// one JSON object per tenant with request/reject counters, cache
+/// dispositions, the deadline-hit ratio, and a latency digest.
+///
+/// Tenant names in metric keys are [`adaptcomm_obs::prom_name`]
+/// sanitized (see [`tenant_metric`]), so the segment between
+/// `plansrv.tenant.` and the final `.aspect` never contains a dot and
+/// parses back unambiguously. The document is built as an
+/// [`adaptcomm_obs::json::Value`], so it always re-parses with the same
+/// crate's parser.
+pub fn tenants_json(snap: &adaptcomm_obs::Snapshot) -> String {
+    #[derive(Default)]
+    struct Tenant {
+        counters: BTreeMap<String, u64>,
+        latency: Option<(u64, f64, f64)>, // count, sum_ms, p95_ms
+    }
+
+    fn split_key(name: &str) -> Option<(&str, &str)> {
+        name.strip_prefix("plansrv.tenant.")?.split_once('.')
+    }
+
+    let mut tenants: BTreeMap<String, Tenant> = BTreeMap::new();
+    for c in &snap.counters {
+        if let Some((tenant, aspect)) = split_key(&c.name) {
+            tenants
+                .entry(tenant.to_string())
+                .or_default()
+                .counters
+                .insert(aspect.to_string(), c.value);
+        }
+    }
+    for h in &snap.histograms {
+        let Some((tenant, "latency_ms")) = split_key(&h.name) else {
+            continue;
+        };
+        // p95 from the cumulative buckets: the first bound covering
+        // 95% of observations, saturating at the last bound when the
+        // mass sits in the overflow bucket.
+        let want = (0.95 * h.count as f64).ceil() as u64;
+        let mut cum = 0;
+        let mut p95 = *h.bounds.last().unwrap_or(&0.0);
+        for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+            cum += bucket;
+            if cum >= want {
+                p95 = *bound;
+                break;
+            }
+        }
+        tenants.entry(tenant.to_string()).or_default().latency = Some((h.count, h.sum, p95));
+    }
+
+    let num = |v: u64| Value::Num(v as f64);
+    let rows: Vec<Value> = tenants
+        .into_iter()
+        .map(|(name, t)| {
+            let count = |aspect: &str| t.counters.get(aspect).copied().unwrap_or(0);
+            let (dl_hit, dl_miss) = (count("deadline_hit"), count("deadline_miss"));
+            let hit_ratio = if dl_hit + dl_miss > 0 {
+                Value::Num(dl_hit as f64 / (dl_hit + dl_miss) as f64)
+            } else {
+                Value::Null // no deadline-bound requests: no verdict
+            };
+            let latency = match t.latency {
+                Some((n, sum, p95)) if n > 0 => Value::Obj(vec![
+                    ("count".into(), num(n)),
+                    ("mean_ms".into(), Value::Num(sum / n as f64)),
+                    ("p95_ms".into(), Value::Num(p95)),
+                ]),
+                _ => Value::Null,
+            };
+            Value::Obj(vec![
+                ("name".into(), Value::Str(name)),
+                ("requests".into(), num(count("requests"))),
+                ("rejected".into(), num(count("rejected"))),
+                (
+                    "cache".into(),
+                    Value::Obj(vec![
+                        ("hit".into(), num(count("cache_hit"))),
+                        ("incremental".into(), num(count("cache_incremental"))),
+                        ("warm".into(), num(count("cache_warm"))),
+                        ("miss".into(), num(count("cache_miss"))),
+                    ]),
+                ),
+                (
+                    "deadline".into(),
+                    Value::Obj(vec![
+                        ("hit".into(), num(dl_hit)),
+                        ("miss".into(), num(dl_miss)),
+                        ("hit_ratio".into(), hit_ratio),
+                    ]),
+                ),
+                ("latency_ms".into(), latency),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![("tenants".into(), Value::Arr(rows))]).to_json()
 }

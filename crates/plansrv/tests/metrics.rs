@@ -1,0 +1,141 @@
+//! Per-tenant metrics hygiene: hostile tenant names must come out of
+//! the server as sanitized, line-disciplined metric keys, and the
+//! `/tenants` JSON built from them must parse with the same crate's
+//! JSON parser.
+//!
+//! This test owns its binary because it enables the process-global
+//! registry; sharing a binary with other integration tests would leak
+//! that state across threads.
+
+use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_obs::json::Value;
+use adaptcomm_obs::{prom_name, Registry, MS_BUCKETS};
+use adaptcomm_plansrv::server::{tenants_json, PlanServer, PlanServerConfig};
+use adaptcomm_plansrv::{PlanClient, PlanResponse, QosSpec};
+
+/// A tenant name chosen to punish any unsanitized metric emitter:
+/// quotes, a newline, JSON braces, non-ASCII, and dots.
+const HOSTILE_TENANT: &str = "alice \"a\"/链路\n{x.y}";
+
+#[test]
+fn pathological_tenant_names_round_trip_through_the_metric_pipeline() {
+    let obs = adaptcomm_obs::global();
+    obs.clear();
+    obs.set_enabled(true);
+
+    let server = PlanServer::bind("127.0.0.1:0", PlanServerConfig::default()).unwrap();
+    let mut client = PlanClient::connect(server.local_addr()).unwrap();
+    let matrix = CommMatrix::from_fn(4, |s, d| if s == d { 0.0 } else { (s * 4 + d) as f64 });
+
+    let first = client
+        .plan(HOSTILE_TENANT, "matching-max", &matrix, QosSpec::default())
+        .unwrap();
+    assert!(matches!(first, PlanResponse::Ok(_)), "{first:?}");
+    // A generous deadline on the replay: a deadline_hit counter.
+    let qos = QosSpec {
+        deadline_ms: Some(60_000.0),
+        ..QosSpec::default()
+    };
+    let second = client
+        .plan(HOSTILE_TENANT, "matching-max", &matrix, qos)
+        .unwrap();
+    assert!(matches!(second, PlanResponse::Ok(_)), "{second:?}");
+    server.shutdown();
+
+    let snap = obs.snapshot();
+    obs.set_enabled(false);
+
+    // The sanitized key is derivable from the tenant name alone.
+    let key = format!("plansrv.tenant.{}.requests", prom_name(HOSTILE_TENANT));
+    assert_eq!(snap.counter(&key), Some(2), "missing {key:?}");
+    // No per-tenant key carries raw hostile bytes: the tenant segment
+    // between `plansrv.tenant.` and the final `.aspect` is already
+    // Prometheus-clean (its own sanitization is a fixed point).
+    for c in snap
+        .counters
+        .iter()
+        .filter(|c| c.name.starts_with("plansrv.tenant."))
+    {
+        let segment = c.name["plansrv.tenant.".len()..].split_once('.').unwrap().0;
+        assert_eq!(segment, prom_name(segment), "unsanitized key {:?}", c.name);
+    }
+    let prom = snap.to_prometheus();
+    assert!(prom
+        .bytes()
+        .all(|b| b == b'\n' || (!b.is_ascii_control() && b.is_ascii())));
+
+    // The /tenants document parses with this workspace's own parser and
+    // aggregates the hostile tenant under its sanitized name.
+    let doc = Value::parse(&tenants_json(&snap)).expect("tenants JSON must parse");
+    let tenants = doc.get("tenants").and_then(Value::as_arr).unwrap();
+    let row = tenants
+        .iter()
+        .find(|t| t.get("name").and_then(Value::as_str) == Some(&prom_name(HOSTILE_TENANT)))
+        .expect("hostile tenant row");
+    assert_eq!(row.get("requests").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        row.get("cache")
+            .and_then(|c| c.get("hit"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    let deadline = row.get("deadline").unwrap();
+    assert_eq!(deadline.get("hit").and_then(Value::as_u64), Some(1));
+    assert_eq!(deadline.get("hit_ratio").and_then(Value::as_f64), Some(1.0));
+    assert!(
+        row.get("latency_ms")
+            .and_then(|l| l.get("count"))
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 2
+    );
+}
+
+#[test]
+fn tenants_json_aggregates_and_digests_deterministically() {
+    // Deterministic aggregation over a hand-fed local registry: no
+    // server, no global state.
+    let reg = Registry::new();
+    reg.add("plansrv.tenant.alice.requests", 10);
+    reg.add("plansrv.tenant.alice.rejected", 2);
+    reg.add("plansrv.tenant.alice.cache_miss", 3);
+    reg.add("plansrv.tenant.alice.deadline_hit", 3);
+    reg.add("plansrv.tenant.alice.deadline_miss", 1);
+    for _ in 0..19 {
+        reg.observe("plansrv.tenant.alice.latency_ms", MS_BUCKETS, 0.4);
+    }
+    reg.observe("plansrv.tenant.alice.latency_ms", MS_BUCKETS, 900.0);
+    reg.add("plansrv.tenant.bob.requests", 1);
+    reg.add("plansrv.unrelated", 7); // not tenant-shaped: ignored
+
+    let doc = Value::parse(&tenants_json(&reg.snapshot())).unwrap();
+    let tenants = doc.get("tenants").and_then(Value::as_arr).unwrap();
+    assert_eq!(tenants.len(), 2);
+
+    let alice = &tenants[0];
+    assert_eq!(alice.get("name").and_then(Value::as_str), Some("alice"));
+    assert_eq!(alice.get("requests").and_then(Value::as_u64), Some(10));
+    assert_eq!(alice.get("rejected").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        alice
+            .get("deadline")
+            .and_then(|d| d.get("hit_ratio"))
+            .and_then(Value::as_f64),
+        Some(0.75)
+    );
+    let latency = alice.get("latency_ms").unwrap();
+    assert_eq!(latency.get("count").and_then(Value::as_u64), Some(20));
+    // 19 of 20 observations sit at 0.4 ms; the p95 bound must cover
+    // them without jumping to the 900 ms outlier's bucket.
+    let p95 = latency.get("p95_ms").and_then(Value::as_f64).unwrap();
+    assert!((0.4..10.0).contains(&p95), "p95 {p95}");
+
+    let bob = &tenants[1];
+    assert_eq!(bob.get("name").and_then(Value::as_str), Some("bob"));
+    // No deadline-bound requests: the ratio is null, not a made-up 1.0.
+    assert_eq!(
+        bob.get("deadline").and_then(|d| d.get("hit_ratio")),
+        Some(&Value::Null)
+    );
+    assert_eq!(bob.get("latency_ms"), Some(&Value::Null));
+}

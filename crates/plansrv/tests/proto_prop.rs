@@ -4,6 +4,7 @@
 //! [`ProtocolError`].
 
 use adaptcomm_core::matrix::CommMatrix;
+use adaptcomm_obs::trace::TraceContext;
 use adaptcomm_plansrv::proto::{
     encode_request, frame, parse_request, parse_response, FrameReader, PlanRequest, ProtocolError,
     QosSpec, Request, MAX_FRAME, PROTO_VERSION,
@@ -52,6 +53,12 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                             Some(fingerprint)
                         },
                         qos,
+                        // Traced and untraced requests both round-trip.
+                        trace: if variant & 1 == 0 {
+                            Some(TraceContext::root(&format!("tenant-{}", variant), priority))
+                        } else {
+                            None
+                        },
                     })
                 },
             )

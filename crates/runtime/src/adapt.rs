@@ -574,6 +574,15 @@ impl<'a> CheckpointedRun<'a> {
                     .attr("kind", kind)
                     .emit();
             }
+            // Replans are the adaptation signal for faults that degrade
+            // rather than kill (lying links, drift): the black box
+            // records them even with observability disabled.
+            adaptcomm_obs::flight()
+                .note("runtime.replan")
+                .attr("now_ms", view.now.as_ms())
+                .attr("cost_delta_ms", seg_obs - seg_plan)
+                .attr("kind", kind)
+                .emit();
             if let Some(t) = telemetry.as_mut() {
                 t.checkpoint(
                     view.now.as_ms(),
@@ -778,6 +787,12 @@ impl<'a> CheckpointedRun<'a> {
                             .attr("unparked", parked.len() as u64)
                             .emit();
                     }
+                    adaptcomm_obs::flight()
+                        .note("runtime.heal")
+                        .attr("at_ms", wake)
+                        .attr("probes", probes as u64)
+                        .attr("unparked", parked.len() as u64)
+                        .emit();
                     // Merge-and-replan: the parked traffic becomes the
                     // remaining exchange, starting at the heal instant.
                     let mut remaining = vec![Vec::new(); p];
@@ -911,6 +926,18 @@ impl<'a> CheckpointedRun<'a> {
                             .attr("parked", newly_parked as u64)
                             .emit();
                     }
+                    // The black box records the fault even when nobody
+                    // enabled observability, and dumps if a driver
+                    // armed auto-dumps (chaos CLI, plan server).
+                    adaptcomm_obs::flight()
+                        .note("runtime.fault")
+                        .attr("kind", kind.name())
+                        .attr("src", fsrc as u64)
+                        .attr("dst", fdst as u64)
+                        .attr("at_ms", failure.at.as_ms())
+                        .attr("parked", newly_parked as u64)
+                        .emit();
+                    adaptcomm_obs::flight().auto_dump("runtime-fault");
                     // Replan the reachable remainder from the refreshed
                     // directory and resume at the failure instant.
                     let fresh = self.directory.snapshot();

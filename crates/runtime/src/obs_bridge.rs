@@ -64,6 +64,7 @@ pub fn record_transfers(trace: &RunTrace, registry: &Registry) -> usize {
                         ("bytes".to_string(), e.bytes.as_u64().into()),
                         ("modeled_ms".to_string(), e.modeled.as_ms().into()),
                     ],
+                    trace: None,
                 });
                 spans += 1;
             }
