@@ -11,7 +11,9 @@
 //! (`plansrv-cold` / `plansrv-hit` / `plansrv-warm`), plus an
 //! `obs-overhead` cell (the `P = 256` matching-max replay with the
 //! observability registry and flight recorder recording — the
-//! enabled-path tax, gated like any other cell), and reports
+//! enabled-path tax, gated like any other cell), plus an
+//! `explain-overhead` cell (the causal analyzer — DAG, critical path,
+//! blame, top-5 what-ifs — over a realized `P = 256` run), and reports
 //! median/p90 wall milliseconds per `(scheduler, P)` cell:
 //!
 //! * **Full mode** (default): `P ∈ {64, 128, 256, 512, 1024}`, 5 timed
@@ -352,6 +354,50 @@ fn main() {
             "obs-overhead", p, stats.median_ms, stats.p90_ms, reps
         );
         report.insert("obs-overhead", p, stats);
+    }
+
+    // The explain-plane tax: the causal analyzer over a realized
+    // P = 256 run (~65k transfers) — DAG construction, the critical
+    // path, the blame table, and the top-5 what-if projections, i.e.
+    // exactly what `adaptcomm explain` does to a capture. Gated like
+    // every other cell, so "interactive on real captures" stays an
+    // enforced property rather than an aspiration.
+    {
+        let p = 256;
+        let matrix = instance_matrix(p);
+        let scheduler = all_schedulers_threaded(opts.threads)
+            .into_iter()
+            .find(|s| s.name() == "matching-max")
+            .expect("matching-max is always registered");
+        let order = scheduler.send_order(&matrix);
+        let schedule = adaptcomm_core::execution::execute_listed(&order, &matrix);
+        let transfers: Vec<adaptcomm_obs::causal::Transfer> = schedule
+            .events()
+            .iter()
+            .map(|e| adaptcomm_obs::causal::Transfer {
+                src: e.src,
+                dst: e.dst,
+                start_ms: e.start.as_ms(),
+                dur_ms: e.duration().as_ms(),
+            })
+            .collect();
+        let analyze = |transfers: &[adaptcomm_obs::causal::Transfer]| {
+            let dag = adaptcomm_obs::causal::CausalDag::new(transfers.to_vec());
+            dag.critical_path().len() ^ dag.blame().links.len() ^ dag.interventions(2.0, 5).len()
+        };
+        sink ^= analyze(&transfers); // untimed warm-up
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let (ms, token) = time_one(|| analyze(&transfers));
+            sink ^= token;
+            samples.push(ms);
+        }
+        let stats = PerfStats::from_samples(&samples);
+        println!(
+            "{:<14} P={:<5} median {:>10.3} ms   p90 {:>10.3} ms   ({} reps)",
+            "explain-overhead", p, stats.median_ms, stats.p90_ms, reps
+        );
+        report.insert("explain-overhead", p, stats);
     }
 
     if opts.quick {

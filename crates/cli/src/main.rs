@@ -107,12 +107,14 @@ USAGE:
       through obs-summary.
 
   adaptcomm top --input <status.json> [--interval <ms>] [--frames <N>]
-                [--once]
+                [--once] [--capture <obs.jsonl>]
       Watch a running `run --adapt --status <path>` live in the
       terminal: progress, replan events, grant-queue depth, and
       per-link health with sparkline bandwidth history. Refreshes every
       --interval ms (default 250) until the run reports `done`; --once
       renders a single frame and exits (non-interactive / CI).
+      --capture points at an obs dump of the run; each frame then ends
+      with a `slowest link` blame line from the explain-plane analyzer.
 
   adaptcomm report --input <obs dump> --html <out.html> [--title <text>]
       Render an observability dump (JSONL or Chrome trace) as a
@@ -126,6 +128,31 @@ USAGE:
       stream, including flight-recorder dumps), `.prom`/`.txt`
       (Prometheus text), `.json`/`.trace` (Chrome trace). Unknown
       extensions are a typed error naming the supported ones.
+
+  adaptcomm explain (--input <obs dump> | --matrix <file.csv> |
+                     --scenario <name> --p <N>) [--seed <u64>] [--n <dim>]
+                     [--algorithm <name>] [--k <speedup>] [--top <N>]
+                     [--capture <out.jsonl>]
+      Explain where a run's completion time comes from. Builds the
+      blocking-dependency DAG of the run — from a captured obs dump
+      (JSONL or Chrome trace with transfer spans), a matrix scheduled
+      with --algorithm (default openshop), or a generated scenario —
+      and prints the critical path, the per-link/per-processor blame
+      table, a slack histogram, and a COZ-style what-if table: the
+      top --top (default 5) links ranked by how much speeding each one
+      --k x (default 2) would move the completion, with realized port
+      orders held fixed (no re-simulation). --capture writes the
+      analyzed transfers back out as a deterministic JSONL capture
+      (bit-identical across runs; feed it to obs-diff or report).
+
+  adaptcomm obs-diff --base <dump> --head <dump> [--fail-over <pct>]
+      Diff two captures. Spans are aligned per (phase, track) in start
+      order and summed over aligned pairs, so truncation skews counts,
+      not totals; transfer spans also aggregate per link. Prints
+      per-phase and per-link deltas plus the worst regression line.
+      With --fail-over, exits nonzero when the worst regression
+      exceeds <pct> percent — wire it under perfgate to say *where* a
+      regression lives, not just that one exists.
 
   adaptcomm obs-merge --out <trace.json> --inputs <a.jsonl,b.jsonl,..>
       Merge per-process JSONL captures into one Chrome trace, one
@@ -208,6 +235,8 @@ fn run() -> Result<(), String> {
         "chaos" => chaos_run(&opts),
         "top" => top_live(&opts),
         "report" => report_html(&opts),
+        "explain" => explain(&opts),
+        "obs-diff" => obs_diff(&opts),
         "obs-summary" => obs_summary(&opts),
         "obs-merge" => obs_merge(&opts),
         "plan-server" => plan_server(&opts),
@@ -291,6 +320,17 @@ fn top_live(opts: &args::Options) -> Result<(), String> {
     let once = opts.flag("once");
     let interval_ms: u64 = opts.parsed_or("interval", 250)?;
     let max_frames: u64 = opts.parsed_or("frames", 0)?; // 0 = until done
+                                                        // With --capture, every frame ends with a "slowest link" blame line
+                                                        // from the explain-plane analyzer (computed once; the capture is a
+                                                        // finished dump, not the live status file).
+    let blame = match opts.get("capture") {
+        Some(cpath) => {
+            let text =
+                std::fs::read_to_string(&cpath).map_err(|e| format!("reading {cpath}: {e}"))?;
+            Some(top::blame_line(&text)?)
+        }
+        None => None,
+    };
     let mut rendered = 0u64;
     loop {
         let text = match std::fs::read_to_string(&path) {
@@ -310,6 +350,9 @@ fn top_live(opts: &args::Options) -> Result<(), String> {
             print!("\x1b[2J\x1b[H");
         }
         print!("{frame}");
+        if let Some(line) = &blame {
+            println!("{line}");
+        }
         rendered += 1;
         let done = doc
             .get("state")
@@ -332,6 +375,224 @@ fn report_html(opts: &args::Options) -> Result<(), String> {
     let html = adaptcomm_obs::report::html_report(&text, &title)?;
     std::fs::write(&out_path, &html).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("wrote {out_path} ({} bytes)", html.len());
+    Ok(())
+}
+
+/// `adaptcomm explain`: critical-path blame, slack, and what-if
+/// projections for a capture or an analytic schedule.
+fn explain(opts: &args::Options) -> Result<(), String> {
+    use adaptcomm_obs::causal::{transfers_from_text, CausalDag};
+
+    let k: f64 = opts.parsed_or("k", 2.0)?;
+    if k < 1.0 {
+        return Err("--k is a speedup factor and must be >= 1".into());
+    }
+    let top_k: usize = opts.parsed_or("top", 5)?;
+
+    // The run under analysis: a capture, or an analytic schedule (which
+    // also knows the matrix lower bound, so the gap can be reported).
+    let (dag, lower_bound_ms, label) = if let Some(path) = opts.get("input") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let transfers = transfers_from_text(&text)?;
+        if transfers.is_empty() {
+            return Err(format!(
+                "{path} holds no transfer spans (spans with src/dst attrs); \
+                 capture a run with --obs <path.jsonl> first"
+            ));
+        }
+        (CausalDag::new(transfers), None, path)
+    } else {
+        let matrix = if opts.get("matrix").is_some() {
+            load_matrix(opts)?
+        } else if let Some(name) = opts.get("scenario") {
+            let p: usize = opts.require_parsed("p")?;
+            let seed: u64 = opts.parsed_or("seed", 0)?;
+            let n: usize = opts.parsed_or("n", p * 8)?;
+            scenario_by_name(&name, n)?.instance(p, seed).matrix
+        } else {
+            return Err(
+                "give --input <obs dump>, --matrix <file.csv>, or --scenario <name> --p <N>".into(),
+            );
+        };
+        let algorithm = opts.get("algorithm").unwrap_or_else(|| "openshop".into());
+        let schedule = scheduler_by_name(&algorithm)?.schedule(&matrix);
+        let label = format!("{algorithm} schedule, P = {}", matrix.len());
+        (
+            adaptcomm_core::analyze::dag_of(&schedule),
+            Some(matrix.lower_bound().as_ms()),
+            label,
+        )
+    };
+
+    println!(
+        "explain: {label} | {} transfer(s) | completion {:.3} ms",
+        dag.transfers().len(),
+        dag.completion_ms()
+    );
+    if let Some(lb) = lower_bound_ms {
+        let gap = if lb > 0.0 {
+            (dag.completion_ms() / lb - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        println!("lower bound: {lb:.3} ms | gap above t_lb: {gap:.2}%");
+    }
+
+    let path = dag.critical_path();
+    println!(
+        "critical path: {} hop(s) explaining all {:.3} ms",
+        path.len(),
+        dag.completion_ms()
+    );
+    println!(
+        "  {:>4} {:>4} {:>12} {:>10} {:>10} {:>12}",
+        "src", "dst", "start(ms)", "dur(ms)", "wait(ms)", "contrib(ms)"
+    );
+    for step in &path {
+        let t = step.transfer;
+        println!(
+            "  {:>4} {:>4} {:>12.3} {:>10.3} {:>10.3} {:>12.3}",
+            t.src, t.dst, t.start_ms, t.dur_ms, step.wait_ms, step.contribution_ms
+        );
+    }
+
+    let blame = dag.blame();
+    println!("blame (critical-path time per link):");
+    println!(
+        "  {:>8} {:>10} {:>10} {:>5} {:>7}",
+        "link", "busy(ms)", "wait(ms)", "hops", "share%"
+    );
+    for l in &blame.links {
+        println!(
+            "  {:>8} {:>10.3} {:>10.3} {:>5} {:>7.1}",
+            format!("{}->{}", l.src, l.dst),
+            l.busy_ms,
+            l.wait_ms,
+            l.hops,
+            if blame.completion_ms > 0.0 {
+                l.busy_ms / blame.completion_ms * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+    println!("processors on the path:");
+    println!("  {:>5} {:>10} {:>10}", "proc", "send(ms)", "recv(ms)");
+    for p in &blame.procs {
+        println!("  {:>5} {:>10.3} {:>10.3}", p.proc, p.send_ms, p.recv_ms);
+    }
+
+    print!("{}", render_slack_histogram(&dag));
+
+    println!("what-if (one link {k:.1}x faster, realized port orders fixed):");
+    println!(
+        "  {:>8} {:>14} {:>11}",
+        "link", "predicted(ms)", "delta(ms)"
+    );
+    for w in dag.interventions(k, top_k.max(1)) {
+        println!(
+            "  {:>8} {:>14.3} {:>11.3}",
+            format!("{}->{}", w.src, w.dst),
+            w.predicted_ms,
+            w.delta_ms
+        );
+    }
+
+    // A deterministic re-emission of the analyzed transfers: timestamps
+    // are rounded to whole microseconds from the modeled times, so two
+    // generations of the same run are bit-identical (the committed
+    // self-diff fixtures depend on this).
+    if let Some(out) = opts.get("capture") {
+        let snap = synthetic_capture(dag.transfers());
+        std::fs::write(&out, snap.to_jsonl()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out} ({} transfer span(s))", dag.transfers().len());
+    }
+    Ok(())
+}
+
+/// The slack histogram block of `explain`: how much headroom each
+/// transfer has before the completion time moves, bucketed as a
+/// fraction of the completion time.
+fn render_slack_histogram(dag: &adaptcomm_obs::causal::CausalDag) -> String {
+    let slack = dag.slack();
+    let comp = dag.completion_ms();
+    const EDGES: [f64; 5] = [0.01, 0.05, 0.10, 0.25, 0.50];
+    let mut counts = [0usize; 7]; // [critical, <=1%, <=5%, <=10%, <=25%, <=50%, >50%]
+    for &s in &slack {
+        if s <= 0.0 {
+            counts[0] += 1;
+        } else {
+            let frac = if comp > 0.0 { s / comp } else { 0.0 };
+            let idx = EDGES.iter().position(|&e| frac <= e).unwrap_or(5);
+            counts[idx + 1] += 1;
+        }
+    }
+    let labels = [
+        "0 (critical)".to_string(),
+        "<=  1%".to_string(),
+        "<=  5%".to_string(),
+        "<= 10%".to_string(),
+        "<= 25%".to_string(),
+        "<= 50%".to_string(),
+        " > 50%".to_string(),
+    ];
+    let peak = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::from("slack histogram (headroom as % of completion):\n");
+    for (label, &n) in labels.iter().zip(&counts) {
+        let bar = "#".repeat((n * 40).div_ceil(peak).min(40) * usize::from(n > 0));
+        out.push_str(&format!("  {label:>12}: {n:>5} {bar}\n"));
+    }
+    out
+}
+
+/// The `--capture` output of `explain`: the analyzed transfers as
+/// `transfer` spans in the exact shape `runtime::obs_bridge` records,
+/// with whole-microsecond timestamps so the emission is deterministic.
+fn synthetic_capture(transfers: &[adaptcomm_obs::causal::Transfer]) -> adaptcomm_obs::Snapshot {
+    use adaptcomm_obs::{AttrValue, Event, Snapshot, SpanRecord};
+    Snapshot {
+        events: transfers
+            .iter()
+            .map(|t| {
+                Event::Span(SpanRecord {
+                    name: "transfer".into(),
+                    tid: t.src as u64 + 1,
+                    start_us: (t.start_ms * 1_000.0).round() as u64,
+                    dur_us: (t.dur_ms * 1_000.0).round() as u64,
+                    attrs: vec![
+                        ("src".into(), AttrValue::U64(t.src as u64)),
+                        ("dst".into(), AttrValue::U64(t.dst as u64)),
+                    ],
+                    trace: None,
+                })
+            })
+            .collect(),
+        ..Default::default()
+    }
+}
+
+/// `adaptcomm obs-diff`: aligned base/head comparison of two captures,
+/// with an optional regression threshold for CI.
+fn obs_diff(opts: &args::Options) -> Result<(), String> {
+    let base = opts.require("base")?;
+    let head = opts.require("head")?;
+    let base_text = std::fs::read_to_string(&base).map_err(|e| format!("reading {base}: {e}"))?;
+    let head_text = std::fs::read_to_string(&head).map_err(|e| format!("reading {head}: {e}"))?;
+    let diff = adaptcomm_obs::causal::diff_captures(&base_text, &head_text)
+        .map_err(|e| format!("diffing {base} vs {head}: {e}"))?;
+    print!("{}", diff.render());
+    if let Some(threshold) = opts.get("fail-over") {
+        let threshold: f64 = threshold
+            .parse()
+            .map_err(|_| "`--fail-over` has an invalid value".to_string())?;
+        if let Some((label, pct)) = diff.worst_regression() {
+            if pct > threshold {
+                return Err(format!(
+                    "regression over threshold: {label} (+{pct:.2}% > {threshold}%)"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1083,6 +1344,18 @@ fn print_plan_response(response: &adaptcomm_plansrv::proto::PlanResponse) -> Res
                     None => String::new(),
                 },
             );
+            if let Some(q) = &ok.quality {
+                let hops: Vec<String> = q
+                    .critical_path
+                    .iter()
+                    .map(|(s, d)| format!("{s}->{d}"))
+                    .collect();
+                println!(
+                    "quality: lb-gap {:.2}%  critical path: {}",
+                    q.lb_gap_pct,
+                    hops.join(" ")
+                );
+            }
             Ok(())
         }
         PlanResponse::NeedMatrix => {

@@ -19,7 +19,7 @@ fn sparkline(values: &[f64]) -> String {
         lo = lo.min(v);
         hi = hi.max(v);
     }
-    values
+    let mut out: String = values
         .iter()
         .map(|&v| {
             let idx = if hi > lo {
@@ -29,7 +29,41 @@ fn sparkline(values: &[f64]) -> String {
             };
             SPARK[idx.min(7)]
         })
-        .collect()
+        .collect();
+    // A lone measurement still deserves a visible mark: render it at
+    // the same two-glyph width a flat pair gets, instead of one
+    // easily-missed character.
+    if values.len() == 1 {
+        let glyph = out.chars().next().unwrap();
+        out.push(glyph);
+    }
+    out
+}
+
+/// The "slowest link" line `adaptcomm top --capture <path>` appends
+/// under each frame: the link carrying the most critical-path time in
+/// the captured run, from the explain-plane analyzer.
+pub fn blame_line(capture_text: &str) -> Result<String, String> {
+    use adaptcomm_obs::causal::{transfers_from_text, CausalDag};
+    let dag = CausalDag::new(transfers_from_text(capture_text)?);
+    let blame = dag.blame();
+    match blame.links.first() {
+        Some(l) => Ok(format!(
+            "slowest link: {}->{}  {:.2} ms on the critical path \
+             ({} hop(s), {:.0}% of {:.2} ms)",
+            l.src,
+            l.dst,
+            l.busy_ms,
+            l.hops,
+            if blame.completion_ms > 0.0 {
+                l.busy_ms / blame.completion_ms * 100.0
+            } else {
+                0.0
+            },
+            blame.completion_ms
+        )),
+        None => Ok("slowest link: no transfer spans in the capture".into()),
+    }
 }
 
 /// `[[t, v], ...]` JSON points → the values.
@@ -181,6 +215,35 @@ mod tests {
         let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
         assert!(s.starts_with('▁') && s.ends_with('█'));
         assert_eq!(sparkline(&[5.0, 5.0]), "▄▄");
+        // One point widens to the flat-pair rendering, not one glyph.
+        assert_eq!(sparkline(&[7.0]), "▄▄");
         assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn blame_line_names_the_critical_link() {
+        use adaptcomm_obs::{AttrValue, Event, Snapshot, SpanRecord};
+        let span = |src: u64, dst: u64, start_us: u64, dur_us: u64| {
+            Event::Span(SpanRecord {
+                name: "transfer".into(),
+                tid: src + 1,
+                start_us,
+                dur_us,
+                attrs: vec![
+                    ("src".into(), AttrValue::U64(src)),
+                    ("dst".into(), AttrValue::U64(dst)),
+                ],
+                trace: None,
+            })
+        };
+        let snap = Snapshot {
+            events: vec![span(0, 1, 0, 10_000), span(0, 2, 10_000, 30_000)],
+            ..Default::default()
+        };
+        let line = blame_line(&snap.to_jsonl()).unwrap();
+        assert!(line.contains("slowest link: 0->2"), "{line}");
+        assert!(line.contains("30.00 ms"), "{line}");
+        let empty = blame_line(&Snapshot::default().to_jsonl()).unwrap();
+        assert!(empty.contains("no transfer spans"), "{empty}");
     }
 }

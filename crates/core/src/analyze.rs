@@ -1,0 +1,164 @@
+//! Schedule-side entry points to the explain plane.
+//!
+//! The generic DAG engine lives in `adaptcomm_obs::causal` (it also
+//! analyzes wall-clock captures); this module adapts analytic
+//! [`Schedule`]s to it and adds what only the scheduling layer knows:
+//! the lower bound `t_lb` (schedule *quality*, not just completion) and
+//! the concrete network intervention a what-if projection proposes
+//! ([`apply_speedup`], for re-simulating a prediction).
+
+use crate::matrix::CommMatrix;
+use crate::schedule::Schedule;
+use adaptcomm_model::units::Millis;
+use adaptcomm_obs::causal::{CausalDag, Transfer};
+
+/// Builds the blocking-dependency DAG of a completed schedule.
+///
+/// The DAG's completion equals [`Schedule::completion_time`] bit-exactly
+/// (both are the max over the same f64 finish times), and under ASAP
+/// execution every event's extra delay is zero, so the critical path
+/// explains the whole makespan as port-chain time.
+pub fn dag_of(schedule: &Schedule) -> CausalDag {
+    CausalDag::new(
+        schedule
+            .events()
+            .iter()
+            .map(|e| Transfer {
+                src: e.src,
+                dst: e.dst,
+                start_ms: e.start.as_ms(),
+                dur_ms: e.duration().as_ms(),
+            })
+            .collect(),
+    )
+}
+
+/// Predicted quality of a schedule: its critical path and how far the
+/// completion sits above the matrix lower bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleQuality {
+    /// The critical path as `(src, dst)` hops, source to sink.
+    pub critical_path: Vec<(usize, usize)>,
+    /// Completion time, milliseconds.
+    pub completion_ms: f64,
+    /// The §3 lower bound `t_lb`, milliseconds.
+    pub lower_bound_ms: f64,
+}
+
+impl ScheduleQuality {
+    /// Gap above the lower bound in percent (0 means provably optimal).
+    pub fn gap_pct(&self) -> f64 {
+        if self.lower_bound_ms > 0.0 {
+            (self.completion_ms / self.lower_bound_ms - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Extracts the quality summary a plan consumer cares about — what the
+/// plan server attaches to `PlanOk` responses.
+pub fn quality_of(schedule: &Schedule) -> ScheduleQuality {
+    let dag = dag_of(schedule);
+    ScheduleQuality {
+        critical_path: dag
+            .critical_path()
+            .iter()
+            .map(|s| (s.transfer.src, s.transfer.dst))
+            .collect(),
+        completion_ms: dag.completion_ms(),
+        lower_bound_ms: schedule.matrix().lower_bound().as_ms(),
+    }
+}
+
+/// The network change a what-if projection proposes, made concrete: a
+/// copy of `matrix` with the `src→dst` cost divided by `speedup`.
+/// Re-executing a send order against the returned matrix checks how
+/// much of a predicted delta survives real (re-ordered) execution.
+pub fn apply_speedup(matrix: &CommMatrix, src: usize, dst: usize, speedup: f64) -> CommMatrix {
+    assert!(speedup >= 1.0, "speedup must be ≥ 1");
+    let mut out = matrix.clone();
+    out.set_cost(
+        src,
+        dst,
+        Millis::new(matrix.cost(src, dst).as_ms() / speedup),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{OpenShop, Scheduler};
+    use crate::execution::execute_listed;
+
+    fn matrix() -> CommMatrix {
+        CommMatrix::from_rows(&[
+            vec![0.0, 10.0, 40.0, 5.0],
+            vec![12.0, 0.0, 8.0, 30.0],
+            vec![45.0, 9.0, 0.0, 11.0],
+            vec![6.0, 28.0, 13.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn dag_completion_matches_schedule_bit_exactly() {
+        let m = matrix();
+        let order = OpenShop.send_order(&m);
+        let schedule = execute_listed(&order, &m);
+        let dag = dag_of(&schedule);
+        assert_eq!(dag.completion_ms(), schedule.completion_time().as_ms());
+        let total: f64 = dag.critical_path().iter().map(|s| s.contribution_ms).sum();
+        assert_eq!(total, schedule.completion_time().as_ms());
+        // ASAP execution leaves no scheduler-imposed idling on the path.
+        assert!(dag.critical_path().iter().all(|s| s.wait_ms <= 1e-9));
+    }
+
+    #[test]
+    fn quality_reports_the_lb_gap() {
+        let m = matrix();
+        let schedule = OpenShop.schedule(&m);
+        let q = quality_of(&schedule);
+        assert_eq!(q.completion_ms, schedule.completion_time().as_ms());
+        assert_eq!(q.lower_bound_ms, m.lower_bound().as_ms());
+        assert!(!q.critical_path.is_empty());
+        let expected = (schedule.lb_ratio() - 1.0) * 100.0;
+        assert!((q.gap_pct() - expected).abs() < 1e-9);
+        assert!(q.gap_pct() >= 0.0);
+    }
+
+    #[test]
+    fn applied_speedup_rewrites_exactly_one_cost() {
+        let m = matrix();
+        let sped = apply_speedup(&m, 2, 0, 2.0);
+        assert_eq!(sped.cost(2, 0).as_ms(), 22.5);
+        for src in 0..m.len() {
+            for dst in 0..m.len() {
+                if (src, dst) != (2, 0) {
+                    assert_eq!(sped.cost(src, dst), m.cost(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_intervention_improves_resimulated_completion() {
+        let m = matrix();
+        let order = OpenShop.send_order(&m);
+        let schedule = execute_listed(&order, &m);
+        let dag = dag_of(&schedule);
+        let top = dag.interventions(2.0, 1);
+        assert!(!top.is_empty());
+        let w = top[0];
+        assert!(w.delta_ms > 0.0);
+        // Re-simulate against the sped network: realized improvement is
+        // at least half the fixed-order projection.
+        let resim = execute_listed(&order, &apply_speedup(&m, w.src, w.dst, 2.0));
+        let realized = schedule.completion_time().as_ms() - resim.completion_time().as_ms();
+        assert!(
+            realized >= 0.5 * w.delta_ms - 1e-9,
+            "predicted {} realized {realized}",
+            w.delta_ms
+        );
+    }
+}

@@ -51,6 +51,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod algorithms;
+pub mod analyze;
 pub mod anneal;
 pub mod bounds;
 pub mod checkpointed;

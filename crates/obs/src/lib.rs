@@ -28,6 +28,7 @@
 //! to `_`. Span names are the phase names shown in trace viewers:
 //! `schedule`, `replan`, `transfer`.
 
+pub mod causal;
 pub mod detect;
 pub mod flight;
 pub mod json;
@@ -48,7 +49,7 @@ pub use snapshot::{
     merge_chrome_trace, prom_name, CounterSnapshot, Event, GaugeSnapshot, HistogramSnapshot,
     InstantRecord, SeriesSnapshot, Snapshot, SpanRecord,
 };
-pub use summary::{PhaseTotal, Summary, SummaryError};
+pub use summary::{PhaseTotal, Summary, SummaryError, SummaryWarning};
 pub use trace::TraceContext;
 
 use std::collections::BTreeMap;

@@ -30,6 +30,9 @@ struct ReportData {
     series: Vec<(String, Vec<(f64, f64)>)>,
     /// Gauges (JSONL dumps only; Chrome traces do not carry them).
     gauges: Vec<(String, f64)>,
+    /// Realized transfers (spans with `src`/`dst` attrs), for the
+    /// critical-path lane view; empty when the dump has none.
+    transfers: Vec<crate::causal::Transfer>,
 }
 
 /// One row of the link-health matrix.
@@ -44,7 +47,8 @@ struct LinkRow {
 /// Renders a self-contained HTML dashboard from exporter output
 /// (auto-detects JSONL vs Chrome `trace_event`).
 pub fn html_report(text: &str, title: &str) -> Result<String, String> {
-    let data = extract(text)?;
+    let mut data = extract(text)?;
+    data.transfers = crate::causal::transfers_from_text(text).unwrap_or_default();
     Ok(render(&data, title))
 }
 
@@ -69,6 +73,7 @@ fn extract(text: &str) -> Result<ReportData, String> {
             .iter()
             .map(|g| (g.name.clone(), g.value))
             .collect(),
+        transfers: Vec::new(),
     })
 }
 
@@ -103,6 +108,7 @@ fn extract_chrome(doc: &Value, text: &str) -> Result<ReportData, String> {
         summary,
         series,
         gauges: Vec::new(),
+        transfers: Vec::new(),
     })
 }
 
@@ -245,6 +251,62 @@ fn svg_chart(points: &[(f64, f64)]) -> String {
     out
 }
 
+/// The critical-path lane view: one horizontal lane per sending
+/// processor, one rect per realized transfer, critical-path transfers
+/// highlighted. The time axis is normalized to the run's completion.
+fn svg_lanes(transfers: &[crate::causal::Transfer]) -> String {
+    use crate::causal::CausalDag;
+    const W: f64 = 960.0;
+    const LANE_H: f64 = 16.0;
+    const GUTTER: f64 = 34.0;
+    const PAD: f64 = 4.0;
+    let dag = CausalDag::new(transfers.to_vec());
+    let on_path: Vec<usize> = dag.critical_path().iter().map(|s| s.index).collect();
+    let completion = dag.completion_ms().max(1e-9);
+    let mut senders: Vec<usize> = dag.transfers().iter().map(|t| t.src).collect();
+    senders.sort_unstable();
+    senders.dedup();
+    let h = PAD * 2.0 + senders.len() as f64 * LANE_H;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {W} {h:.0}\" width=\"{W}\" height=\"{h:.0}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <rect width=\"{W}\" height=\"{h:.0}\" class=\"chart-bg\"/>"
+    );
+    for (lane, src) in senders.iter().enumerate() {
+        let _ = write!(
+            out,
+            "<text x=\"{PAD}\" y=\"{:.1}\" class=\"chart-label\">send {src}</text>",
+            PAD + lane as f64 * LANE_H + LANE_H * 0.7
+        );
+    }
+    let span_w = W - GUTTER - 2.0 * PAD;
+    for (i, t) in dag.transfers().iter().enumerate() {
+        let lane = senders.iter().position(|&s| s == t.src).unwrap();
+        let x = GUTTER + PAD + t.start_ms / completion * span_w;
+        let w = (t.dur_ms / completion * span_w).max(1.0);
+        let y = PAD + lane as f64 * LANE_H + 2.0;
+        let cls = if on_path.contains(&i) {
+            "lane-crit"
+        } else {
+            "lane-span"
+        };
+        let _ = write!(
+            out,
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{:.1}\" \
+             class=\"{cls}\"><title>{} &rarr; {} @ {} +{} ms</title></rect>",
+            LANE_H - 4.0,
+            t.src,
+            t.dst,
+            fmt_num(t.start_ms),
+            fmt_num(t.dur_ms)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
 fn render(data: &ReportData, title: &str) -> String {
     let mut b = String::new();
     let _ = write!(
@@ -259,10 +321,25 @@ fn render(data: &ReportData, title: &str) -> String {
          .healthy{{background:#d9f2d9}} .degraded{{background:#ffe9b3}} .dead{{background:#f5c2c2}}\n\
          .chart-bg{{fill:#fff;stroke:#ddd}} .chart-line{{stroke:#3366cc;stroke-width:1.5}}\n\
          .chart-dot{{fill:#3366cc}} .chart-label{{font-size:10px;fill:#888}}\n\
+         .lane-span{{fill:#aac4e4}} .lane-crit{{fill:#cc3333}}\n\
          .muted{{color:#888}} figure{{margin:12px 0}} figcaption{{font-size:0.85em;color:#555}}\n\
          </style>\n</head>\n<body>\n<h1>{title}</h1>\n",
         title = esc(title)
     );
+
+    if !data.transfers.is_empty() {
+        let dag = crate::causal::CausalDag::new(data.transfers.clone());
+        b.push_str("<h2>Critical path</h2>\n");
+        let _ = writeln!(
+            b,
+            "<figure>{}<figcaption>{} transfer(s), completion {} ms; \
+             the {} highlighted hop(s) form the critical path</figcaption></figure>",
+            svg_lanes(&data.transfers),
+            data.transfers.len(),
+            fmt_num(dag.completion_ms()),
+            dag.critical_path().len()
+        );
+    }
 
     let links = link_rows(data);
     if !links.is_empty() {
@@ -317,16 +394,18 @@ fn render(data: &ReportData, title: &str) -> String {
     if !data.summary.phases.is_empty() {
         b.push_str(
             "<h2>Phases</h2>\n<table>\n<tr><th class=\"name\">phase</th><th>count</th>\
-             <th>total ms</th><th>min ms</th><th>max ms</th></tr>\n",
+             <th>total ms</th><th>mean ms</th><th>p95 ms</th><th>min ms</th><th>max ms</th></tr>\n",
         );
         for p in &data.summary.phases {
             let _ = writeln!(
                 b,
                 "<tr><td class=\"name\">{}</td><td>{}</td><td>{:.3}</td>\
-                 <td>{:.3}</td><td>{:.3}</td></tr>",
+                 <td>{:.3}</td><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td></tr>",
                 esc(&p.name),
                 p.count,
                 p.total_ms,
+                p.mean_ms,
+                p.p95_ms,
                 p.min_ms,
                 p.max_ms
             );
@@ -451,6 +530,42 @@ mod tests {
     #[test]
     fn garbage_input_errors() {
         assert!(html_report("not json at all", "x").is_err());
+    }
+
+    #[test]
+    fn transfer_spans_render_the_critical_path_lanes() {
+        use crate::snapshot::SpanRecord;
+        use crate::AttrValue;
+        let reg = Registry::new();
+        let span = |src: u64, dst: u64, start_us: u64, dur_us: u64| SpanRecord {
+            name: "transfer".into(),
+            tid: src + 1,
+            start_us,
+            dur_us,
+            attrs: vec![
+                ("src".into(), AttrValue::U64(src)),
+                ("dst".into(), AttrValue::U64(dst)),
+            ],
+            trace: None,
+        };
+        reg.record_span(span(0, 1, 0, 10_000));
+        reg.record_span(span(0, 2, 10_000, 5_000));
+        reg.record_span(span(1, 3, 0, 4_000));
+        let html = html_report(&reg.snapshot().to_jsonl(), "lanes").unwrap();
+        assert!(html.contains("<h2>Critical path</h2>"));
+        assert!(html.contains("lane-crit"), "path hops must be highlighted");
+        assert!(html.contains("lane-span"), "off-path hops render too");
+        assert!(html.contains("send 0") && html.contains("send 1"));
+        assert!(html.contains("2 highlighted hop(s)"));
+        // A dump without transfer spans has no lane section.
+        let plain = html_report(&sample_registry().snapshot().to_jsonl(), "x").unwrap();
+        assert!(!plain.contains("Critical path"));
+    }
+
+    #[test]
+    fn phase_table_reports_mean_and_p95() {
+        let html = html_report(&sample_registry().snapshot().to_jsonl(), "demo").unwrap();
+        assert!(html.contains("<th>mean ms</th><th>p95 ms</th>"));
     }
 
     #[test]

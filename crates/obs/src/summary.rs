@@ -43,6 +43,31 @@ impl std::fmt::Display for SummaryError {
 
 impl std::error::Error for SummaryError {}
 
+/// A non-fatal defect found while reading a capture. The summary is
+/// still produced; warnings tell the reader what it cannot include.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryWarning {
+    /// A span began but its end event is missing (truncated capture);
+    /// the span is excluded from the per-phase totals.
+    UnclosedSpan {
+        /// Span name.
+        name: String,
+        /// Thread/track id it opened on.
+        tid: u64,
+    },
+}
+
+impl std::fmt::Display for SummaryWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummaryWarning::UnclosedSpan { name, tid } => write!(
+                f,
+                "span {name:?} on tid {tid} never closed (truncated capture?); excluded"
+            ),
+        }
+    }
+}
+
 /// Aggregated timing for one span name ("phase").
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseTotal {
@@ -56,6 +81,12 @@ pub struct PhaseTotal {
     pub min_ms: f64,
     /// Longest single span, milliseconds.
     pub max_ms: f64,
+    /// Mean span duration, milliseconds.
+    pub mean_ms: f64,
+    /// Nearest-rank 95th-percentile span duration, milliseconds — with
+    /// `min`/`max` it distinguishes one 500 ms span from 500 spans of
+    /// 1 ms, which read identically as totals.
+    pub p95_ms: f64,
 }
 
 /// A rendered-ready rollup of one trace file.
@@ -71,6 +102,11 @@ pub struct Summary {
     pub gauges: Vec<(String, f64)>,
     /// Instant-event counts by name, name-ascending.
     pub instants: Vec<(String, u64)>,
+    /// Non-fatal defects found while reading the capture.
+    pub warnings: Vec<SummaryWarning>,
+    /// Per-phase span durations retained during aggregation, drained by
+    /// `finish()` into the percentile fields.
+    durations: Vec<(String, Vec<f64>)>,
 }
 
 impl Summary {
@@ -252,14 +288,24 @@ impl Summary {
                 _ => {}
             }
         }
-        if let Some((tid, name, _)) = open.first() {
-            return Err(format!("span {name:?} on tid {tid} never closed"));
+        // Spans still open at end-of-capture mean the capture was
+        // truncated mid-run: tolerate them (their durations are
+        // unknowable) and tell the reader what was excluded.
+        for (tid, name, _) in open {
+            summary.warnings.push(SummaryWarning::UnclosedSpan {
+                name: name.clone(),
+                tid,
+            });
         }
         summary.finish();
         Ok(summary)
     }
 
     fn add_span(&mut self, name: &str, dur_ms: f64) {
+        match self.durations.iter_mut().find(|(n, _)| n == name) {
+            Some((_, durs)) => durs.push(dur_ms),
+            None => self.durations.push((name.to_string(), vec![dur_ms])),
+        }
         match self.phases.iter_mut().find(|p| p.name == name) {
             Some(p) => {
                 p.count += 1;
@@ -273,6 +319,8 @@ impl Summary {
                 total_ms: dur_ms,
                 min_ms: dur_ms,
                 max_ms: dur_ms,
+                mean_ms: dur_ms,
+                p95_ms: dur_ms,
             }),
         }
     }
@@ -285,6 +333,17 @@ impl Summary {
     }
 
     fn finish(&mut self) {
+        for (name, durs) in std::mem::take(&mut self.durations) {
+            let Some(phase) = self.phases.iter_mut().find(|p| p.name == name) else {
+                continue;
+            };
+            phase.mean_ms = phase.total_ms / phase.count as f64;
+            let mut sorted = durs;
+            sorted.sort_by(f64::total_cmp);
+            // Nearest-rank percentile: ceil(0.95 · n)-th smallest.
+            let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            phase.p95_ms = sorted[rank - 1];
+        }
         self.phases
             .sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
         self.counters.sort();
@@ -310,16 +369,19 @@ impl Summary {
                 .max(5);
             let _ = writeln!(
                 out,
-                "{:<width$}  {:>8}  {:>12}  {:>10}  {:>10}",
-                "phase", "count", "total_ms", "min_ms", "max_ms"
+                "{:<width$}  {:>8}  {:>12}  {:>10}  {:>10}  {:>10}  {:>10}",
+                "phase", "count", "total_ms", "mean_ms", "p95_ms", "min_ms", "max_ms"
             );
             for p in &self.phases {
                 let _ = writeln!(
                     out,
-                    "{:<width$}  {:>8}  {:>12.3}  {:>10.3}  {:>10.3}",
-                    p.name, p.count, p.total_ms, p.min_ms, p.max_ms
+                    "{:<width$}  {:>8}  {:>12.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}",
+                    p.name, p.count, p.total_ms, p.mean_ms, p.p95_ms, p.min_ms, p.max_ms
                 );
             }
+        }
+        for w in &self.warnings {
+            let _ = writeln!(out, "warning: {w}");
         }
         if !self.instants.is_empty() {
             out.push('\n');
@@ -408,9 +470,63 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unbalanced_chrome_trace() {
-        let text = r#"{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}"#;
-        assert!(Summary::from_text(text).is_err());
+    fn truncated_chrome_trace_warns_instead_of_failing() {
+        let text = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":0,"pid":1,"tid":1},
+            {"ph":"E","ts":50,"pid":1,"tid":1},
+            {"name":"b","ph":"B","ts":60,"pid":1,"tid":1}]}"#;
+        let summary = Summary::from_text(text).unwrap();
+        // The closed span still aggregates; the truncated one is a
+        // typed warning, not a silent drop or a hard error.
+        assert_eq!(summary.phases.len(), 1);
+        assert_eq!(summary.phases[0].name, "a");
+        assert_eq!(
+            summary.warnings,
+            vec![SummaryWarning::UnclosedSpan {
+                name: "b".into(),
+                tid: 1
+            }]
+        );
+        let rendered = summary.render();
+        assert!(rendered.contains("never closed"), "{rendered}");
+        // A genuinely malformed trace (E with no B) still errors.
+        let bad = r#"{"traceEvents":[{"ph":"E","ts":5,"pid":1,"tid":9}]}"#;
+        assert!(Summary::from_text(bad).is_err());
+    }
+
+    #[test]
+    fn mean_and_p95_separate_span_shapes() {
+        // One 500 ms span vs 500 spans of 1 ms: identical totals,
+        // distinguishable mean/p95.
+        let span = |name: &str, dur_us: u64, start: u64| {
+            crate::snapshot::Event::Span(crate::snapshot::SpanRecord {
+                name: name.into(),
+                tid: 1,
+                start_us: start,
+                dur_us,
+                attrs: vec![],
+                trace: None,
+            })
+        };
+        let mut events = vec![span("lump", 500_000, 0)];
+        for i in 0..500 {
+            events.push(span("grains", 1_000, 500_000 + i * 1_000));
+        }
+        let snap = crate::snapshot::Snapshot {
+            events,
+            ..Default::default()
+        };
+        let summary = Summary::from_snapshot(&snap);
+        let lump = summary.phases.iter().find(|p| p.name == "lump").unwrap();
+        let grains = summary.phases.iter().find(|p| p.name == "grains").unwrap();
+        assert_eq!(lump.total_ms, grains.total_ms);
+        assert_eq!(lump.mean_ms, 500.0);
+        assert_eq!(lump.p95_ms, 500.0);
+        assert_eq!(grains.mean_ms, 1.0);
+        assert_eq!(grains.p95_ms, 1.0);
+        let rendered = summary.render();
+        assert!(rendered.contains("mean_ms"), "{rendered}");
+        assert!(rendered.contains("p95_ms"), "{rendered}");
     }
 
     #[test]

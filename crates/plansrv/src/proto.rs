@@ -292,6 +292,19 @@ pub struct PlanStats {
     pub service_ms: f64,
 }
 
+/// Predicted schedule quality attached to a plan, so clients see *how
+/// good* the plan is, not just its completion time. Optional on the
+/// wire: answers from older servers parse to `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanQuality {
+    /// The plan's predicted critical path as `(src, dst)` hops, source
+    /// to sink — where to look first when the exchange runs slow.
+    pub critical_path: Vec<(usize, usize)>,
+    /// Completion gap above the matrix lower bound `t_lb`, percent
+    /// (0 means provably optimal).
+    pub lb_gap_pct: f64,
+}
+
 /// A successful plan answer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanOk {
@@ -311,6 +324,9 @@ pub struct PlanOk {
     /// Echo of the request's trace id (`None` when the request carried
     /// no trace, or the answer came from an old server).
     pub trace_id: Option<u64>,
+    /// Predicted critical path + lower-bound gap (`None` from old
+    /// servers).
+    pub quality: Option<PlanQuality>,
 }
 
 /// Everything the server can answer.
@@ -450,11 +466,27 @@ pub fn encode_response(resp: &PlanResponse) -> Vec<u8> {
                 .trace_id
                 .map(|id| format!(",\"trace_id\":\"{}\"", id_to_hex(id)))
                 .unwrap_or_default();
+            let quality = ok
+                .quality
+                .as_ref()
+                .map(|q| {
+                    let hops: Vec<String> = q
+                        .critical_path
+                        .iter()
+                        .map(|(s, d)| format!("[{s},{d}]"))
+                        .collect();
+                    format!(
+                        ",\"quality\":{{\"lb_gap_pct\":{},\"critical_path\":[{}]}}",
+                        json_number(q.lb_gap_pct),
+                        hops.join(",")
+                    )
+                })
+                .unwrap_or_default();
             format!(
                 "{{\"type\":\"plan\",\"status\":\"ok\",\"cache\":\"{}\",\"epoch\":{},\
                  \"served_seq\":{},\"plan\":{{\"order\":[{}],\"completion_ms\":{}}},\
                  \"stats\":{{\"round1_warm\":{},\"round1_col_scans\":{},\
-                 \"total_col_scans\":{},\"service_ms\":{}}}{trace_echo}}}",
+                 \"total_col_scans\":{},\"service_ms\":{}}}{quality}{trace_echo}}}",
                 ok.cache.as_str(),
                 ok.epoch,
                 ok.served_seq,
@@ -719,6 +751,31 @@ pub fn parse_response(payload: &[u8]) -> Result<PlanResponse, ProtocolError> {
                                 .ok_or_else(|| malformed("trace_id must be 16 hex digits"))?,
                         ),
                     },
+                    quality: match v.get("quality") {
+                        None => None,
+                        Some(q) => {
+                            let hops = q
+                                .get("critical_path")
+                                .and_then(Value::as_arr)
+                                .ok_or_else(|| malformed("quality.critical_path must be an array"))?
+                                .iter()
+                                .map(|hop| {
+                                    let pair =
+                                        hop.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                                            malformed("critical-path hops must be [src,dst] pairs")
+                                        })?;
+                                    Ok((
+                                        index_field(&pair[0], "critical-path src")?,
+                                        index_field(&pair[1], "critical-path dst")?,
+                                    ))
+                                })
+                                .collect::<Result<Vec<(usize, usize)>, ProtocolError>>()?;
+                            Some(PlanQuality {
+                                critical_path: hops,
+                                lb_gap_pct: num_field(q, "lb_gap_pct")?,
+                            })
+                        }
+                    },
                 })))
             }
             other => Err(malformed(format!("unknown response status {other:?}"))),
@@ -838,12 +895,35 @@ mod tests {
                     service_ms: 1.5,
                 },
                 trace_id: Some(0x0123_4567_89ab_cdef),
+                quality: Some(PlanQuality {
+                    critical_path: vec![(0, 2), (1, 2), (1, 0)],
+                    lb_gap_pct: 6.25,
+                }),
             })),
         ];
         for resp in responses {
             let bytes = encode_response(&resp);
             assert_eq!(parse_response(&bytes).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn quality_field_is_version_tolerant() {
+        // Old-server responses (no quality object) parse to None — the
+        // same tolerance rule as trace_id.
+        let resp = parse_response(
+            br#"{"type":"plan","status":"ok","cache":"cold","epoch":1,"served_seq":1,"plan":{"order":[[1],[0]],"completion_ms":1.0},"stats":{"round1_warm":false,"round1_col_scans":0,"total_col_scans":0,"service_ms":0.5}}"#,
+        )
+        .unwrap();
+        match resp {
+            PlanResponse::Ok(ok) => assert_eq!(ok.quality, None),
+            other => panic!("{other:?}"),
+        }
+        // A malformed quality object is a typed error, not a silent None.
+        let bad = parse_response(
+            br#"{"type":"plan","status":"ok","cache":"cold","epoch":1,"served_seq":1,"plan":{"order":[[1],[0]],"completion_ms":1.0},"stats":{"round1_warm":false,"round1_col_scans":0,"total_col_scans":0,"service_ms":0.5},"quality":{"lb_gap_pct":1.0,"critical_path":[[0]]}}"#,
+        );
+        assert!(matches!(bad, Err(ProtocolError::Malformed { .. })));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use crate::admission::{AdmissionError, AdmissionQueue};
 use crate::cache::{CacheLookup, PlanCache};
 use crate::proto::{
-    self, CacheDisposition, PlanOk, PlanRequest, PlanResponse, PlanStats, ProtocolError, Request,
+    self, CacheDisposition, PlanOk, PlanQuality, PlanRequest, PlanResponse, PlanStats,
+    ProtocolError, Request,
 };
 use adaptcomm_core::algorithms::{
     all_schedulers, MatchingKind, MatchingPlan, MatchingScheduler, Scheduler,
@@ -133,6 +134,7 @@ struct WorkerReply {
 struct ComputedPlan {
     order: SendOrder,
     completion_ms: f64,
+    quality: PlanQuality,
     cache: CacheDisposition,
     epoch: u64,
     round1_warm: bool,
@@ -441,10 +443,20 @@ impl PlanService {
         } else {
             pin_critical(&order, &request.qos.critical_links)
         };
-        let completion_ms = execute_listed(&order, matrix).completion_time().as_ms();
+        let schedule = execute_listed(&order, matrix);
+        let completion_ms = schedule.completion_time().as_ms();
+        // Explain-plane quality: the plan's predicted critical path and
+        // its gap above `t_lb`, so clients see *how good* the plan is,
+        // not just how long it takes.
+        let q = adaptcomm_core::analyze::quality_of(&schedule);
+        let quality = PlanQuality {
+            lb_gap_pct: q.gap_pct(),
+            critical_path: q.critical_path,
+        };
         Ok(ComputedPlan {
             order,
             completion_ms,
+            quality,
             cache,
             epoch,
             round1_warm,
@@ -828,6 +840,7 @@ fn serve_frame(
                         Ok(plan) => PlanResponse::Ok(Box::new(PlanOk {
                             order: plan.order,
                             completion_ms: plan.completion_ms,
+                            quality: Some(plan.quality),
                             cache: plan.cache,
                             epoch: plan.epoch,
                             served_seq: reply.served_seq,

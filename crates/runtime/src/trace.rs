@@ -106,6 +106,22 @@ impl RunTrace {
             .collect()
     }
 
+    /// The realized transfers (modeled time) as explain-plane records,
+    /// ready for `adaptcomm_obs::causal::CausalDag::new` — the same
+    /// critical-path/blame analysis `adaptcomm explain` runs on
+    /// captures, without an export round trip.
+    pub fn causal_transfers(&self) -> Vec<adaptcomm_obs::causal::Transfer> {
+        self.to_records()
+            .iter()
+            .map(|r| adaptcomm_obs::causal::Transfer {
+                src: r.src,
+                dst: r.dst,
+                start_ms: r.start.as_ms(),
+                dur_ms: (r.finish - r.start).as_ms(),
+            })
+            .collect()
+    }
+
     /// Aggregated metrics over the completed transfers.
     pub fn metrics(&self, processors: usize) -> SimMetrics {
         SimMetrics::from_records(processors, &self.to_records())

@@ -71,6 +71,23 @@ pub struct SimRun {
     pub makespan: Millis,
 }
 
+impl SimRun {
+    /// The realized transfers as explain-plane records, ready for
+    /// `adaptcomm_obs::causal::CausalDag::new` (critical path, blame,
+    /// what-if projections).
+    pub fn causal_transfers(&self) -> Vec<adaptcomm_obs::causal::Transfer> {
+        self.records
+            .iter()
+            .map(|r| adaptcomm_obs::causal::Transfer {
+                src: r.src,
+                dst: r.dst,
+                start_ms: r.start.as_ms(),
+                dur_ms: (r.finish - r.start).as_ms(),
+            })
+            .collect()
+    }
+}
+
 /// Simulates `order` over `network` with message sizes `sizes[src][dst]`.
 pub fn run_static<M: CostModel>(order: &SendOrder, network: &M, sizes: &[Vec<Bytes>]) -> SimRun {
     let p = network.len();
